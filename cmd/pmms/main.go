@@ -1,0 +1,73 @@
+// Command pmms is the cache memory simulator: it replays a COLLECT trace
+// through arbitrary cache configurations, reporting hit ratios and the
+// Figure 1 performance improvement ratio.
+//
+// Usage:
+//
+//	pmms trace.bin                 # the Figure 1 capacity sweep
+//	pmms -words 4096 -sets 1 trace.bin
+//	pmms -ablate trace.bin         # the paper's set/policy ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/pmms"
+	"repro/internal/trace"
+)
+
+func main() {
+	words := flag.Int("words", 0, "cache capacity in words (0 = run the capacity sweep)")
+	sets := flag.Int("sets", 2, "associativity")
+	through := flag.Bool("store-through", false, "store-through write policy")
+	ablate := flag.Bool("ablate", false, "run the one-set and store-through ablations")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pmms [flags] trace.bin")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	die(err)
+	log, err := trace.Read(f)
+	f.Close()
+	die(err)
+	fmt.Printf("trace: %d cycles, %d memory accesses\n", log.Len(), log.MemoryAccesses())
+
+	if *ablate {
+		two := pmms.Improvement(log, cache.Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreIn})
+		one := pmms.Improvement(log, cache.Config{Words: 4096, Assoc: 1, BlockWords: 4, Policy: cache.StoreIn})
+		thr := pmms.Improvement(log, cache.Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreThrough})
+		fmt.Printf("two 4K-word sets, store-in:    %6.1f%%\n", two)
+		fmt.Printf("one 4K-word set,  store-in:    %6.1f%%\n", one)
+		fmt.Printf("two 4K-word sets, store-thru:  %6.1f%%\n", thr)
+		return
+	}
+	if *words == 0 {
+		fmt.Printf("%10s %14s %10s\n", "words", "improvement(%)", "hit-ratio")
+		for _, p := range pmms.Sweep(log, pmms.DefaultSizes()) {
+			fmt.Printf("%10d %14.1f %10.4f\n", p.Words, p.Improvement, p.HitRatio)
+		}
+		return
+	}
+	cfg := cache.Config{Words: *words, Assoc: *sets, BlockWords: 4, Policy: cache.StoreIn}
+	if *through {
+		cfg.Policy = cache.StoreThrough
+	}
+	die(cfg.Validate())
+	c := pmms.Replay(log, cfg)
+	fmt.Printf("config %s: hit ratio %.4f, improvement %.1f%%\n",
+		cfg, c.HitRatio(), pmms.Improvement(log, cfg))
+	for k := 0; k < 5; k++ {
+		fmt.Printf("  area %d hit ratio %.4f (%d accesses)\n", k, c.Area[k].HitRatio(), c.Area[k].Accesses)
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmms:", err)
+		os.Exit(1)
+	}
+}

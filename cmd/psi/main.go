@@ -1,0 +1,233 @@
+// Command psi runs a KL0 (Prolog) program on the simulated PSI machine
+// and reports the paper's dynamic measurements for the run.
+//
+// Usage:
+//
+//	psi [flags] program.pl
+//	psi -i [program.pl]          # interactive query loop
+//
+// In batch mode the program is executed by running the goal given with
+// -g (default "go") and printing each solution's bindings; with -all,
+// every solution is enumerated. In interactive mode, type a goal per
+// line; after an answer, ";" asks for the next solution and an empty
+// line accepts.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	goal := flag.String("g", "go", "goal to run")
+	all := flag.Bool("all", false, "enumerate every solution")
+	report := flag.Bool("report", true, "print the dynamic-characteristics report")
+	cacheWords := flag.Int("cache", 0, "cache capacity in words (0 = PSI 8K)")
+	sets := flag.Int("sets", 0, "cache sets (0 = PSI two-set)")
+	through := flag.Bool("store-through", false, "use the store-through write policy")
+	nocache := flag.Bool("nocache", false, "disable the cache")
+	baseline := flag.Bool("dec", false, "run on the DEC-10 baseline instead")
+	interactive := flag.Bool("i", false, "interactive query loop")
+	stdlib := flag.Bool("stdlib", false, "preload the standard library")
+	disasm := flag.String("disasm", "", "disassemble a predicate (name/arity) instead of running")
+	flag.Parse()
+
+	var src []byte
+	switch {
+	case flag.NArg() == 1:
+		var err error
+		src, err = os.ReadFile(flag.Arg(0))
+		die(err)
+	case flag.NArg() == 0 && *interactive:
+		// interactive with no program: just the (optional) stdlib
+	default:
+		fmt.Fprintln(os.Stderr, "usage: psi [flags] program.pl")
+		flag.Usage()
+		os.Exit(2)
+	}
+	source := string(src)
+	if *stdlib {
+		source = psi.StdLib + "\n" + source
+	}
+
+	if *disasm != "" {
+		showDisasm(source, *disasm, *baseline)
+		return
+	}
+
+	if *interactive {
+		repl(source, psi.Options{
+			CacheWords:   *cacheWords,
+			CacheSets:    *sets,
+			StoreThrough: *through,
+			NoCache:      *nocache,
+			Out:          os.Stdout,
+		}, *report)
+		return
+	}
+
+	if *baseline {
+		runBaseline(source, *goal, *all)
+		return
+	}
+
+	m, err := psi.LoadProgram(source, psi.Options{
+		CacheWords:   *cacheWords,
+		CacheSets:    *sets,
+		StoreThrough: *through,
+		NoCache:      *nocache,
+		Out:          os.Stdout,
+	})
+	die(err)
+	sols, err := m.Solve(*goal)
+	die(err)
+	n := 0
+	for {
+		ans, ok := sols.Next()
+		if !ok {
+			break
+		}
+		n++
+		printAnswer(n, ans)
+		if !*all {
+			break
+		}
+	}
+	die(sols.Err())
+	if n == 0 {
+		fmt.Println("no")
+	}
+	if *report {
+		fmt.Print(m.Report())
+	}
+}
+
+// repl reads goals from stdin and enumerates their answers on demand.
+func repl(source string, opts psi.Options, report bool) {
+	m, err := psi.LoadProgram(source, opts)
+	die(err)
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Println("PSI machine — type a goal, ';' for more answers, ctrl-D to quit.")
+	for {
+		fmt.Print("?- ")
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		goal := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(in.Text()), "."))
+		if goal == "" {
+			continue
+		}
+		if goal == "halt" {
+			return
+		}
+		sols, err := m.Solve(goal)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		n := 0
+		for {
+			ans, ok := sols.Next()
+			if !ok {
+				if err := sols.Err(); err != nil {
+					fmt.Println("error:", err)
+				} else if n == 0 {
+					fmt.Println("no")
+				} else {
+					fmt.Println("no more solutions")
+				}
+				break
+			}
+			n++
+			printAnswer(n, ans)
+			fmt.Print("; for more> ")
+			if !in.Scan() {
+				fmt.Println()
+				return
+			}
+			if strings.TrimSpace(in.Text()) != ";" {
+				break
+			}
+		}
+		if report {
+			fmt.Print(m.Report())
+		}
+	}
+}
+
+func runBaseline(src, goal string, all bool) {
+	b, err := psi.LoadBaseline(src, os.Stdout)
+	die(err)
+	sols, err := b.Solve(goal)
+	die(err)
+	n := 0
+	for {
+		ans, ok := sols.Next()
+		if !ok {
+			break
+		}
+		n++
+		printAnswer(n, ans)
+		if !all {
+			break
+		}
+	}
+	die(sols.Err())
+	if n == 0 {
+		fmt.Println("no")
+	}
+	fmt.Printf("DEC-10 baseline: %d calls, %.3f ms modelled\n",
+		b.Calls(), float64(b.TimeNS())/1e6)
+}
+
+func printAnswer(n int, ans map[string]*psi.Term) {
+	if len(ans) == 0 {
+		fmt.Printf("yes (%d)\n", n)
+		return
+	}
+	names := make([]string, 0, len(ans))
+	for k := range ans {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	fmt.Printf("solution %d:", n)
+	for _, k := range names {
+		fmt.Printf(" %s = %s", k, ans[k])
+	}
+	fmt.Println()
+}
+
+// showDisasm prints the compiled code of one predicate.
+func showDisasm(source, indicator string, baseline bool) {
+	slash := strings.LastIndex(indicator, "/")
+	if slash < 0 {
+		die(fmt.Errorf("disasm: want name/arity, got %q", indicator))
+	}
+	name := indicator[:slash]
+	arity, err := strconv.Atoi(indicator[slash+1:])
+	die(err)
+	if baseline {
+		out, err := psi.DisasmBaseline(source, name, arity)
+		die(err)
+		fmt.Print(out)
+		return
+	}
+	out, err := psi.DisasmPSI(source, name, arity)
+	die(err)
+	fmt.Print(out)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psi:", err)
+		os.Exit(1)
+	}
+}

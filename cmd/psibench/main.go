@@ -1,0 +1,113 @@
+// Command psibench regenerates the paper's evaluation: Tables 1-7 and
+// Figure 1, plus the cache ablations. Run with a table selector
+// ("1".."7", "fig1", "all") or "calib" for the Table 1 calibration view.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/progs"
+)
+
+func main() {
+	which := "all"
+	if len(os.Args) > 1 {
+		which = os.Args[1]
+	}
+	if which == "calib" {
+		calib()
+		return
+	}
+	run := func(name string) bool { return which == "all" || which == name }
+	if run("1") {
+		rows, err := harness.Table1()
+		check(err)
+		fmt.Println(harness.FormatTable1(rows))
+	}
+	if run("2") {
+		rows, err := harness.Table2()
+		check(err)
+		fmt.Println(harness.FormatTable2(rows))
+	}
+	if run("3") {
+		rows, err := harness.Table3()
+		check(err)
+		fmt.Println(harness.FormatTable3(rows))
+	}
+	if run("4") {
+		rows, err := harness.Table4()
+		check(err)
+		fmt.Println(harness.FormatTable4(rows))
+	}
+	if run("5") {
+		rows, err := harness.Table5()
+		check(err)
+		fmt.Println(harness.FormatTable5(rows))
+	}
+	if run("6") {
+		t6, err := harness.Table6()
+		check(err)
+		fmt.Println(harness.FormatTable6(t6))
+	}
+	if run("7") {
+		t7, err := harness.Table7()
+		check(err)
+		fmt.Println(harness.FormatTable7(t7))
+	}
+	if run("fig1") {
+		f, err := harness.Figure1()
+		check(err)
+		fmt.Println(harness.FormatFigure1(f))
+	}
+	if run("ablate") {
+		rows, err := harness.Ablations()
+		check(err)
+		fmt.Println(harness.FormatAblations(rows))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psibench:", err)
+		os.Exit(1)
+	}
+}
+
+// calib runs Table 1 without its slowest row and prints the DEC/PSI
+// ratios under the nanosecond-per-unit scale implied by pinning
+// benchmark (1), nreverse, to the paper's 0.70 ratio. Used to fix the
+// dec10.NSPerUnit calibration constant.
+func calib() {
+	type row struct {
+		name               string
+		psiNS              int64
+		decUnits           int64
+		paperPSI, paperDEC float64
+	}
+	var rows []row
+	for _, b := range progs.Table1() {
+		if b.Name == "harmonizer-3" {
+			continue
+		}
+		r, err := harness.RunPSI(b, false)
+		check(err)
+		d, err := harness.RunDEC(b)
+		check(err)
+		rows = append(rows, row{b.Name, r.Machine.TimeNS(), d.Units(), b.PaperPSIMS, b.PaperDECMS})
+	}
+	var scale float64
+	for _, r := range rows {
+		if r.name == "nreverse (30)" {
+			scale = 0.70 * float64(r.psiNS) / float64(r.decUnits)
+		}
+	}
+	fmt.Printf("implied NSPerUnit = %.0f\n", scale)
+	fmt.Printf("%-18s %9s %9s %7s | %7s\n", "program", "PSI(ms)", "DEC(ms)", "ratio", "paper")
+	for _, r := range rows {
+		dec := float64(r.decUnits) * scale / 1e6
+		psi := float64(r.psiNS) / 1e6
+		fmt.Printf("%-18s %9.1f %9.1f %7.2f | %7.2f\n", r.name, psi, dec, dec/psi, r.paperDEC/r.paperPSI)
+	}
+}

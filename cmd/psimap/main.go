@@ -1,0 +1,62 @@
+// Command psimap is the MAP microinstruction pattern analyzer: it reads a
+// COLLECT trace and reports the dynamic frequencies of microinstruction
+// field patterns — the work-file access modes of Table 6 and the branch
+// operations of Table 7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mapper"
+	"repro/internal/micro"
+	"repro/internal/trace"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: psimap trace.bin")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	die(err)
+	log, err := trace.Read(f)
+	f.Close()
+	die(err)
+
+	s := mapper.Stats(log)
+	fmt.Printf("trace: %d cycles\n\n", log.Len())
+
+	fmt.Println("Work file access modes (pct-of-field-accesses / pct-of-steps):")
+	u := mapper.Analyze(log)
+	fmt.Printf("%-12s %17s %17s %17s\n", "mode", "source1", "source2", "destination")
+	for mode := micro.WFMode(1); mode < micro.NumWFModes; mode++ {
+		fmt.Printf("%-12s", mode)
+		for field := 0; field < 3; field++ {
+			fmt.Printf("  %6.1f / %6.2f ",
+				u.RateOfAccesses(field, mode)*100, u.RateOfSteps(field, mode)*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	fmt.Println("Branch operations (% of steps):")
+	for op := micro.BranchOp(0); op < micro.NumBranchOps; op++ {
+		fmt.Printf("  (%2d) type%d %-20s %6.2f\n", int(op)+1, op.Type(), op, s.BranchRatio(op)*100)
+	}
+
+	fmt.Println()
+	fmt.Println("Firmware modules (% of steps):")
+	for mod := micro.Module(0); mod < micro.NumModules; mod++ {
+		fmt.Printf("  %-8s %6.2f\n", mod, s.ModuleRatio(mod)*100)
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psimap:", err)
+		os.Exit(1)
+	}
+}

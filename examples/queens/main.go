@@ -1,0 +1,65 @@
+// Queens: run the paper's 8-queens benchmark on both engines — the PSI
+// firmware interpreter and the DEC-10 compiled-code baseline — and
+// compare them the way Table 1 does.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const queens = `
+range(L, L, [L]) :- !.
+range(L, H, [L|T]) :- L < H, L1 is L + 1, range(L1, H, T).
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+safe(_, _, []).
+safe(Q, D, [Q2|Qs]) :- Q =\= Q2 + D, Q =\= Q2 - D, D1 is D + 1, safe(Q, D1, Qs).
+place([], Sol, Sol).
+place(Cols, Placed, Sol) :-
+    sel(Q, Cols, Rest), safe(Q, 1, Placed), place(Rest, [Q|Placed], Sol).
+queens(N, Sol) :- range(1, N, Cols), place(Cols, [], Sol).
+all :- queens(8, _), fail.
+all.
+`
+
+func main() {
+	m, err := psi.LoadProgram(queens, psi.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sols, err := m.Solve("queens(8, S)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	first := ""
+	for {
+		ans, ok := sols.Next()
+		if !ok {
+			break
+		}
+		if n == 0 {
+			first = ans["S"].String()
+		}
+		n++
+	}
+	fmt.Printf("8 queens: %d solutions, first %s\n", n, first)
+	fmt.Printf("PSI: %.1f ms simulated, %.1f KLIPS\n",
+		float64(m.TimeNS())/1e6, m.KLIPS())
+
+	b, err := psi.LoadBaseline(queens, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bs, err := b.Solve("all")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, ok := bs.Next(); !ok {
+		log.Fatal("baseline failed")
+	}
+	fmt.Printf("DEC-10 baseline (all solutions): %.1f ms modelled\n", float64(b.TimeNS())/1e6)
+}

@@ -1,0 +1,104 @@
+package psi
+
+// Native fuzz targets: the Prolog reader must never panic on arbitrary
+// input, and the two engines must agree on whatever parses and runs
+// within budget. Run with `go test -fuzz=FuzzParse` (etc.); the seeds
+// double as regression cases under plain `go test`.
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"p(X) :- q(X, [1,2|T]), X = 'a b'.",
+		"a. b. c :- a, b.",
+		`p :- write("str"), X is 1+2*3.`,
+		"p([H|T]) :- \\+ H = T, (a ; b -> c ; d).",
+		"0'a. % comment\n/* block */ q(0''').",
+		"p :- q((,)).",
+		"-(-(1)).",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Must not panic; errors are fine.
+		_, _ = ParseTerm(src)
+		m, err := LoadProgram(src, Options{MaxSteps: 100000})
+		if err != nil {
+			return
+		}
+		_ = m
+	})
+}
+
+func FuzzDifferentialQuery(f *testing.F) {
+	for _, seed := range []string{
+		"eq(f(X, [1|X]), f([a], Y))",
+		"app(X, Y, [a,b,c])",
+		"mem(g(Z), [g(1), h(2), g(x)])",
+	} {
+		f.Add(seed)
+	}
+	prog := `
+eq(X, X).
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+mem(X, [X|_]).
+mem(X, [_|T]) :- mem(X, T).
+`
+	f.Fuzz(func(t *testing.T, query string) {
+		if strings.ContainsAny(query, ";") {
+			return // disjunction differs by design in metacall position
+		}
+		pm, err := LoadProgram(prog, Options{MaxSteps: 500000})
+		if err != nil {
+			return
+		}
+		ps, err := pm.Solve(query)
+		if err != nil {
+			return
+		}
+		var psiOK bool
+		var psiAns string
+		if ans, ok := ps.Next(); ok {
+			psiOK = true
+			for _, v := range []string{"X", "Y", "Z"} {
+				if tm := ans[v]; tm != nil {
+					psiAns += v + "=" + tm.String() + ";"
+				}
+			}
+		}
+		if ps.Err() != nil {
+			return // resource/type errors need not agree across engines
+		}
+		bm, err := LoadBaseline(prog, nil)
+		if err != nil {
+			return
+		}
+		bs, err := bm.Solve(query)
+		if err != nil {
+			return
+		}
+		var decOK bool
+		var decAns string
+		if ans, ok := bs.Next(); ok {
+			decOK = true
+			for _, v := range []string{"X", "Y", "Z"} {
+				if tm := ans[v]; tm != nil {
+					decAns += v + "=" + tm.String() + ";"
+				}
+			}
+		}
+		if bs.Err() != nil {
+			return
+		}
+		if psiOK != decOK {
+			t.Fatalf("engines disagree on %q: PSI %v, DEC %v", query, psiOK, decOK)
+		}
+		if psiOK && normVars(psiAns) != normVars(decAns) {
+			t.Fatalf("answers differ on %q: %q vs %q", query, psiAns, decAns)
+		}
+	})
+}

@@ -1,0 +1,256 @@
+// Package cache implements the PSI cache memory and its simulator (the
+// paper's PMMS tool). The machine configuration is 8K words, two-way
+// set-associative, store-in (write-back), four-word blocks, with a
+// dedicated Write-Stack command that allocates on a write miss without
+// reading the block in (used for continuous pushes to a stack top).
+//
+// The simulator is parameterized over capacity, associativity and write
+// policy so the Figure 1 capacity sweep and the 1-set / store-through
+// ablations can be replayed from traces.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/micro"
+	"repro/internal/word"
+)
+
+// Policy selects the write policy.
+type Policy uint8
+
+// Write policies.
+const (
+	StoreIn      Policy = iota // write-back: dirty blocks written on eviction
+	StoreThrough               // write-through: every write also goes to memory
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == StoreIn {
+		return "store-in"
+	}
+	return "store-through"
+}
+
+// Timing constants from the paper's cache specification, in nanoseconds.
+// A hit completes within the 200 ns microcycle (no stall). A miss takes
+// 800 ns in total, i.e. a 600 ns stall beyond the cycle, and moving a
+// four-word block between cache and main memory takes 800 ns.
+const (
+	HitNS           = 0
+	MissExtraNS     = 600
+	BlockTransferNS = 800
+	// WriteThroughNS is the per-write stall under the store-through
+	// policy: a one-deep write buffer hides part of the 800 ns memory
+	// write, leaving this much on the critical path.
+	WriteThroughNS = 250
+)
+
+// Config describes a cache geometry and policy.
+type Config struct {
+	Words      int // total capacity in words
+	Assoc      int // number of sets (1 = direct mapped, 2 = PSI)
+	BlockWords int // words per block (PSI: 4)
+	Policy     Policy
+}
+
+// PSI is the configuration of the real machine.
+var PSI = Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: StoreIn}
+
+// Validate checks the geometry.
+func (c Config) Validate() error {
+	if c.BlockWords <= 0 || c.Words <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	blocks := c.Words / c.BlockWords
+	if blocks*c.BlockWords != c.Words {
+		return fmt.Errorf("cache: capacity %d not a multiple of block size %d", c.Words, c.BlockWords)
+	}
+	if blocks%c.Assoc != 0 {
+		return fmt.Errorf("cache: %d blocks not divisible into %d sets", blocks, c.Assoc)
+	}
+	rows := blocks / c.Assoc
+	if rows&(rows-1) != 0 {
+		return fmt.Errorf("cache: %d rows is not a power of two", rows)
+	}
+	return nil
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%dw/%d-set/%dw-block/%s", c.Words, c.Assoc, c.BlockWords, c.Policy)
+}
+
+// line is one cache block frame.
+type line struct {
+	tag   uint32
+	valid bool
+	dirty bool
+}
+
+// AreaStats accumulates per-area hit statistics for Table 5.
+type AreaStats struct {
+	Accesses int64
+	Hits     int64
+}
+
+// HitRatio reports hits/accesses (1 when idle, matching an untouched
+// area).
+func (a AreaStats) HitRatio() float64 {
+	if a.Accesses == 0 {
+		return 1
+	}
+	return float64(a.Hits) / float64(a.Accesses)
+}
+
+// Cache simulates one cache.
+type Cache struct {
+	cfg      Config
+	rows     uint32
+	rowShift uint32  // log2(BlockWords)
+	lines    []line  // rows × assoc
+	lru      []uint8 // most-recently-used way per row
+	// Stats
+	Area    [5]AreaStats // per area kind
+	Total   AreaStats
+	StallNS int64 // accumulated stall time beyond the base cycles
+	// write-through traffic accounting
+	WriteThroughs int64
+	Fills         int64 // block read-ins
+	WriteBacks    int64 // dirty evictions
+}
+
+// New builds a cache; the configuration must validate.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	blocks := cfg.Words / cfg.BlockWords
+	rows := uint32(blocks / cfg.Assoc)
+	shift := uint32(0)
+	for 1<<shift < cfg.BlockWords {
+		shift++
+	}
+	return &Cache{
+		cfg:      cfg,
+		rows:     rows,
+		rowShift: shift,
+		lines:    make([]line, blocks),
+		lru:      make([]uint8, rows),
+	}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access performs one cache command against physical word address phys;
+// kind attributes the access to an area for the statistics. It returns
+// whether the access hit and the stall time in nanoseconds beyond the
+// issuing microcycle.
+func (c *Cache) Access(op micro.CacheOp, phys uint32, kind word.AreaID) (hit bool, stallNS int64) {
+	block := phys >> c.rowShift
+	row := block & (c.rows - 1)
+	hit, stallNS = c.access(op, block, row)
+	k := kind.Kind()
+	c.Area[k].Accesses++
+	c.Total.Accesses++
+	if hit {
+		c.Area[k].Hits++
+		c.Total.Hits++
+	}
+	c.StallNS += stallNS
+	return hit, stallNS
+}
+
+func (c *Cache) access(op micro.CacheOp, block, row uint32) (bool, int64) {
+	base := int(row) * c.cfg.Assoc
+	ways := c.lines[base : base+c.cfg.Assoc]
+	tag := block / c.rows
+
+	// Search for a hit.
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.touch(row, i)
+			var stall int64
+			if op != micro.OpRead && c.cfg.Policy == StoreThrough {
+				stall = WriteThroughNS
+				c.WriteThroughs++
+			} else if op != micro.OpRead {
+				ways[i].dirty = true
+			}
+			return true, stall
+		}
+	}
+
+	// Miss: choose a victim (LRU).
+	vi := c.victim(row)
+	v := &ways[vi]
+	var stall int64
+	if v.valid && v.dirty && c.cfg.Policy == StoreIn {
+		stall += BlockTransferNS
+		c.WriteBacks++
+	}
+	switch op {
+	case micro.OpRead, micro.OpWrite:
+		// Block read-in.
+		stall += MissExtraNS
+		c.Fills++
+	case micro.OpWriteStack:
+		// Allocate without read-in: the block is about to be fully
+		// overwritten by pushes, so no transfer is needed.
+	}
+	v.valid = true
+	v.tag = tag
+	v.dirty = false
+	if op != micro.OpRead {
+		if c.cfg.Policy == StoreThrough {
+			stall += WriteThroughNS
+			c.WriteThroughs++
+		} else {
+			v.dirty = true
+		}
+	}
+	c.touch(row, vi)
+	return false, stall
+}
+
+// touch marks way i of row as most recently used. For associativity <= 2 a
+// single bit suffices; for larger ways we rotate a counter approximation.
+func (c *Cache) touch(row uint32, i int) {
+	c.lru[row] = uint8(i)
+}
+
+// victim selects the way to replace in row.
+func (c *Cache) victim(row uint32) int {
+	base := int(row) * c.cfg.Assoc
+	for i := 0; i < c.cfg.Assoc; i++ {
+		if !c.lines[base+i].valid {
+			return i
+		}
+	}
+	if c.cfg.Assoc == 1 {
+		return 0
+	}
+	// Not most-recently-used (exact LRU for 2 ways).
+	mru := int(c.lru[row])
+	return (mru + 1) % c.cfg.Assoc
+}
+
+// HitRatio reports the overall hit ratio.
+func (c *Cache) HitRatio() float64 { return c.Total.HitRatio() }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	for i := range c.lru {
+		c.lru[i] = 0
+	}
+	c.Area = [5]AreaStats{}
+	c.Total = AreaStats{}
+	c.StallNS = 0
+	c.WriteThroughs = 0
+	c.Fills = 0
+	c.WriteBacks = 0
+}

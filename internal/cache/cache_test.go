@@ -1,0 +1,219 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/micro"
+	"repro/internal/word"
+)
+
+func mk(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return New(cfg)
+}
+
+func TestValidate(t *testing.T) {
+	if err := PSI.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Words: 0, Assoc: 1, BlockWords: 4},
+		{Words: 10, Assoc: 1, BlockWords: 4},
+		{Words: 24, Assoc: 1, BlockWords: 4}, // 6 rows, not power of two
+		{Words: 16, Assoc: 3, BlockWords: 4},
+		{Words: 16, Assoc: 1, BlockWords: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v should not validate", c)
+		}
+	}
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	c := mk(t, Config{Words: 64, Assoc: 2, BlockWords: 4, Policy: StoreIn})
+	hit, stall := c.Access(micro.OpRead, 100, word.AreaHeap)
+	if hit || stall != MissExtraNS {
+		t.Errorf("cold read: hit=%v stall=%d", hit, stall)
+	}
+	// same block (addresses 100..103)
+	for a := uint32(100); a < 104; a++ {
+		hit, stall = c.Access(micro.OpRead, a, word.AreaHeap)
+		if !hit || stall != 0 {
+			t.Errorf("warm read %d: hit=%v stall=%d", a, hit, stall)
+		}
+	}
+	if c.Total.Accesses != 5 || c.Total.Hits != 4 {
+		t.Errorf("stats: %+v", c.Total)
+	}
+}
+
+func TestWriteBackOnDirtyEviction(t *testing.T) {
+	// Direct-mapped, 2 blocks of 4 words: addresses 8 words apart collide.
+	c := mk(t, Config{Words: 8, Assoc: 1, BlockWords: 4, Policy: StoreIn})
+	c.Access(micro.OpWrite, 0, word.AreaHeap) // miss, fill, dirty
+	if c.WriteBacks != 0 {
+		t.Fatal("premature write-back")
+	}
+	_, stall := c.Access(micro.OpRead, 8, word.AreaHeap) // evicts dirty block 0
+	if c.WriteBacks != 1 {
+		t.Errorf("write-backs = %d", c.WriteBacks)
+	}
+	if stall != BlockTransferNS+MissExtraNS {
+		t.Errorf("eviction stall = %d", stall)
+	}
+	// Clean eviction: read block 0 again (evicts clean block 8).
+	_, stall = c.Access(micro.OpRead, 0, word.AreaHeap)
+	if stall != MissExtraNS {
+		t.Errorf("clean eviction stall = %d", stall)
+	}
+}
+
+func TestWriteStackNoReadIn(t *testing.T) {
+	c := mk(t, Config{Words: 64, Assoc: 2, BlockWords: 4, Policy: StoreIn})
+	hit, stall := c.Access(micro.OpWriteStack, 32, word.AreaLocal)
+	if hit {
+		t.Error("cold write-stack should miss")
+	}
+	if stall != 0 {
+		t.Errorf("write-stack miss should not read the block in, stall=%d", stall)
+	}
+	if c.Fills != 0 {
+		t.Errorf("fills = %d", c.Fills)
+	}
+	// The block is now resident and dirty: a read hits.
+	if hit, _ := c.Access(micro.OpRead, 33, word.AreaLocal); !hit {
+		t.Error("block allocated by write-stack should be resident")
+	}
+}
+
+func TestTwoWayLRU(t *testing.T) {
+	// One row, two ways, block=4: blocks at 0, 8, 16 all map to row 0.
+	c := mk(t, Config{Words: 8, Assoc: 2, BlockWords: 4, Policy: StoreIn})
+	c.Access(micro.OpRead, 0, word.AreaHeap)  // way 0 <- block 0
+	c.Access(micro.OpRead, 8, word.AreaHeap)  // way 1 <- block 1 (MRU)
+	c.Access(micro.OpRead, 0, word.AreaHeap)  // touch block 0 (MRU)
+	c.Access(micro.OpRead, 16, word.AreaHeap) // should evict block 1
+	if hit, _ := c.Access(micro.OpRead, 0, word.AreaHeap); !hit {
+		t.Error("LRU evicted the most recently used block")
+	}
+	if hit, _ := c.Access(micro.OpRead, 8, word.AreaHeap); hit {
+		t.Error("LRU kept the least recently used block")
+	}
+}
+
+func TestStoreThrough(t *testing.T) {
+	c := mk(t, Config{Words: 64, Assoc: 2, BlockWords: 4, Policy: StoreThrough})
+	c.Access(micro.OpRead, 0, word.AreaHeap)
+	_, stall := c.Access(micro.OpWrite, 0, word.AreaHeap)
+	if stall != WriteThroughNS {
+		t.Errorf("store-through write hit should stall for the write buffer, got %d", stall)
+	}
+	if c.WriteThroughs != 1 {
+		t.Errorf("write-throughs = %d", c.WriteThroughs)
+	}
+	if c.WriteBacks != 0 {
+		t.Error("store-through should never write back")
+	}
+}
+
+func TestStoreInFasterThanStoreThrough(t *testing.T) {
+	// A stack-push-heavy synthetic workload.
+	run := func(p Policy) int64 {
+		c := mk(t, Config{Words: 256, Assoc: 2, BlockWords: 4, Policy: p})
+		for rep := 0; rep < 50; rep++ {
+			for a := uint32(0); a < 128; a++ {
+				c.Access(micro.OpWriteStack, a, word.AreaLocal)
+				c.Access(micro.OpRead, a, word.AreaLocal)
+			}
+		}
+		return c.StallNS
+	}
+	if si, st := run(StoreIn), run(StoreThrough); si >= st {
+		t.Errorf("store-in stall %d should be below store-through %d", si, st)
+	}
+}
+
+func TestPerAreaStats(t *testing.T) {
+	c := mk(t, Config{Words: 64, Assoc: 2, BlockWords: 4, Policy: StoreIn})
+	c.Access(micro.OpRead, 0, word.AreaHeap)
+	c.Access(micro.OpRead, 0, word.AreaHeap)
+	c.Access(micro.OpRead, 4096, word.StackArea(0, word.AreaTrail))
+	if c.Area[word.AreaHeap].Accesses != 2 || c.Area[word.AreaHeap].Hits != 1 {
+		t.Errorf("heap stats %+v", c.Area[word.AreaHeap])
+	}
+	if c.Area[word.AreaTrail].Accesses != 1 {
+		t.Errorf("trail stats %+v", c.Area[word.AreaTrail])
+	}
+	if got := c.Area[word.AreaGlobal].HitRatio(); got != 1 {
+		t.Errorf("idle area hit ratio = %v", got)
+	}
+}
+
+func TestLargerCacheNeverWorse(t *testing.T) {
+	// Property: on any trace, a larger cache with the same geometry family
+	// has an equal or better hit count (inclusion holds for this LRU
+	// indexing when doubling rows... checked empirically here).
+	r := rand.New(rand.NewSource(42))
+	trace := make([]uint32, 20000)
+	loc := uint32(0)
+	for i := range trace {
+		switch r.Intn(4) {
+		case 0:
+			loc = uint32(r.Intn(1 << 14))
+		default:
+			loc += uint32(r.Intn(8)) - 3
+		}
+		trace[i] = loc & 0x3fff
+	}
+	var prev int64 = -1
+	for _, words := range []int{32, 128, 512, 2048, 8192} {
+		c := mk(t, Config{Words: words, Assoc: 2, BlockWords: 4, Policy: StoreIn})
+		for _, a := range trace {
+			c.Access(micro.OpRead, a, word.AreaHeap)
+		}
+		if c.Total.Hits < prev {
+			t.Errorf("cache %dw has fewer hits (%d) than smaller cache (%d)", words, c.Total.Hits, prev)
+		}
+		prev = c.Total.Hits
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mk(t, Config{Words: 64, Assoc: 2, BlockWords: 4, Policy: StoreIn})
+	c.Access(micro.OpWrite, 0, word.AreaHeap)
+	c.Reset()
+	if c.Total.Accesses != 0 || c.StallNS != 0 {
+		t.Error("reset incomplete")
+	}
+	if hit, _ := c.Access(micro.OpRead, 0, word.AreaHeap); hit {
+		t.Error("reset should invalidate contents")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if PSI.String() == "" || StoreIn.String() != "store-in" || StoreThrough.String() != "store-through" {
+		t.Error("string forms")
+	}
+}
+
+// Reference model: fully associative map-based cache with the same block
+// size, used to cross-check hit behaviour of a cache large enough that
+// conflicts cannot occur.
+func TestAgainstReferenceModel(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	c := mk(t, Config{Words: 1 << 16, Assoc: 2, BlockWords: 4, Policy: StoreIn})
+	ref := map[uint32]bool{}
+	for i := 0; i < 50000; i++ {
+		a := uint32(r.Intn(1 << 12)) // working set fits: no evictions
+		hit, _ := c.Access(micro.OpRead, a, word.AreaHeap)
+		if hit != ref[a>>2] {
+			t.Fatalf("access %d addr %d: cache hit=%v ref=%v", i, a, hit, ref[a>>2])
+		}
+		ref[a>>2] = true
+	}
+}

@@ -1,0 +1,732 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kl0"
+	"repro/internal/micro"
+	"repro/internal/word"
+)
+
+// builtinDepth gives the fixed microcode body length of each built-in,
+// beyond the dynamic work its implementation charges: the PSI executes
+// built-ins entirely in firmware, with type dispatch, range checks and
+// descriptor handling around the core operation.
+var builtinDepth = [kl0.NumBuiltins]int{
+	kl0.BUnify:     1,
+	kl0.BNotUnify:  6,
+	kl0.BEqEq:      12,
+	kl0.BNotEqEq:   12,
+	kl0.BVar:       1,
+	kl0.BNonvar:    1,
+	kl0.BAtom:      1,
+	kl0.BInteger:   1,
+	kl0.BAtomic:    1,
+	kl0.BIs:        3,
+	kl0.BArithEq:   2,
+	kl0.BArithNe:   2,
+	kl0.BLess:      2,
+	kl0.BLessEq:    2,
+	kl0.BGreater:   2,
+	kl0.BGreaterEq: 2,
+	kl0.BFunctor:   20,
+	kl0.BArg:       16,
+	kl0.BUniv:      20,
+	kl0.BCall:      4,
+	kl0.BWrite:     4,
+	kl0.BNl:        1,
+	kl0.BTab:       1,
+	kl0.BVector:    3,
+	kl0.BVset:      4,
+	kl0.BVref:      4,
+	kl0.BFindall:   12,
+	kl0.BName:      10,
+	kl0.BCompare:   10,
+	kl0.BTermLess:  8,
+	kl0.BTermLeq:   8,
+	kl0.BTermGtr:   8,
+	kl0.BTermGeq:   8,
+}
+
+// execBuiltin runs one built-in call. The builtin word has been fetched;
+// arguments start at ctx.code+1. On entry ctx.code points at the builtin
+// word; on success it advances past the arguments. On failure the failed
+// flag is set.
+func (m *Machine) execBuiltin(bi kl0.Builtin, arity int) {
+	ctx := m.ctx
+	gAddr := ctx.code
+	after := gAddr.Add(1 + arity)
+
+	// Argument fetch (the get_arg module of the firmware): load the code
+	// word, resolve it, and stage the value into an argument register.
+	args := make([]val, arity)
+	for i := 0; i < arity; i++ {
+		aw := m.read(micro.MGetArg, gAddr.Add(1+i), micro.Cycle{Dest: micro.ModeWF10, Branch: micro.BGoto2})
+		args[i] = m.resolveArg(micro.MGetArg, aw, ctx.lf, ctx.gf)
+		m.alu(micro.MGetArg, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF10, Branch: micro.BCond, Data: true})
+	}
+	// Fixed body work of the built-in's microcode routine, bracketed by
+	// the subroutine entry and exit.
+	if int(bi) < len(builtinDepth) {
+		n := builtinDepth[bi]
+		for i := 0; i < n; i++ {
+			br := micro.BCond
+			if i == 0 {
+				br = micro.BGosub
+			} else if i == n-1 {
+				br = micro.BReturn
+			}
+			m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF10, Src2: micro.ModeWF00, Dest: micro.ModeWF10, Branch: br, Data: true})
+		}
+	}
+
+	if bi == kl0.BCall {
+		m.metacall(gAddr, after, args[0], 0, false)
+		return // the metacall set up the continuation itself
+	}
+	ok, done := m.runBuiltin(bi, args)
+	if done {
+		return
+	}
+	if !ok {
+		m.failed = true
+		return
+	}
+	ctx.code = after
+}
+
+// runBuiltin executes a deterministic built-in over resolved argument
+// values; done=true means the machine state was finalized inside (halt).
+func (m *Machine) runBuiltin(bi kl0.Builtin, args []val) (ok, done bool) {
+	ok = true
+	switch bi {
+	case kl0.BTrue:
+		m.alu(micro.MBuilt, micro.Cycle{Branch: micro.BGoto2})
+	case kl0.BFail:
+		m.alu(micro.MBuilt, micro.Cycle{Branch: micro.BGoto2})
+		ok = false
+	case kl0.BUnify:
+		ok = m.unify(args[0], args[1])
+	case kl0.BNotUnify:
+		ok = m.checkNotUnify(args[0], args[1])
+	case kl0.BEqEq:
+		ok = m.identical(args[0], args[1])
+	case kl0.BNotEqEq:
+		ok = !m.identical(args[0], args[1])
+	case kl0.BVar, kl0.BNonvar, kl0.BAtom, kl0.BInteger, kl0.BAtomic:
+		ok = m.typeCheck(bi, args[0])
+	case kl0.BIs:
+		v, err := m.eval(args[1])
+		if err != nil {
+			panic(err)
+		}
+		ok = m.unify(args[0], val{W: word.Int32(v)})
+	case kl0.BArithEq, kl0.BArithNe, kl0.BLess, kl0.BLessEq, kl0.BGreater, kl0.BGreaterEq:
+		x, err := m.eval(args[0])
+		if err != nil {
+			panic(err)
+		}
+		y, err := m.eval(args[1])
+		if err != nil {
+			panic(err)
+		}
+		m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF10, Src2: micro.ModeWF00, Branch: micro.BCond, Data: true})
+		switch bi {
+		case kl0.BArithEq:
+			ok = x == y
+		case kl0.BArithNe:
+			ok = x != y
+		case kl0.BLess:
+			ok = x < y
+		case kl0.BLessEq:
+			ok = x <= y
+		case kl0.BGreater:
+			ok = x > y
+		default:
+			ok = x >= y
+		}
+	case kl0.BFunctor:
+		ok = m.biFunctor(args)
+	case kl0.BArg:
+		ok = m.biArg(args)
+	case kl0.BUniv:
+		ok = m.biUniv(args)
+	case kl0.BWrite:
+		m.writeTerm(args[0])
+	case kl0.BNl:
+		m.alu(micro.MBuilt, micro.Cycle{Branch: micro.BGosub})
+		fmt.Fprintln(m.out)
+	case kl0.BTab:
+		n, err := m.eval(args[0])
+		if err != nil {
+			panic(err)
+		}
+		for i := int32(0); i < n; i++ {
+			fmt.Fprint(m.out, " ")
+		}
+		m.alu(micro.MBuilt, micro.Cycle{Branch: micro.BGosub})
+	case kl0.BHalt:
+		m.halted = true
+		return false, true
+	case kl0.BVector:
+		ok = m.biVector(args)
+	case kl0.BVset:
+		ok = m.biVset(args)
+	case kl0.BVref:
+		ok = m.biVref(args)
+	case kl0.BInterrupt:
+		m.runInterruptNested()
+	case kl0.BFindall:
+		ok = m.biFindall(args)
+	case kl0.BAssertz:
+		ok = m.biAssertz(args)
+	case kl0.BRetract:
+		ok = m.biRetract(args)
+	case kl0.BName:
+		ok = m.biName(args)
+	case kl0.BCompare:
+		ok = m.unify(args[0], m.orderAtomFor(m.compareTerms(args[1], args[2])))
+	case kl0.BTermLess:
+		ok = m.compareTerms(args[0], args[1]) < 0
+	case kl0.BTermLeq:
+		ok = m.compareTerms(args[0], args[1]) <= 0
+	case kl0.BTermGtr:
+		ok = m.compareTerms(args[0], args[1]) > 0
+	case kl0.BTermGeq:
+		ok = m.compareTerms(args[0], args[1]) >= 0
+	default:
+		panic(&RunError{Msg: fmt.Sprintf("unimplemented builtin %v", bi)})
+	}
+	return ok, false
+}
+
+// typeCheck implements var/nonvar/atom/integer/atomic.
+func (m *Machine) typeCheck(bi kl0.Builtin, v val) bool {
+	m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BIfTag, Data: true})
+	switch bi {
+	case kl0.BVar:
+		return v.isUnbound()
+	case kl0.BNonvar:
+		return !v.isUnbound()
+	case kl0.BAtom:
+		return v.W.Tag() == word.TagAtom || v.W.Tag() == word.TagNil
+	case kl0.BInteger:
+		return v.W.Tag() == word.TagInt
+	default: // atomic
+		return v.W.IsConst()
+	}
+}
+
+// checkNotUnify implements \=/2 by attempting unification and undoing it.
+func (m *Machine) checkNotUnify(x, y val) bool {
+	mark := m.trailDepth()
+	// A virtual choice point: make every binding trailable.
+	savedL, savedG := m.ctx.lMark, m.ctx.gMark
+	savedB := m.ctx.b
+	m.ctx.lMark = m.ctx.localTop
+	m.ctx.gMark = m.ctx.globalTop
+	if m.ctx.b == 0 {
+		m.ctx.b = word.MakeAddr(m.ctx.control, m.ctx.controlTop)
+	}
+	ok := m.unify(x, y)
+	m.trailUnwind(mark)
+	m.ctx.b = savedB
+	m.ctx.lMark, m.ctx.gMark = savedL, savedG
+	return !ok
+}
+
+// identical implements ==/2: structural identity without binding.
+func (m *Machine) identical(x, y val) bool {
+	m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BCaseTag, Data: true})
+	if x.isUnbound() || y.isUnbound() {
+		return x.isUnbound() && y.isUnbound() && x.Addr == y.Addr
+	}
+	if x.W.Tag() != y.W.Tag() {
+		return false
+	}
+	switch x.W.Tag() {
+	case word.TagAtom, word.TagInt, word.TagVec:
+		return x.W.Data() == y.W.Data()
+	case word.TagNil:
+		return true
+	case word.TagSkel:
+		if x.W.Addr() == y.W.Addr() && x.Frame == y.Frame {
+			return true
+		}
+		fx := m.read(micro.MBuilt, x.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+		fy := m.read(micro.MBuilt, y.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+		if fx != fy {
+			return false
+		}
+		for i := 1; i <= fx.FuncArity(); i++ {
+			ax := m.read(micro.MBuilt, x.W.Addr().Add(i), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+			ay := m.read(micro.MBuilt, y.W.Addr().Add(i), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+			if !m.identical(m.resolveSkelArg(micro.MBuilt, ax, x.Frame), m.resolveSkelArg(micro.MBuilt, ay, y.Frame)) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// eval computes an arithmetic expression value.
+func (m *Machine) eval(v val) (int32, error) {
+	m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCaseTag, Data: true})
+	switch v.W.Tag() {
+	case word.TagInt:
+		return v.W.Int(), nil
+	case word.TagUndef:
+		return 0, &RunError{Msg: "is/2: unbound variable in arithmetic expression"}
+	case word.TagSkel:
+		f := m.read(micro.MBuilt, v.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCaseOp, Data: true})
+		name := m.prog.Syms.Name(f.FuncSym())
+		arity := f.FuncArity()
+		var xs [2]int32
+		if arity > 2 {
+			return 0, &RunError{Msg: fmt.Sprintf("is/2: unknown function %s/%d", name, arity)}
+		}
+		for i := 0; i < arity; i++ {
+			aw := m.read(micro.MBuilt, v.W.Addr().Add(1+i), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+			x, err := m.eval(m.resolveSkelArg(micro.MBuilt, aw, v.Frame))
+			if err != nil {
+				return 0, err
+			}
+			xs[i] = x
+		}
+		m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF10, Src2: micro.ModeWF00, Dest: micro.ModeWF10, Branch: micro.BNop1, Data: true})
+		switch {
+		case name == "+" && arity == 2:
+			return xs[0] + xs[1], nil
+		case name == "-" && arity == 2:
+			return xs[0] - xs[1], nil
+		case name == "-" && arity == 1:
+			return -xs[0], nil
+		case name == "+" && arity == 1:
+			return xs[0], nil
+		case name == "*" && arity == 2:
+			return xs[0] * xs[1], nil
+		case (name == "//" || name == "/") && arity == 2:
+			if xs[1] == 0 {
+				return 0, &RunError{Msg: "is/2: division by zero"}
+			}
+			return xs[0] / xs[1], nil
+		case name == "mod" && arity == 2:
+			if xs[1] == 0 {
+				return 0, &RunError{Msg: "is/2: modulo by zero"}
+			}
+			r := xs[0] % xs[1]
+			if r != 0 && (r < 0) != (xs[1] < 0) {
+				r += xs[1]
+			}
+			return r, nil
+		case name == "abs" && arity == 1:
+			if xs[0] < 0 {
+				return -xs[0], nil
+			}
+			return xs[0], nil
+		case name == "min" && arity == 2:
+			if xs[0] < xs[1] {
+				return xs[0], nil
+			}
+			return xs[1], nil
+		case name == "max" && arity == 2:
+			if xs[0] > xs[1] {
+				return xs[0], nil
+			}
+			return xs[1], nil
+		}
+		return 0, &RunError{Msg: fmt.Sprintf("is/2: unknown function %s/%d", name, arity)}
+	default:
+		return 0, &RunError{Msg: fmt.Sprintf("is/2: cannot evaluate %v", v.W)}
+	}
+}
+
+// makeSkeleton builds a runtime skeleton in the heap whose n argument
+// slots are fresh global variables, returning the compound value and the
+// frame holding the argument cells. Used by functor/3 and =../2, which
+// must construct terms the compiler never saw.
+func (m *Machine) makeSkeleton(sym uint32, n int) (val, word.Addr) {
+	ctx := m.ctx
+	base := m.heapTop
+	m.heapTop += uint32(n + 1)
+	fa := word.MakeAddr(word.AreaHeap, base)
+	m.write(micro.MBuilt, fa, word.Functor(sym, n), micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BNop2, Data: true})
+	for i := 0; i < n; i++ {
+		m.write(micro.MBuilt, fa.Add(1+i), word.New(word.TagGlobal, uint32(i)), micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BNop2, Data: true})
+	}
+	frame := word.MakeAddr(ctx.global, ctx.globalTop)
+	for i := 0; i < n; i++ {
+		m.pushGlobal(micro.MBuilt, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BNop2, Data: true})
+	}
+	return val{W: word.Skel(fa), Frame: frame}, frame
+}
+
+// biFunctor implements functor/3.
+func (m *Machine) biFunctor(args []val) bool {
+	t := args[0]
+	if !t.isUnbound() {
+		var nameV val
+		var arity int
+		switch t.W.Tag() {
+		case word.TagSkel:
+			f := m.read(micro.MBuilt, t.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+			nameV = val{W: word.Atom(f.FuncSym())}
+			arity = f.FuncArity()
+		default:
+			nameV = val{W: t.W}
+		}
+		return m.unify(args[1], nameV) && m.unify(args[2], val{W: word.Int32(int32(arity))})
+	}
+	// Construction direction.
+	name := m.derefVal(micro.MBuilt, args[1])
+	nv := m.derefVal(micro.MBuilt, args[2])
+	if nv.W.Tag() != word.TagInt {
+		panic(&RunError{Msg: "functor/3: arity must be an integer"})
+	}
+	n := int(nv.W.Int())
+	if n < 0 || n > kl0.MaxArity {
+		panic(&RunError{Msg: fmt.Sprintf("functor/3: arity %d out of range", n)})
+	}
+	if n == 0 {
+		return m.unify(t, val{W: name.W})
+	}
+	if name.W.Tag() != word.TagAtom && !(name.W.Tag() == word.TagNil) {
+		panic(&RunError{Msg: "functor/3: name must be an atom"})
+	}
+	sym := name.W.Data()
+	if name.W.Tag() == word.TagNil {
+		sym = 0 // '[]'
+	}
+	sk, _ := m.makeSkeleton(sym, n)
+	return m.unify(t, sk)
+}
+
+// biArg implements arg/3.
+func (m *Machine) biArg(args []val) bool {
+	nv := args[0]
+	t := args[1]
+	if nv.W.Tag() != word.TagInt || t.W.Tag() != word.TagSkel {
+		m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCondNot})
+		return false
+	}
+	f := m.read(micro.MBuilt, t.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+	n := int(nv.W.Int())
+	if n < 1 || n > f.FuncArity() {
+		return false
+	}
+	aw := m.read(micro.MBuilt, t.W.Addr().Add(n), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+	return m.unify(m.resolveSkelArg(micro.MBuilt, aw, t.Frame), args[2])
+}
+
+// biUniv implements =../2 in both directions.
+func (m *Machine) biUniv(args []val) bool {
+	t := args[0]
+	if !t.isUnbound() {
+		// Decompose: T =.. [Name|Args].
+		var elems []val
+		switch t.W.Tag() {
+		case word.TagSkel:
+			f := m.read(micro.MBuilt, t.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+			elems = append(elems, val{W: word.Atom(f.FuncSym())})
+			for i := 1; i <= f.FuncArity(); i++ {
+				aw := m.read(micro.MBuilt, t.W.Addr().Add(i), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+				elems = append(elems, m.resolveSkelArg(micro.MBuilt, aw, t.Frame))
+			}
+		default:
+			elems = []val{{W: t.W}}
+		}
+		return m.unify(args[1], m.makeList(elems))
+	}
+	// Construct: T =.. [Name|Args].
+	elems, ok := m.listVals(args[1])
+	if !ok || len(elems) == 0 {
+		panic(&RunError{Msg: "=../2: second argument must be a proper non-empty list"})
+	}
+	head := elems[0]
+	rest := elems[1:]
+	if len(rest) == 0 {
+		return m.unify(t, head)
+	}
+	if head.W.Tag() != word.TagAtom {
+		panic(&RunError{Msg: "=../2: functor must be an atom"})
+	}
+	if len(rest) > kl0.MaxArity {
+		panic(&RunError{Msg: "=../2: arity too large"})
+	}
+	sk, frame := m.makeSkeleton(head.W.Data(), len(rest))
+	for i, v := range rest {
+		cell := frame.Add(i)
+		m.bind(micro.MBuilt, cell, v)
+	}
+	return m.unify(t, sk)
+}
+
+// makeList builds a runtime list value from element values.
+func (m *Machine) makeList(elems []val) val {
+	if len(elems) == 0 {
+		return val{W: word.Nil}
+	}
+	// One skeleton per cons cell: '.'(Global0, Global1) where Global0 is
+	// the element and Global1 the tail.
+	sk, frame := m.makeSkeleton(1 /* '.' */, 2)
+	m.bind(micro.MBuilt, frame, elems[0])
+	m.bind(micro.MBuilt, frame.Add(1), m.makeList(elems[1:]))
+	return sk
+}
+
+// listVals flattens a runtime proper list into element values.
+func (m *Machine) listVals(v val) ([]val, bool) {
+	var elems []val
+	for {
+		m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCaseTag, Data: true})
+		switch v.W.Tag() {
+		case word.TagNil:
+			return elems, true
+		case word.TagSkel:
+			f := m.read(micro.MBuilt, v.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+			if f.FuncSym() != 1 || f.FuncArity() != 2 {
+				return nil, false
+			}
+			hw := m.read(micro.MBuilt, v.W.Addr().Add(1), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+			elems = append(elems, m.resolveSkelArg(micro.MBuilt, hw, v.Frame))
+			tw := m.read(micro.MBuilt, v.W.Addr().Add(2), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+			v = m.resolveSkelArg(micro.MBuilt, tw, v.Frame)
+		default:
+			return nil, false
+		}
+	}
+}
+
+// ---- heap vectors (ESP-style rewritable object state) ------------------
+
+// biVector implements vector(V, N): allocate a heap vector.
+func (m *Machine) biVector(args []val) bool {
+	nv := m.derefVal(micro.MBuilt, args[1])
+	if nv.W.Tag() != word.TagInt || nv.W.Int() < 0 {
+		panic(&RunError{Msg: "vector/2: size must be a non-negative integer"})
+	}
+	n := nv.W.Int()
+	base := m.heapTop
+	m.heapTop += uint32(n) + 1
+	va := word.MakeAddr(word.AreaHeap, base)
+	m.write(micro.MBuilt, va, word.Int32(n), micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BNop2, Data: true})
+	for i := int32(0); i < n; i++ {
+		m.write(micro.MBuilt, va.Add(int(i)+1), word.Nil, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BNop2, Data: true})
+	}
+	return m.unify(args[0], val{W: word.New(word.TagVec, uint32(va))})
+}
+
+// vecSlot validates a vector access and returns the cell address.
+func (m *Machine) vecSlot(v, iv val) word.Addr {
+	if v.W.Tag() != word.TagVec {
+		panic(&RunError{Msg: "vector operation on non-vector"})
+	}
+	if iv.W.Tag() != word.TagInt {
+		panic(&RunError{Msg: "vector index must be an integer"})
+	}
+	va := v.W.Addr()
+	n := m.read(micro.MBuilt, va, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2}).Int()
+	i := iv.W.Int()
+	if i < 0 || i >= n {
+		panic(&RunError{Msg: fmt.Sprintf("vector index %d out of range [0,%d)", i, n)})
+	}
+	return va.Add(int(i) + 1)
+}
+
+// biVset implements vset(V, I, X): destructive, non-backtrackable store
+// of an atomic value (ESP instance-slot semantics).
+func (m *Machine) biVset(args []val) bool {
+	x := args[2]
+	if !x.W.IsConst() && x.W.Tag() != word.TagVec {
+		panic(&RunError{Msg: "vset/3: heap vectors store atomic values and vector references only"})
+	}
+	slot := m.vecSlot(args[0], args[1])
+	m.write(micro.MBuilt, slot, x.W, micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BNop2, Data: true})
+	return true
+}
+
+// biVref implements vref(V, I, X).
+func (m *Machine) biVref(args []val) bool {
+	slot := m.vecSlot(args[0], args[1])
+	w := m.read(micro.MBuilt, slot, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+	return m.unify(args[2], val{W: w})
+}
+
+// ---- metacall -----------------------------------------------------------
+
+// metacall implements call/1: resolve the goal value to a procedure and
+// dispatch it. Choice points created for the callee record the call/1
+// instruction itself, so the redo path re-resolves the goal.
+func (m *Machine) metacall(gAddr, after word.Addr, g val, startClause int, cpExists bool) {
+	if startClause == 0 && !cpExists {
+		m.inferences++
+	}
+	var sym uint32
+	var args []val
+	switch g.W.Tag() {
+	case word.TagAtom:
+		sym = g.W.Data()
+	case word.TagNil:
+		sym = 0
+	case word.TagSkel:
+		f := m.read(micro.MBuilt, g.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCaseOp, Data: true})
+		sym = f.FuncSym()
+		args = make([]val, f.FuncArity())
+		for i := range args {
+			aw := m.read(micro.MGetArg, g.W.Addr().Add(1+i), micro.Cycle{Dest: micro.ModeWF10, Branch: micro.BNop2})
+			args[i] = m.resolveSkelArg(micro.MGetArg, aw, g.Frame)
+		}
+	case word.TagUndef:
+		panic(&RunError{Msg: "call/1: unbound goal"})
+	default:
+		panic(&RunError{Msg: fmt.Sprintf("call/1: goal is not callable: %v", g.W)})
+	}
+	name := m.prog.Syms.Name(sym)
+	// Control constructs in metacall position.
+	if name == "," && len(args) == 2 {
+		m.metaConjunction(after, args[0], args[1])
+		return
+	}
+	if name == `\+` && len(args) == 1 {
+		if m.metaNegation(args[0]) {
+			m.ctx.code = after
+		} else {
+			m.failed = true
+		}
+		return
+	}
+	if bi, ok := kl0.LookupBuiltin(name, len(args)); ok {
+		m.metaBuiltin(bi, after, args)
+		return
+	}
+	procIdx, ok := m.prog.LookupProcSym(sym, len(args))
+	if !ok {
+		panic(&RunError{Msg: fmt.Sprintf("call/1: undefined predicate %s/%d (note: ;/2 and ->/2 are compile-time constructs; in metacall position only ','/2 and \\+/1 are interpreted)", name, len(args))})
+	}
+	m.dispatchCall(procIdx, gAddr, after, args, startClause, cpExists)
+}
+
+// metaConjunction executes ','(A, B) in metacall position: a dynamic
+// code stub sequences two further metacalls under a fresh environment
+// whose continuation is the original one.
+func (m *Machine) metaConjunction(after word.Addr, a, b val) {
+	ctx := m.ctx
+	// Park the two goal values in a fresh global frame.
+	frame := m.pushGlobal(micro.MBuilt, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BNop2, Data: true})
+	m.pushGlobal(micro.MBuilt, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BNop2, Data: true})
+	m.bind(micro.MBuilt, frame, a)
+	m.bind(micro.MBuilt, frame.Add(1), b)
+	// Emit the stub: call(G0), call(G1).
+	stub := m.heapTop
+	m.heapTop += 5
+	put := func(off int, w word.Word) {
+		m.mem.Write(word.MakeAddr(word.AreaHeap, stub+uint32(off)), w)
+	}
+	put(0, word.New(word.TagBuiltin, uint32(kl0.BCall)<<8|1))
+	put(1, word.New(word.TagGlobal, 0))
+	put(2, word.New(word.TagBuiltin, uint32(kl0.BCall)<<8|1))
+	put(3, word.New(word.TagGlobal, 1))
+	put(4, word.New(word.TagEnd, 0))
+	// Environment returning to the original continuation.
+	env := [ctrlFrameWords]word.Word{
+		envContCode:   word.New(word.TagRef, uint32(after)),
+		envContEnv:    word.New(word.TagRef, uint32(ctx.e)),
+		envContLF:     word.New(word.TagRef, uint32(ctx.lf)),
+		envContGF:     word.New(word.TagRef, uint32(ctx.gf)),
+		envCutBarrier: word.New(word.TagRef, uint32(ctx.b)),
+		envLFBase:     word.New(word.TagRef, ctx.localTop),
+	}
+	e := m.pushCtrlFrame(&ctx.envBuf, &env)
+	ctx.e = e
+	ctx.lf = 0
+	ctx.gf = frame
+	ctx.code = word.MakeAddr(word.AreaHeap, stub)
+}
+
+// metaNegation implements \+/1 in metacall position through a bounded
+// sub-execution whose bindings are undone.
+func (m *Machine) metaNegation(goal val) bool {
+	found := false
+	m.subSolve(goal, func() bool {
+		found = true
+		return false // one solution is enough
+	})
+	return !found
+}
+
+// metaBuiltin executes a built-in reached through call/1.
+func (m *Machine) metaBuiltin(bi kl0.Builtin, after word.Addr, args []val) {
+	if bi == kl0.BCall {
+		if len(args) != 1 {
+			panic(&RunError{Msg: "call/1: bad metacall arity"})
+		}
+		m.metacall(m.ctx.code, after, m.derefVal(micro.MBuilt, args[0]), 0, false)
+		return
+	}
+	ok, done := m.runBuiltin(bi, args)
+	if done {
+		return
+	}
+	if ok {
+		m.ctx.code = after
+	} else {
+		m.failed = true
+	}
+}
+
+// redoMetacall is the backtracking path into a metacall's choice point.
+func (m *Machine) redoMetacall(gAddr word.Addr, next int, cpKept bool) {
+	// Re-fetch and re-resolve the goal argument.
+	aw := m.read(micro.MGetArg, gAddr.Add(1), micro.Cycle{Dest: micro.ModeWF10, Branch: micro.BNop2})
+	g := m.resolveArg(micro.MGetArg, aw, m.ctx.lf, m.ctx.gf)
+	m.metacall(gAddr, gAddr.Add(2), g, next, cpKept)
+}
+
+// runInterruptNested executes the installed interrupt handler to
+// completion on its own process context, modelling the PSI's
+// interrupt-handling processes. The work-file buffers are flushed across
+// the switch: the hardware has only one register file.
+func (m *Machine) runInterruptNested() {
+	if m.intrQuery == nil {
+		return
+	}
+	// Context switch out. The work file is shared hardware, so the
+	// outgoing process's frame and trail buffers must be saved.
+	m.flushBuffers()
+	savedCur := m.cur
+	savedFailed := m.failed
+	m.cur = m.intrProcess
+	m.ctx = &m.ctxs[m.intrProcess]
+	m.failed = false
+	// The handler starts a fresh computation on its (persistent) stacks:
+	// discard any choice points left from its previous activation.
+	m.ctx.b = 0
+	m.ctx.lMark = 0
+	m.ctx.gMark = 0
+	// Process-switch overhead.
+	for i := 0; i < 8; i++ {
+		m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF10, Branch: micro.BGosub, Data: true})
+	}
+
+	m.startQuery(m.intrQuery)
+	ok := m.runLoop()
+
+	// Context switch back.
+	m.flushBuffers()
+	m.cur = savedCur
+	m.ctx = &m.ctxs[savedCur]
+	m.failed = savedFailed
+	for i := 0; i < 8; i++ {
+		m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF10, Branch: micro.BReturn, Data: true})
+	}
+	if !ok {
+		panic(&RunError{Msg: "interrupt handler failed"})
+	}
+}
+
+// writeTerm prints a runtime value (write/1).
+func (m *Machine) writeTerm(v val) {
+	m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BGosub, Data: true})
+	fmt.Fprint(m.out, m.decodeVal(v, true).String())
+}

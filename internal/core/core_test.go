@@ -1,0 +1,530 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kl0"
+	"repro/internal/parse"
+	"repro/internal/term"
+)
+
+// mk builds a machine from program source.
+func mk(t *testing.T, src string) *Machine {
+	t.Helper()
+	prog := kl0.NewProgram(nil)
+	if src != "" {
+		cs, err := parse.Clauses("test", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prog.AddClauses(cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(prog, Config{MaxSteps: 200_000_000})
+}
+
+// solveAll collects every answer for one variable of interest (or all).
+func solveAll(t *testing.T, m *Machine, query string, limit int) []map[string]*term.Term {
+	t.Helper()
+	sols, err := m.Solve(query)
+	if err != nil {
+		t.Fatalf("Solve(%q): %v", query, err)
+	}
+	var out []map[string]*term.Term
+	for len(out) < limit {
+		ans, ok := sols.Next()
+		if !ok {
+			break
+		}
+		out = append(out, ans)
+	}
+	if sols.Err() != nil {
+		t.Fatalf("Solve(%q): %v", query, sols.Err())
+	}
+	return out
+}
+
+// answers formats one variable across all solutions.
+func answers(t *testing.T, m *Machine, query, v string, limit int) []string {
+	t.Helper()
+	var out []string
+	for _, ans := range solveAll(t, m, query, limit) {
+		out = append(out, ans[v].String())
+	}
+	return out
+}
+
+func expectAnswers(t *testing.T, src, query, v string, want ...string) {
+	t.Helper()
+	m := mk(t, src)
+	got := answers(t, m, query, v, len(want)+5)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d answers %v, want %v", query, len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: answer %d = %s, want %s", query, i, got[i], want[i])
+		}
+	}
+}
+
+func expectTrue(t *testing.T, src, query string) {
+	t.Helper()
+	m := mk(t, src)
+	if got := solveAll(t, m, query, 1); len(got) != 1 {
+		t.Fatalf("%s should succeed", query)
+	}
+}
+
+func expectFail(t *testing.T, src, query string) {
+	t.Helper()
+	m := mk(t, src)
+	if got := solveAll(t, m, query, 1); len(got) != 0 {
+		t.Fatalf("%s should fail, got %v", query, got)
+	}
+}
+
+func TestFacts(t *testing.T) {
+	expectAnswers(t, "likes(mary, wine). likes(john, beer).",
+		"likes(mary, X)", "X", "wine")
+	expectAnswers(t, "likes(mary, wine). likes(john, beer).",
+		"likes(P, _)", "P", "mary", "john")
+	expectFail(t, "likes(mary, wine).", "likes(mary, beer)")
+}
+
+func TestConjunction(t *testing.T) {
+	expectAnswers(t, `
+parent(tom, bob). parent(bob, ann). parent(bob, pat).
+grand(X, Z) :- parent(X, Y), parent(Y, Z).
+`, "grand(tom, G)", "G", "ann", "pat")
+}
+
+func TestUnificationMatrix(t *testing.T) {
+	src := "eq(X, X)."
+	expectTrue(t, src, "eq(a, a)")
+	expectFail(t, src, "eq(a, b)")
+	expectTrue(t, src, "eq(42, 42)")
+	expectFail(t, src, "eq(42, 43)")
+	expectFail(t, src, "eq(a, 42)")
+	expectTrue(t, src, "eq([], [])")
+	expectTrue(t, src, "eq(f(a, g(B)), f(a, g(b)))")
+	expectFail(t, src, "eq(f(a), f(a, b))")
+	expectFail(t, src, "eq(f(a), g(a))")
+	expectAnswers(t, src, "eq(X, f(Y)), eq(Y, 3)", "X", "f(3)")
+	// var-var aliasing then binding
+	expectAnswers(t, src, "eq(X, Y), eq(Y, hello)", "X", "hello")
+}
+
+func TestStructureSharingDeep(t *testing.T) {
+	expectAnswers(t, "eq(X, X).",
+		"eq(f(g(h(A)), [1, A, 2]), f(g(h(z)), L))", "L", "[1,z,2]")
+}
+
+func TestListsAppend(t *testing.T) {
+	src := `
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+`
+	expectAnswers(t, src, "append([1,2], [3], X)", "X", "[1,2,3]")
+	expectAnswers(t, src, "append(X, [3], [1,2,3])", "X", "[1,2]")
+	m := mk(t, src)
+	got := answers(t, m, "append(X, Y, [1,2])", "X", 10)
+	if len(got) != 3 {
+		t.Fatalf("append split: %v", got)
+	}
+}
+
+func TestNaiveReverse(t *testing.T) {
+	src := `
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+`
+	expectAnswers(t, src, "nrev([1,2,3,4,5], R)", "R", "[5,4,3,2,1]")
+}
+
+func TestBacktrackingRestoresBindings(t *testing.T) {
+	src := `
+choice(1). choice(2). choice(3).
+pick(X) :- choice(X), X > 1.
+`
+	expectAnswers(t, src, "pick(X)", "X", "2", "3")
+}
+
+func TestDeepBacktracking(t *testing.T) {
+	src := `
+d(1). d(2). d(3). d(4).
+quad(A, B, C, D) :- d(A), d(B), d(C), d(D), A > B, B > C, C > D.
+`
+	expectAnswers(t, src, "quad(A, B, C, D)", "A", "4")
+}
+
+func TestCut(t *testing.T) {
+	src := `
+max(X, Y, X) :- X >= Y, !.
+max(_, Y, Y).
+`
+	expectAnswers(t, src, "max(3, 7, M)", "M", "7")
+	expectAnswers(t, src, "max(9, 7, M)", "M", "9")
+	// cut must remove the alternative clause
+	m := mk(t, src)
+	if got := answers(t, m, "max(9, 7, M)", "M", 5); len(got) != 1 {
+		t.Fatalf("cut left alternatives: %v", got)
+	}
+}
+
+func TestCutScope(t *testing.T) {
+	src := `
+a(1). a(2).
+b(1). b(2).
+p(X, Y) :- a(X), once_b(Y).
+once_b(Y) :- b(Y), !.
+`
+	m := mk(t, src)
+	got := answers(t, m, "p(X, Y)", "X", 10)
+	// cut inside once_b must not cut a/1's alternatives
+	if len(got) != 2 {
+		t.Fatalf("cut scope wrong: %v", got)
+	}
+}
+
+func TestNegation(t *testing.T) {
+	src := `
+man(socrates).
+mortal(X) :- man(X).
+`
+	expectTrue(t, src, "\\+ man(zeus)")
+	expectFail(t, src, "\\+ man(socrates)")
+	expectTrue(t, src, "\\+ \\+ man(socrates)")
+	// negation must not leave bindings
+	expectAnswers(t, src+"unbound_ok(X) :- \\+ man(X), X = still_unbound.\n"+
+		"test(X) :- \\+ \\+ (X = bound_inside), X = after.\n",
+		"test(X)", "X", "after")
+}
+
+func TestIfThenElse(t *testing.T) {
+	src := `
+classify(X, neg) :- (X < 0 -> true ; fail).
+sign(X, S) :- (X < 0 -> S = minus ; X > 0 -> S = plus ; S = zero).
+`
+	expectAnswers(t, src, "sign(-5, S)", "S", "minus")
+	expectAnswers(t, src, "sign(5, S)", "S", "plus")
+	expectAnswers(t, src, "sign(0, S)", "S", "zero")
+	// condition is committed: only one solution
+	m := mk(t, src)
+	if got := answers(t, m, "sign(-1, S)", "S", 5); len(got) != 1 {
+		t.Fatalf("ITE not committed: %v", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	src := "id(X, X)."
+	expectAnswers(t, src, "X is 2 + 3 * 4", "X", "14")
+	expectAnswers(t, src, "X is (2 + 3) * 4", "X", "20")
+	expectAnswers(t, src, "X is 7 // 2", "X", "3")
+	expectAnswers(t, src, "X is 7 mod 2", "X", "1")
+	expectAnswers(t, src, "X is -7 mod 2", "X", "1")
+	expectAnswers(t, src, "X is - (3 + 4)", "X", "-7")
+	expectAnswers(t, src, "X is abs(-9)", "X", "9")
+	expectAnswers(t, src, "X is min(3, 5) + max(3, 5)", "X", "8")
+	expectTrue(t, src, "5 > 3, 3 < 5, 5 >= 5, 5 =< 5, 5 =:= 5, 5 =\\= 4")
+	expectFail(t, src, "3 > 5")
+	expectAnswers(t, src, "id(Y, 6), X is Y * Y", "X", "36")
+}
+
+func TestArithmeticErrors(t *testing.T) {
+	m := mk(t, "")
+	sols, err := m.Solve("X is Y + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sols.Next(); ok {
+		t.Fatal("unbound arithmetic should not succeed")
+	}
+	if sols.Err() == nil {
+		t.Fatal("expected run error for unbound arithmetic")
+	}
+	m2 := mk(t, "")
+	sols2, _ := m2.Solve("X is 1 // 0")
+	if _, ok := sols2.Next(); ok || sols2.Err() == nil {
+		t.Fatal("division by zero should error")
+	}
+}
+
+func TestTypeChecks(t *testing.T) {
+	src := "id(X, X)."
+	expectTrue(t, src, "var(X)")
+	expectFail(t, src, "id(X, 1), var(X)")
+	expectTrue(t, src, "nonvar(foo)")
+	expectTrue(t, src, "atom(foo), atom([])")
+	expectFail(t, src, "atom(f(x))")
+	expectFail(t, src, "atom(1)")
+	expectTrue(t, src, "integer(42)")
+	expectTrue(t, src, "atomic(foo), atomic(42)")
+	expectFail(t, src, "atomic(f(x))")
+}
+
+func TestEqualityBuiltins(t *testing.T) {
+	src := "id(X, X)."
+	expectTrue(t, src, "f(X, g(Y)) == f(X, g(Y))")
+	expectFail(t, src, "f(X) == f(Y)")
+	expectTrue(t, src, "f(X) \\== f(Y)")
+	expectTrue(t, src, "a \\= b")
+	expectFail(t, src, "a \\= a")
+	expectFail(t, src, "f(X) \\= f(a)")
+	// \= must not bind
+	expectAnswers(t, src, "id(X, 1), (f(X) \\= f(2))", "X", "1")
+	expectTrue(t, src, "\\+ (X \\= Y)")
+}
+
+func TestFunctorArgUniv(t *testing.T) {
+	src := "id(X, X)."
+	expectAnswers(t, src, "functor(f(a, b, c), N, A), id(N-A, R)", "R", "f-3")
+	expectAnswers(t, src, "functor(foo, N, A), id(N-A, R)", "R", "foo-0")
+	expectAnswers(t, src, "functor(42, N, A), id(N-A, R)", "R", "42-0")
+	expectAnswers(t, src, "functor(T, pair, 2), functor(T, N, A), id(N-A, R)", "R", "pair-2")
+	expectAnswers(t, src, "functor(T, pair, 2), arg(1, T, one), arg(2, T, two)", "T", "pair(one,two)")
+	expectAnswers(t, src, "arg(2, f(a, b, c), X)", "X", "b")
+	expectFail(t, src, "arg(4, f(a, b, c), _)")
+	expectAnswers(t, src, "f(1, 2) =.. L", "L", "[f,1,2]")
+	expectAnswers(t, src, "T =.. [point, 3, 4]", "T", "point(3,4)")
+	expectAnswers(t, src, "T =.. [foo]", "T", "foo")
+}
+
+func TestMetacall(t *testing.T) {
+	src := `
+p(1). p(2).
+apply(G) :- call(G).
+applyv(G) :- G.
+`
+	expectAnswers(t, src, "apply(p(X))", "X", "1", "2")
+	expectAnswers(t, src, "applyv(p(X))", "X", "1", "2")
+	expectTrue(t, src, "call(true)")
+	expectFail(t, src, "call(fail)")
+}
+
+func TestRecursionDepth(t *testing.T) {
+	src := `
+count(0) :- !.
+count(N) :- N > 0, M is N - 1, count(M).
+`
+	// Deep determinate recursion must run in constant control-stack space
+	// thanks to LCO.
+	m := mk(t, src)
+	if got := solveAll(t, m, "count(30000)", 1); len(got) != 1 {
+		t.Fatal("deep recursion failed")
+	}
+	if top := m.ctx.controlTop; top > 200 {
+		t.Errorf("LCO failed: control stack top = %d", top)
+	}
+}
+
+func TestVectors(t *testing.T) {
+	src := "id(X, X)."
+	expectAnswers(t, src, "vector(V, 3), vset(V, 0, a), vset(V, 2, c), vref(V, 0, X), vref(V, 2, Z), id(X-Z, R)", "R", "a-c")
+	expectAnswers(t, src, "vector(V, 2), vref(V, 1, X)", "X", "[]")
+	m := mk(t, src)
+	sols, _ := m.Solve("vector(V, 2), vref(V, 5, _)")
+	if _, ok := sols.Next(); ok || sols.Err() == nil {
+		t.Fatal("out-of-range vref should error")
+	}
+}
+
+func TestWriteOutput(t *testing.T) {
+	prog := kl0.NewProgram(nil)
+	var sb strings.Builder
+	m := New(prog, Config{Out: &sb, MaxSteps: 1_000_000})
+	sols, err := m.Solve("write(hello), tab(1), write([1,2|T]), nl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sols.Next(); !ok {
+		t.Fatal("write query failed")
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "hello [1,2|_G") || !strings.HasSuffix(got, "\n") {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestEightQueensStyleSearch(t *testing.T) {
+	src := `
+range(L, L, [L]) :- !.
+range(L, H, [L|T]) :- L < H, L1 is L + 1, range(L1, H, T).
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+safe(_, _, []).
+safe(Q, D, [Q2|Qs]) :- Q =\= Q2 + D, Q =\= Q2 - D, D1 is D + 1, safe(Q, D1, Qs).
+place([], []).
+place(Cols, [Q|Sol]) :- select(Q, Cols, Rest), place(Rest, Sol), safe(Q, 1, Sol).
+queens(N, Sol) :- range(1, N, Cols), place(Cols, Sol).
+`
+	m := mk(t, src)
+	got := answers(t, m, "queens(6, S)", "S", 100)
+	if len(got) != 4 {
+		t.Fatalf("6-queens should have 4 solutions, got %d", len(got))
+	}
+}
+
+func TestSolutionsSequential(t *testing.T) {
+	m := mk(t, "n(1). n(2). n(3).")
+	sols, _ := m.Solve("n(X)")
+	var got []string
+	for {
+		ans, ok := sols.Next()
+		if !ok {
+			break
+		}
+		got = append(got, ans["X"].String())
+	}
+	if strings.Join(got, ",") != "1,2,3" {
+		t.Fatalf("sequential answers: %v", got)
+	}
+	// Exhausted: further calls keep returning false.
+	if _, ok := sols.Next(); ok {
+		t.Error("exhausted Solutions returned an answer")
+	}
+}
+
+func TestTwoQueriesOnOneMachine(t *testing.T) {
+	m := mk(t, "n(1). n(2).")
+	if got := answers(t, m, "n(X)", "X", 10); len(got) != 2 {
+		t.Fatal("first query")
+	}
+	if got := answers(t, m, "n(Y)", "Y", 10); len(got) != 2 {
+		t.Fatal("second query on same machine")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	prog := kl0.NewProgram(nil)
+	cs, _ := parse.Clauses("t", "loop :- loop.")
+	if err := prog.AddClauses(cs); err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, Config{MaxSteps: 10000})
+	sols, _ := m.Solve("loop")
+	if _, ok := sols.Next(); ok {
+		t.Fatal("infinite loop terminated?!")
+	}
+	if sols.Err() == nil {
+		t.Fatal("expected step-limit error")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	m := mk(t, "a.")
+	sols, _ := m.Solve("a, halt")
+	if _, ok := sols.Next(); ok {
+		t.Fatal("halt should end the computation without an answer")
+	}
+	if sols.Err() != nil {
+		t.Fatal(sols.Err())
+	}
+}
+
+func TestInterrupt(t *testing.T) {
+	prog := kl0.NewProgram(nil)
+	cs, err := parse.Clauses("t", `
+tickfmt(0).
+handler :- tickfmt(X), X = 0.
+work(0).
+work(N) :- N > 0, interrupt, M is N - 1, work(M).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.AddClauses(cs); err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, Config{Processes: 2, MaxSteps: 10_000_000})
+	hq, err := prog.CompileQuery(mustGoal(t, "handler"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetInterruptHandler(1, hq); err != nil {
+		t.Fatal(err)
+	}
+	sols, err := m.Solve("work(5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sols.Next(); !ok {
+		t.Fatalf("interrupt-using program failed: %v", sols.Err())
+	}
+	// Interrupt work ran on process 1's stacks.
+	if m.ctxs[1].controlTop == stackBase {
+		t.Error("interrupt handler did not touch process 1's control stack")
+	}
+}
+
+func mustGoal(t *testing.T, src string) *term.Term {
+	t.Helper()
+	g, err := parse.Term(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	m := mk(t, "n(1). n(2).")
+	solveAll(t, m, "n(X), X > 1", 10)
+	if m.Stats().Steps == 0 {
+		t.Error("no microsteps recorded")
+	}
+	if m.Inferences() == 0 {
+		t.Error("no inferences recorded")
+	}
+	if m.TimeNS() <= 0 {
+		t.Error("no simulated time")
+	}
+	if m.Stats().MemoryAccesses() == 0 {
+		t.Error("no memory accesses recorded")
+	}
+	if m.Cache().Total.Accesses == 0 {
+		t.Error("cache saw no accesses")
+	}
+}
+
+// TestCutBarrierOnRedo is the regression test for a bug found by
+// differential fuzzing: when a clause is entered through the redo path
+// (its call's choice point still live), the cut barrier must be the B
+// value from before the call — otherwise cut fails to discard the
+// remaining alternatives of its own predicate.
+func TestCutBarrierOnRedo(t *testing.T) {
+	src := `
+flat([], []).
+flat([H|T], R) :- flat(H, FH), !, flat(T, FT), app(FH, FT, R).
+flat(X, [X]).
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+`
+	m := mk(t, src)
+	got := answers(t, m, "flat([a, [b, [c, d]], [], [[e]]], R)", "R", 10)
+	// [] may flatten to [] (clause 1) or [[]] (clause 3); every cons cell
+	// is committed by the cut. Exactly two answers.
+	want := []string{"[a,b,c,d,e]", "[a,b,c,d,e,[]]"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+}
+
+// TestCutAfterRetryDeep exercises the same barrier rule under nesting.
+func TestCutAfterRetryDeep(t *testing.T) {
+	src := `
+n(1). n(2). n(3).
+pick(X) :- n(X), X > 1, !.
+outer(X, Y) :- n(Y), pick(X).
+`
+	m := mk(t, src)
+	// pick commits to X=2 (its clause retried internally); outer's n(Y)
+	// alternatives must survive pick's cut.
+	got := answers(t, m, "outer(X, Y)", "Y", 10)
+	if len(got) != 3 {
+		t.Fatalf("outer should backtrack over Y: %v", got)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"repro/internal/micro"
+	"repro/internal/word"
+)
+
+// The paper: "Control information for the current execution is held in a
+// register file called work file (WF) and saved to the control stack as
+// necessary." This file implements that: the newest environment frame and
+// the newest choice-point frame live in the WF state area; they are
+// spilled to the control stack only when a younger frame of the same kind
+// supersedes them while still live. Frames that die first (determinate
+// returns, shallow backtracking through the alternatives of one call)
+// never touch memory — this is what makes "inner clause OR operations
+// efficient" and keeps the control stack at a small share of the memory
+// traffic.
+
+// ctrlBuf caches one control frame in the work file.
+type ctrlBuf struct {
+	addr  word.Addr
+	words [ctrlFrameWords]word.Word
+	valid bool
+}
+
+// pushCtrlFrame allocates a control frame at the stack top, cached in buf
+// (spilling buf's previous occupant if it is still live).
+func (m *Machine) pushCtrlFrame(buf *ctrlBuf, frame *[ctrlFrameWords]word.Word) word.Addr {
+	m.spillCtrl(buf)
+	ctx := m.ctx
+	addr := word.MakeAddr(ctx.control, ctx.controlTop)
+	ctx.controlTop += ctrlFrameWords
+	if m.feat.NoCtrlBuffers {
+		// Ablated: the frame goes straight to the control stack.
+		for i, w := range frame {
+			m.push(micro.MControl, addr.Add(i), w,
+				micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCondNot, Data: true})
+		}
+		return addr
+	}
+	buf.addr = addr
+	buf.words = *frame
+	buf.valid = true
+	// Capturing a control frame in the WF costs a few register moves, not
+	// a full 10-word copy: most of the frame (continuation, frame bases,
+	// marks) is already sitting in the machine registers; only the stack
+	// tops and link words are gathered.
+	for i := 0; i < 4; i++ {
+		m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF10, Branch: micro.BNop2, Data: true})
+	}
+	return addr
+}
+
+// spillCtrl writes a buffered frame to the control stack.
+func (m *Machine) spillCtrl(buf *ctrlBuf) {
+	if !buf.valid {
+		return
+	}
+	for i, w := range buf.words {
+		m.push(micro.MControl, buf.addr.Add(i), w,
+			micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCondNot, Data: true})
+	}
+	buf.valid = false
+}
+
+// dropCtrlAbove invalidates buffered frames at or above the new control
+// top (popped frames are simply forgotten — their memory image is never
+// written).
+func (m *Machine) dropCtrlAbove(top uint32) {
+	ctx := m.ctx
+	if ctx.envBuf.valid && ctx.envBuf.addr.Offset() >= top {
+		ctx.envBuf.valid = false
+	}
+	if ctx.cpBuf.valid && ctx.cpBuf.addr.Offset() >= top {
+		ctx.cpBuf.valid = false
+	}
+}
+
+// ctrlBufFor locates the buffer caching the frame at addr, if any.
+func (m *Machine) ctrlBufFor(addr word.Addr) *ctrlBuf {
+	ctx := m.ctx
+	if ctx.envBuf.valid && ctx.envBuf.addr == addr {
+		return &ctx.envBuf
+	}
+	if ctx.cpBuf.valid && ctx.cpBuf.addr == addr {
+		return &ctx.cpBuf
+	}
+	return nil
+}
+
+// readCtrl reads a control-frame slot, from the work file when the frame
+// is buffered there.
+func (m *Machine) readCtrl(mod micro.Module, frame word.Addr, slot int) word.Word {
+	if buf := m.ctrlBufFor(frame); buf != nil {
+		m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCond})
+		return buf.words[slot]
+	}
+	return m.read(mod, frame.Add(slot), micro.Cycle{Branch: micro.BGoto2})
+}
+
+// writeCtrl rewrites a control-frame slot (choice-point advance).
+func (m *Machine) writeCtrl(mod micro.Module, frame word.Addr, slot int, w word.Word) {
+	if buf := m.ctrlBufFor(frame); buf != nil {
+		m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Dest: micro.ModeWF10, Branch: micro.BGoto2, Data: true})
+		buf.words[slot] = w
+		return
+	}
+	m.write(mod, frame.Add(slot), w, micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BGoto2})
+}
+
+// flushCtrlBufs spills both control-frame buffers (process switch).
+func (m *Machine) flushCtrlBufs() {
+	m.spillCtrl(&m.ctx.envBuf)
+	m.spillCtrl(&m.ctx.cpBuf)
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/micro"
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+// decode extracts the term bound to the cell at a, without charging
+// microcycles (answer extraction happens outside the measured run, like
+// reading memory through the PSI's console processor).
+func (m *Machine) decode(a word.Addr) *term.Term {
+	budget := maxDecodeNodes
+	return m.decodeCell(a, false, &budget)
+}
+
+// decodeVal renders a runtime value; charged selects whether the walk
+// costs microcycles (write/1 does, answer extraction does not).
+func (m *Machine) decodeVal(v val, charged bool) *term.Term {
+	budget := maxDecodeNodes
+	return m.decodeValDepth(v, charged, &budget)
+}
+
+// maxDecodeNodes bounds answer extraction: without an occurs check a
+// query can build cyclic terms, whose printed form would be infinite.
+const maxDecodeNodes = 100000
+
+func (m *Machine) decodeCell(a word.Addr, charged bool, budget *int) *term.Term {
+	var v val
+	if charged {
+		v = m.derefCell(micro.MBuilt, a)
+	} else {
+		v = m.quietDeref(a)
+	}
+	return m.decodeValDepth(v, charged, budget)
+}
+
+// quietDeref dereferences without cycle accounting.
+func (m *Machine) quietDeref(a word.Addr) val {
+	for {
+		var w word.Word
+		if bi := -1; a.Area().Kind() == word.AreaLocal {
+			if bi = m.bufIndex(a.Offset()); bi >= 0 {
+				w = m.wf.GetFrame(bi, int(a.Offset()-m.ctx.buf[bi].base))
+			} else {
+				w = m.mem.Read(a)
+			}
+		} else {
+			w = m.mem.Read(a)
+		}
+		switch w.Tag() {
+		case word.TagRef:
+			a = w.Addr()
+		case word.TagUndef:
+			return val{W: word.Undef, Addr: a}
+		case word.TagMol:
+			sk := m.mem.Read(w.Addr())
+			fr := m.mem.Read(w.Addr().Add(1))
+			return val{W: sk, Frame: fr.Addr()}
+		default:
+			return val{W: w}
+		}
+	}
+}
+
+func (m *Machine) decodeValDepth(v val, charged bool, budget *int) *term.Term {
+	if *budget <= 0 {
+		return term.NewAtom("<cyclic>")
+	}
+	*budget--
+	switch v.W.Tag() {
+	case word.TagUndef:
+		if v.Addr == 0 {
+			return term.NewVar("_")
+		}
+		return term.NewVar(fmt.Sprintf("_G%d_%d", v.Addr.Area(), v.Addr.Offset()))
+	case word.TagInt:
+		return term.NewInt(int64(v.W.Int()))
+	case word.TagNil:
+		return term.EmptyList()
+	case word.TagAtom:
+		return term.NewAtom(m.prog.Syms.Name(v.W.Data()))
+	case word.TagVec:
+		return term.NewCompound("$vec", term.NewInt(int64(v.W.Data())))
+	case word.TagSkel:
+		var f word.Word
+		if charged {
+			f = m.read(micro.MBuilt, v.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+		} else {
+			f = m.mem.Read(v.W.Addr())
+		}
+		name := m.prog.Syms.Name(f.FuncSym())
+		args := make([]*term.Term, f.FuncArity())
+		for i := range args {
+			var aw word.Word
+			if charged {
+				aw = m.read(micro.MBuilt, v.W.Addr().Add(1+i), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+			} else {
+				aw = m.mem.Read(v.W.Addr().Add(1 + i))
+			}
+			var av val
+			if charged {
+				av = m.resolveSkelArg(micro.MBuilt, aw, v.Frame)
+			} else {
+				av = m.quietResolveSkelArg(aw, v.Frame)
+			}
+			args[i] = m.decodeValDepth(av, charged, budget)
+		}
+		return term.NewCompound(name, args...)
+	default:
+		return term.NewAtom(fmt.Sprintf("<%v>", v.W))
+	}
+}
+
+func (m *Machine) quietResolveSkelArg(w word.Word, frame word.Addr) val {
+	switch w.Tag() {
+	case word.TagGlobal:
+		return m.quietDeref(frame.Add(w.VarIndex()))
+	case word.TagVoid:
+		return voidVal
+	case word.TagSkel:
+		return val{W: w, Frame: frame}
+	default:
+		return val{W: w}
+	}
+}

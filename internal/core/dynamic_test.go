@@ -1,0 +1,90 @@
+package core
+
+import "testing"
+
+func TestAssertz(t *testing.T) {
+	src := "n(1)."
+	m := mk(t, src)
+	if got := answers(t, m, "n(X)", "X", 10); len(got) != 1 {
+		t.Fatal(got)
+	}
+	if got := solveAll(t, m, "assertz(n(2)), assertz(n(3))", 10); len(got) != 1 {
+		t.Fatal("assertz failed")
+	}
+	if got := answers(t, m, "n(Y)", "Y", 10); len(got) != 3 || got[2] != "3" {
+		t.Fatalf("after assertz: %v", got)
+	}
+}
+
+func TestAssertzRule(t *testing.T) {
+	m := mk(t, "n(1). n(2).\nbase.")
+	// Assert a rule referencing an existing predicate.
+	if got := solveAll(t, m, "assertz((big(X) :- n(X), X > 1))", 5); len(got) != 1 {
+		t.Fatal("assertz rule failed")
+	}
+	if got := answers(t, m, "big(Z)", "Z", 5); len(got) != 1 || got[0] != "2" {
+		t.Fatalf("asserted rule: %v", got)
+	}
+}
+
+func TestAssertzSnapshotsBindings(t *testing.T) {
+	m := mk(t, "n(7).\nseed(k).")
+	// The asserted clause captures the binding at assert time.
+	if got := answers(t, m, "n(V), assertz(copy(V))", "V", 5); len(got) != 1 {
+		t.Fatal(got)
+	}
+	if got := answers(t, m, "copy(W)", "W", 5); len(got) != 1 || got[0] != "7" {
+		t.Fatalf("copy: %v", got)
+	}
+}
+
+func TestRetract(t *testing.T) {
+	m := mk(t, "n(1). n(2). n(3).")
+	if got := solveAll(t, m, "retract(n(2))", 5); len(got) != 1 {
+		t.Fatal("retract failed")
+	}
+	if got := answers(t, m, "n(X)", "X", 10); len(got) != 2 || got[0] != "1" || got[1] != "3" {
+		t.Fatalf("after retract: %v", got)
+	}
+	// Retracting with a variable binds it to the first match.
+	if got := answers(t, m, "retract(n(Y))", "Y", 5); len(got) != 1 || got[0] != "1" {
+		t.Fatalf("retract binding: %v", got)
+	}
+	if got := answers(t, m, "n(X)", "X", 10); len(got) != 1 || got[0] != "3" {
+		t.Fatalf("after second retract: %v", got)
+	}
+	// No match: fails.
+	expectFail(t, "n(1).", "retract(n(9))")
+}
+
+func TestRetractThenAssertz(t *testing.T) {
+	m := mk(t, "counter(0).")
+	q := "retract(counter(C)), C1 is C + 1, assertz(counter(C1))"
+	for i := 0; i < 3; i++ {
+		if got := answers(t, m, q, "C1", 3); len(got) != 1 {
+			t.Fatal("tick failed")
+		}
+	}
+	if got := answers(t, m, "counter(N)", "N", 3); len(got) != 1 || got[0] != "3" {
+		t.Fatalf("counter: %v", got)
+	}
+}
+
+func TestRetractSkipsRules(t *testing.T) {
+	m := mk(t, "p(1).\np(X) :- p1(X).\np1(2).")
+	// retract/1 here removes facts only; the rule clause must survive.
+	if got := solveAll(t, m, "retract(p(2))", 3); len(got) != 0 {
+		t.Fatal("should not retract through a rule")
+	}
+	if got := answers(t, m, "p(X)", "X", 5); len(got) != 2 {
+		t.Fatalf("clauses lost: %v", got)
+	}
+}
+
+func TestDynamicWithFindall(t *testing.T) {
+	m := mk(t, "seen(none).")
+	q := "assertz(seen(a)), assertz(seen(b)), findall(X, seen(X), L)"
+	if got := answers(t, m, q, "L", 3); len(got) != 1 || got[0] != "[none,a,b]" {
+		t.Fatalf("findall over dynamic: %v", got)
+	}
+}

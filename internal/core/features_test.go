@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/kl0"
+	"repro/internal/parse"
+)
+
+// mkFeat builds a machine with a feature configuration.
+func mkFeat(t *testing.T, src string, feat Features) *Machine {
+	t.Helper()
+	prog := kl0.NewProgram(nil)
+	cs, err := parse.Clauses("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.AddClauses(cs); err != nil {
+		t.Fatal(err)
+	}
+	return New(prog, Config{MaxSteps: 100_000_000, Features: feat})
+}
+
+const featSrc = `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+color(red, 1). color(green, 2). color(blue, 3).
+shape(circle(R), round) :- R > 0.
+shape(square(_), angular).
+shape(X, unknown) :- integer(X).
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+`
+
+// allFeatureVariants enumerates every single-feature configuration.
+func allFeatureVariants() []Features {
+	return []Features{
+		{},
+		{NoFrameBuffers: true},
+		{NoCtrlBuffers: true},
+		{NoLCO: true},
+		{NoWriteStack: true},
+		{NoTrailBuffer: true},
+		{Indexing: true},
+		{NoFrameBuffers: true, NoCtrlBuffers: true, NoLCO: true, NoWriteStack: true, NoTrailBuffer: true},
+		{Indexing: true, NoLCO: true},
+	}
+}
+
+// TestFeaturesPreserveSemantics runs the same queries under every
+// feature configuration and demands identical answers.
+func TestFeaturesPreserveSemantics(t *testing.T) {
+	queries := []string{
+		"nrev([1,2,3,4,5,6,7,8], R)",
+		"app(X, Y, [a,b,c])",
+		"color(green, N)",
+		"color(C, 3)",
+		"shape(circle(2), S)",
+		"shape(square(2), S)",
+		"shape(7, S)",
+		"sel(X, [p,q,r], Rest)",
+	}
+	type result struct {
+		answers []string
+	}
+	var baseline []result
+	for vi, feat := range allFeatureVariants() {
+		var got []result
+		for _, q := range queries {
+			m := mkFeat(t, featSrc, feat)
+			sols, err := m.Solve(q)
+			if err != nil {
+				t.Fatalf("variant %d %q: %v", vi, q, err)
+			}
+			var answers []string
+			for {
+				ans, ok := sols.Next()
+				if !ok {
+					break
+				}
+				s := ""
+				for _, k := range []string{"R", "X", "Y", "N", "C", "S", "Rest"} {
+					if v, ok := ans[k]; ok {
+						s += k + "=" + v.String() + ";"
+					}
+				}
+				answers = append(answers, s)
+			}
+			if sols.Err() != nil {
+				t.Fatalf("variant %d %q: %v", vi, q, sols.Err())
+			}
+			got = append(got, result{answers})
+		}
+		if vi == 0 {
+			baseline = got
+			continue
+		}
+		for qi := range queries {
+			if len(got[qi].answers) != len(baseline[qi].answers) {
+				t.Fatalf("variant %d query %q: %d answers vs %d",
+					vi, queries[qi], len(got[qi].answers), len(baseline[qi].answers))
+			}
+			for ai := range got[qi].answers {
+				if got[qi].answers[ai] != baseline[qi].answers[ai] {
+					t.Errorf("variant %d query %q answer %d: %s vs %s",
+						vi, queries[qi], ai, got[qi].answers[ai], baseline[qi].answers[ai])
+				}
+			}
+		}
+	}
+}
+
+// TestIndexingSkipsClauses verifies the PSI-II index actually avoids
+// work: a bound constant first argument must execute fewer steps than
+// the unindexed machine.
+func TestIndexingSkipsClauses(t *testing.T) {
+	src := featSrc
+	without := mkFeat(t, src, Features{})
+	with := mkFeat(t, src, Features{Indexing: true})
+	for _, m := range []*Machine{without, with} {
+		sols, err := m.Solve("color(blue, N)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := sols.Next(); !ok {
+			t.Fatal("query failed")
+		}
+	}
+	if with.Stats().Steps >= without.Stats().Steps {
+		t.Errorf("indexing did not reduce steps: %d vs %d",
+			with.Stats().Steps, without.Stats().Steps)
+	}
+}
+
+// TestIndexingDeterministicNrev verifies indexing removes nreverse's
+// choice points (the mechanism behind DEC's Table 1 win).
+func TestIndexingDeterministicNrev(t *testing.T) {
+	with := mkFeat(t, featSrc, Features{Indexing: true})
+	sols, err := with.Solve("nrev([1,2,3,4,5,6,7,8,9,10], R)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, ok := sols.Next()
+	if !ok || ans["R"].String() != "[10,9,8,7,6,5,4,3,2,1]" {
+		t.Fatalf("indexed nrev answer: %v", ans)
+	}
+	without := mkFeat(t, featSrc, Features{})
+	sols2, _ := without.Solve("nrev([1,2,3,4,5,6,7,8,9,10], R)")
+	sols2.Next()
+	// At least 25% fewer cycles without the per-call choice points.
+	if float64(with.Stats().Steps) > 0.75*float64(without.Stats().Steps) {
+		t.Errorf("indexed nrev %d steps vs %d unindexed",
+			with.Stats().Steps, without.Stats().Steps)
+	}
+}
+
+// TestNoWriteStackChangesCommands checks the ablation really demotes the
+// command.
+func TestNoWriteStackChangesCommands(t *testing.T) {
+	m := mkFeat(t, featSrc, Features{NoWriteStack: true})
+	sols, _ := m.Solve("nrev([1,2,3], R)")
+	sols.Next()
+	if n := m.Stats().CacheOps[2+1]; n != 0 { // micro.OpWriteStack == 3
+		t.Errorf("write-stack commands still issued: %d", n)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/kl0"
+	"repro/internal/micro"
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+// This file implements the all-solutions and atom-conversion built-ins:
+// findall/3 runs its goal as a bounded sub-execution, snapshotting the
+// template after each solution and undoing every binding afterwards;
+// name/2 converts between atomic values and character-code lists.
+
+// biFindall implements findall(Template, Goal, List).
+func (m *Machine) biFindall(args []val) bool {
+	var snapshots []*term.Term
+	m.subSolve(args[1], func() bool {
+		if len(snapshots) > 1_000_000 {
+			panic(&RunError{Msg: "findall/3: more than 1e6 solutions"})
+		}
+		snap := args[0]
+		if snap.isUnbound() && snap.Addr != 0 {
+			// The template cell may have been bound by the solution.
+			snap = m.derefCell(micro.MBuilt, snap.Addr)
+		}
+		snapshots = append(snapshots, m.decodeVal(snap, true))
+		return true
+	})
+	// Build the result list from the snapshots and unify.
+	list := m.encodeList(snapshots)
+	return m.unify(args[2], list)
+}
+
+// subSolve runs a goal value as an isolated sub-execution: each solution
+// invokes the callback (which returns false to stop the enumeration),
+// and every effect of the sub-execution — bindings, stack growth — is
+// undone before subSolve returns.
+func (m *Machine) subSolve(goal val, each func() bool) {
+	ctx := m.ctx
+
+	// Save the execution context.
+	savedCode, savedE, savedLF, savedGF := ctx.code, ctx.e, ctx.lf, ctx.gf
+	savedB, savedLM, savedGM := ctx.b, ctx.lMark, ctx.gMark
+	savedLTop, savedGTop, savedCTop := ctx.localTop, ctx.globalTop, ctx.controlTop
+	savedFailed, savedHalted := m.failed, m.halted
+	savedForce, savedBaseL, savedBaseG := m.forceTrail, m.baseLMark, m.baseGMark
+	m.flushTrailBuf()
+	trailMark := ctx.trailTop
+
+	// A code stub in the heap metacalls the goal value: the goal is
+	// parked in a one-cell frame on the global stack.
+	gcell := m.pushGlobal(micro.MBuilt, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BNop2, Data: true})
+	m.bind(micro.MBuilt, gcell, goal)
+	stub := m.heapTop
+	m.heapTop += 3
+	m.mem.Write(word.MakeAddr(word.AreaHeap, stub), word.New(word.TagBuiltin, uint32(kl0.BCall)<<8|1))
+	m.mem.Write(word.MakeAddr(word.AreaHeap, stub+1), word.New(word.TagGlobal, 0))
+	m.mem.Write(word.MakeAddr(word.AreaHeap, stub+2), word.New(word.TagEnd, 0))
+
+	// Sentinel environment for the sub-execution; every binding below
+	// the current tops is trailed so it can be undone.
+	sent := [ctrlFrameWords]word.Word{
+		envLFBase: word.New(word.TagRef, ctx.localTop),
+	}
+	e := m.pushCtrlFrame(&ctx.envBuf, &sent)
+	ctx.e = e
+	ctx.lf = 0
+	ctx.gf = gcell
+	ctx.code = word.MakeAddr(word.AreaHeap, stub)
+	ctx.b = 0
+	m.forceTrail = true
+	m.baseLMark = savedLTop
+	m.baseGMark = savedGTop
+	ctx.lMark = savedLTop
+	ctx.gMark = savedGTop
+	m.failed = false
+
+	for m.runLoop() {
+		if !each() {
+			break
+		}
+		m.failed = true // ask for the next solution
+	}
+
+	// Undo the sub-execution.
+	m.trailUnwind(trailMark)
+	ctx.localTop, ctx.globalTop, ctx.controlTop = savedLTop, savedGTop, savedCTop
+	m.invalidateBufsAbove(ctx.localTop)
+	m.dropCtrlAbove(ctx.controlTop)
+	ctx.code, ctx.e, ctx.lf, ctx.gf = savedCode, savedE, savedLF, savedGF
+	ctx.b, ctx.lMark, ctx.gMark = savedB, savedLM, savedGM
+	m.failed, m.halted = savedFailed, savedHalted
+	m.forceTrail, m.baseLMark, m.baseGMark = savedForce, savedBaseL, savedBaseG
+}
+
+// encodeList builds a runtime list from term snapshots.
+func (m *Machine) encodeList(ts []*term.Term) val {
+	elems := make([]val, len(ts))
+	for i, t := range ts {
+		elems[i] = m.encodeTerm(t)
+	}
+	return m.makeList(elems)
+}
+
+// encodeTerm builds a runtime value for a source term (variables become
+// fresh cells; sharing within one snapshot is not preserved — each
+// variable name maps to one fresh cell per snapshot).
+func (m *Machine) encodeTerm(t *term.Term) val {
+	vars := map[string]val{}
+	return m.encodeTermVars(t, vars)
+}
+
+func (m *Machine) encodeTermVars(t *term.Term, vars map[string]val) val {
+	switch t.Kind {
+	case term.Int:
+		return val{W: word.Int32(int32(t.N))}
+	case term.Atom:
+		if t.Functor == "[]" {
+			return val{W: word.Nil}
+		}
+		return val{W: word.Atom(m.prog.Syms.Intern(t.Functor))}
+	case term.Var:
+		if v, ok := vars[t.Name]; ok && t.Name != "_" {
+			return v
+		}
+		cell := m.pushGlobal(micro.MBuilt, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BNop2, Data: true})
+		v := val{W: word.Undef, Addr: cell}
+		if t.Name != "_" {
+			vars[t.Name] = v
+		}
+		return v
+	default: // compound
+		sk, frame := m.makeSkeleton(m.prog.Syms.Intern(t.Functor), len(t.Args))
+		for i, a := range t.Args {
+			m.bind(micro.MBuilt, frame.Add(i), m.encodeTermVars(a, vars))
+		}
+		return sk
+	}
+}
+
+// biName implements name/2: conversion between an atomic value and its
+// character-code list.
+func (m *Machine) biName(args []val) bool {
+	v := args[0]
+	if !v.isUnbound() {
+		var s string
+		switch v.W.Tag() {
+		case word.TagAtom:
+			s = m.prog.Syms.Name(v.W.Data())
+		case word.TagNil:
+			s = "[]"
+		case word.TagInt:
+			s = strconv.FormatInt(int64(v.W.Int()), 10)
+		default:
+			panic(&RunError{Msg: "name/2: first argument must be atomic"})
+		}
+		elems := make([]val, len(s))
+		for i := 0; i < len(s); i++ {
+			elems[i] = val{W: word.Int32(int32(s[i]))}
+		}
+		return m.unify(args[1], m.makeList(elems))
+	}
+	codes, ok := m.listVals(args[1])
+	if !ok {
+		panic(&RunError{Msg: "name/2: second argument must be a proper list of codes"})
+	}
+	buf := make([]byte, 0, len(codes))
+	for _, c := range codes {
+		cv := m.derefVal(micro.MBuilt, c)
+		if cv.W.Tag() != word.TagInt || cv.W.Int() < 0 || cv.W.Int() > 255 {
+			panic(&RunError{Msg: fmt.Sprintf("name/2: bad character code %v", cv.W)})
+		}
+		buf = append(buf, byte(cv.W.Int()))
+	}
+	s := string(buf)
+	// Numeric strings convert to integers, as DEC-10 name/2 did.
+	if n, err := strconv.ParseInt(s, 10, 32); err == nil && s != "" && s != "-" {
+		return m.unify(v, val{W: word.Int32(int32(n))})
+	}
+	if s == "[]" {
+		return m.unify(v, val{W: word.Nil})
+	}
+	return m.unify(v, val{W: word.Atom(m.prog.Syms.Intern(s))})
+}

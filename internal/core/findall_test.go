@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestFindall(t *testing.T) {
+	src := `
+n(1). n(2). n(3).
+pair(X, Y) :- n(X), n(Y), X < Y.
+`
+	expectAnswers(t, src, "findall(X, n(X), L)", "L", "[1,2,3]")
+	expectAnswers(t, src, "findall(X-Y, pair(X, Y), L)", "L", "[1-2,1-3,2-3]")
+	expectAnswers(t, src, "findall(X, fail, L)", "L", "[]")
+	expectAnswers(t, src, "findall(f(X), n(X), L), n(X)", "X", "1", "2", "3")
+	// findall must not leave bindings behind
+	expectAnswers(t, src, "findall(X, n(X), _), X = clean", "X", "clean")
+	// nested findall
+	expectAnswers(t, src, "findall(L1, (n(Y), findall(X, n(X), L1)), L)", "L",
+		"[[1,2,3],[1,2,3],[1,2,3]]")
+	// unbound template parts stay variables in the copies
+	m := mk(t, src)
+	got := answers(t, m, "findall(X-Z, n(X), L)", "L", 2)
+	if len(got) != 1 {
+		t.Fatal(got)
+	}
+}
+
+func TestName(t *testing.T) {
+	src := "id(X, X)."
+	expectAnswers(t, src, "name(hello, L)", "L", "[104,101,108,108,111]")
+	expectAnswers(t, src, "name(42, L)", "L", "[52,50]")
+	expectAnswers(t, src, `name(A, "abc")`, "A", "abc")
+	expectAnswers(t, src, `name(N, "123")`, "N", "123")
+	expectAnswers(t, src, "name(A, [45, 55])", "A", "-7")
+	expectTrue(t, src, "name(X, [104, 105]), X = hi")
+}
+
+func TestMetaControlPSI(t *testing.T) {
+	src := "n(1). n(2).\napply(G) :- call(G)."
+	expectAnswers(t, src, "apply((n(X), n(Y))), X = Y", "X", "1", "2")
+	expectTrue(t, src, "apply(\\+ n(3))")
+	expectFail(t, src, "apply(\\+ n(1))")
+	expectAnswers(t, src, "call((n(X), X > 1))", "X", "2")
+	// Deep nesting of conjunctions.
+	expectAnswers(t, src, "call((n(X), (n(Y), X < Y)))", "X", "1")
+}
+
+func TestFindallWithControl(t *testing.T) {
+	src := "n(1). n(2). n(3)."
+	expectAnswers(t, src, "findall(X, (n(X), X > 1), L)", "L", "[2,3]")
+	expectAnswers(t, src, "findall(X, (n(X), \\+ X = 2), L)", "L", "[1,3]")
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"repro/internal/micro"
+	"repro/internal/wf"
+	"repro/internal/word"
+)
+
+// This file implements the stack and frame-buffer machinery: local frames
+// cached in the work file's two 64-word buffers (the tail-recursion
+// optimization described in the paper), global/control/trail stack
+// pushes, and the small work-file trail buffer.
+
+// maxBufFrame is the largest local frame that fits a WF frame buffer.
+const maxBufFrame = wf.FrameSize
+
+// trailBufCap is the number of trail entries buffered in the WF before
+// spilling to the trail stack. The paper measured the trail buffer's
+// access functions at well below 0.1% of steps and concluded the buffer
+// should be reconsidered; a two-entry staging buffer reproduces that
+// near-absence.
+const trailBufCap = 2
+
+// bufIndex returns which frame buffer holds local offset off, or -1.
+func (m *Machine) bufIndex(off uint32) int {
+	for i := range m.ctx.buf {
+		b := &m.ctx.buf[i]
+		if b.valid && off >= b.base && off < b.base+uint32(b.size) {
+			return i
+		}
+	}
+	return -1
+}
+
+// readLocal reads a local-stack cell, through a frame buffer when the
+// cell is cached there.
+func (m *Machine) readLocal(mod micro.Module, a word.Addr, c micro.Cycle) word.Word {
+	off := a.Offset()
+	if bi := m.bufIndex(off); bi >= 0 {
+		b := &m.ctx.buf[bi]
+		c.Module = mod
+		// Head arguments reach the frame buffer base-relative through
+		// PDR/CDR; the interpreter's own accesses go through WFAR1.
+		if mod == micro.MUnify {
+			c.Src1 = micro.ModePCDR
+		} else {
+			c.Src1 = micro.ModeWFAR1
+		}
+		m.tick(c)
+		return m.wf.GetFrame(bi, int(off-b.base))
+	}
+	return m.read(mod, a, c)
+}
+
+// writeLocal writes a local-stack cell, through a frame buffer when
+// cached.
+func (m *Machine) writeLocal(mod micro.Module, a word.Addr, w word.Word, c micro.Cycle) {
+	off := a.Offset()
+	if bi := m.bufIndex(off); bi >= 0 {
+		b := &m.ctx.buf[bi]
+		c.Module = mod
+		if mod == micro.MUnify {
+			c.Dest = micro.ModePCDR
+		} else {
+			c.Dest = micro.ModeWFAR1
+		}
+		m.tick(c)
+		m.wf.SetFrame(bi, int(off-b.base), w)
+		return
+	}
+	m.write(mod, a, w, c)
+}
+
+// flushBuf writes a frame buffer back to the local stack and invalidates
+// it. One cycle per cell: WF read (WFAR1 auto-increment) plus the
+// write-stack command.
+func (m *Machine) flushBuf(bi int) {
+	b := &m.ctx.buf[bi]
+	if !b.valid {
+		return
+	}
+	m.wf.WFAR1 = uint16(wf.FrameBase(bi))
+	for i := 0; i < b.size; i++ {
+		w := m.wf.GetWFAR1(+1)
+		m.push(micro.MControl, word.MakeAddr(m.ctx.local, b.base+uint32(i)), w,
+			micro.Cycle{Src1: micro.ModeWFAR1, Branch: micro.BCondNot, Data: true})
+	}
+	b.valid = false
+}
+
+// flushBuffers saves every work-file buffer to memory: both local frame
+// buffers, the trail buffer and the control-frame buffers. Needed on
+// process switch — the work file is shared hardware.
+func (m *Machine) flushBuffers() {
+	m.flushBuf(0)
+	m.flushBuf(1)
+	m.flushTrailBuf()
+	m.flushCtrlBufs()
+}
+
+// invalidateBufsAbove drops buffers whose frames were popped (base at or
+// above the new local top).
+func (m *Machine) invalidateBufsAbove(top uint32) {
+	for i := range m.ctx.buf {
+		if m.ctx.buf[i].valid && m.ctx.buf[i].base >= top {
+			m.ctx.buf[i].valid = false
+		}
+	}
+}
+
+// allocLocalFrame allocates an n-cell local frame at the local top and
+// returns its base address. Small frames go to a WF frame buffer; large
+// ones to the local stack directly.
+func (m *Machine) allocLocalFrame(n int) word.Addr {
+	base := m.ctx.localTop
+	m.ctx.localTop += uint32(n)
+	addr := word.MakeAddr(m.ctx.local, base)
+	if n == 0 {
+		return addr
+	}
+	if n <= maxBufFrame && !m.feat.NoFrameBuffers {
+		bi := 1 - m.ctx.curBuf
+		if m.ctx.buf[m.ctx.curBuf].valid && m.ctx.buf[m.ctx.curBuf].base == base {
+			// Reusing the current frame's slot (tail recursion): keep the
+			// same buffer.
+			bi = m.ctx.curBuf
+		}
+		if m.ctx.buf[bi].valid {
+			m.flushBuf(bi)
+		}
+		m.ctx.buf[bi] = frameBuf{base: base, size: n, valid: true}
+		m.ctx.curBuf = bi
+		// Cells materialize lazily at their first (fresh-marked)
+		// occurrence; reserving the buffer is a register operation. The
+		// simulator zeroes the cells so state stays well-defined.
+		m.wf.WFAR1 = uint16(wf.FrameBase(bi))
+		for i := 0; i < n; i++ {
+			m.wf.SetWFAR1(word.Undef, +1)
+		}
+		m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF00, Dest: micro.ModeWF00, Branch: micro.BCond, Data: true})
+		return addr
+	}
+	// Oversized frames live on the local stack directly.
+	for i := 0; i < n; i++ {
+		m.mem.Write(addr.Add(i), word.Undef)
+	}
+	m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF00, Dest: micro.ModeWF00, Branch: micro.BCond, Data: true})
+	return addr
+}
+
+// popLocalFrame releases the frame at base (tail-recursion optimization
+// or determinate return).
+func (m *Machine) popLocalFrame(base uint32) {
+	m.ctx.localTop = base
+	m.invalidateBufsAbove(base)
+}
+
+// pushGlobal pushes one word onto the global stack.
+func (m *Machine) pushGlobal(mod micro.Module, w word.Word, c micro.Cycle) word.Addr {
+	a := word.MakeAddr(m.ctx.global, m.ctx.globalTop)
+	m.ctx.globalTop++
+	c.Src2 = micro.ModeWF00 // global-top register
+	m.push(mod, a, w, c)
+	return a
+}
+
+// ---- trail ------------------------------------------------------------
+
+// trailPush records a bound cell address for backtracking undo. The top
+// trailBufCap entries live in the WF trail buffer (via WFAR2); the buffer
+// spills to the trail stack when full.
+func (m *Machine) trailPush(a word.Addr) {
+	if m.feat.NoTrailBuffer {
+		ta := word.MakeAddr(m.ctx.trail, m.ctx.trailTop)
+		m.ctx.trailTop++
+		m.push(micro.MTrail, ta, word.New(word.TagRef, uint32(a)),
+			micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCondNot, Data: true})
+		return
+	}
+	if m.ctx.trailBuf == trailBufCap {
+		m.flushTrailBuf()
+	}
+	m.wf.WFAR2 = uint16(wf.TrailBufBase + m.ctx.trailBuf)
+	m.alu(micro.MTrail, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWFAR2, Branch: micro.BCond, Data: true})
+	m.wf.SetWFAR2(word.New(word.TagRef, uint32(a)), 0)
+	m.ctx.trailBuf++
+}
+
+// flushTrailBuf spills the WF trail buffer to the trail stack.
+func (m *Machine) flushTrailBuf() {
+	for i := 0; i < m.ctx.trailBuf; i++ {
+		m.wf.WFAR2 = uint16(wf.TrailBufBase + i)
+		w := m.wf.GetWFAR2(0)
+		a := word.MakeAddr(m.ctx.trail, m.ctx.trailTop)
+		m.ctx.trailTop++
+		m.push(micro.MTrail, a, w, micro.Cycle{Src1: micro.ModeWFAR2, Branch: micro.BCondNot, Data: true})
+	}
+	m.ctx.trailBuf = 0
+}
+
+// trailDepth is the logical trail height (stack + buffer).
+func (m *Machine) trailDepth() uint32 {
+	return m.ctx.trailTop + uint32(m.ctx.trailBuf)
+}
+
+// trailUnwind resets every cell recorded above mark to unbound.
+func (m *Machine) trailUnwind(mark uint32) {
+	// Buffered entries first (newest).
+	for m.ctx.trailBuf > 0 && m.ctx.trailTop+uint32(m.ctx.trailBuf) > mark {
+		m.ctx.trailBuf--
+		m.wf.WFAR2 = uint16(wf.TrailBufBase + m.ctx.trailBuf)
+		w := m.wf.GetWFAR2(0)
+		m.alu(micro.MTrail, micro.Cycle{Src1: micro.ModeWFAR2, Branch: micro.BNop2, Data: true})
+		m.resetCell(w.Addr())
+	}
+	for m.ctx.trailTop > mark {
+		m.ctx.trailTop--
+		w := m.read(micro.MTrail, word.MakeAddr(m.ctx.trail, m.ctx.trailTop),
+			micro.Cycle{Branch: micro.BCondNot})
+		m.resetCell(w.Addr())
+	}
+}
+
+// resetCell restores a cell to unbound during trail unwinding.
+func (m *Machine) resetCell(a word.Addr) {
+	if a.Area().Kind() == word.AreaLocal {
+		m.writeLocal(micro.MTrail, a, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BGoto2, Data: true})
+		return
+	}
+	m.write(micro.MTrail, a, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BGoto2, Data: true})
+}

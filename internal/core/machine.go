@@ -1,0 +1,325 @@
+// Package core implements the paper's primary contribution: the PSI
+// microprogrammed KL0 interpreter. It executes the machine-resident
+// instruction code produced by package kl0 on top of the simulated memory
+// hierarchy (areas + address translation + cache), the 1K-word work file
+// with its frame and trail buffers, and the microengine accounting that
+// yields the paper's Tables 1-7 and Figure 1.
+//
+// The execution model is the DEC-10-style structure-sharing interpreter
+// the PSI firmware implements: four stacks (local, global, control,
+// trail) per process plus a shared heap holding instruction code and heap
+// vectors; 10-word control frames for both environments and choice
+// points; molecules (skeleton + global frame pairs) for compound terms;
+// tail-recursion optimization backed by the two work-file frame buffers.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/kl0"
+	"repro/internal/mem"
+	"repro/internal/micro"
+	"repro/internal/wf"
+	"repro/internal/word"
+)
+
+// Config selects the machine configuration for a run.
+type Config struct {
+	// Cache is the cache geometry; the zero value selects the PSI's 8K
+	// two-way store-in cache.
+	Cache cache.Config
+	// NoCache disables the cache: every memory access pays the full
+	// main-memory latency. Used for the Figure 1 improvement baseline.
+	NoCache bool
+	// Processes is the number of process contexts (>= 1). The heap is
+	// shared; each process has its own four stack areas.
+	Processes int
+	// Out receives output from write/1 and nl/0. Defaults to io.Discard.
+	Out io.Writer
+	// Trace, when non-nil, receives every executed microcycle in addition
+	// to the machine's statistics (the COLLECT hook).
+	Trace micro.Sink
+	// MaxSteps aborts runaway executions (0 = no limit).
+	MaxSteps int64
+	// Features selects machine-feature ablations and the PSI-II
+	// extensions.
+	Features Features
+}
+
+// Features switches individual hardware features of the machine off (for
+// the ablation studies of the design choices the paper evaluates) or
+// enables the PSI-II redesign features its conclusion announces.
+type Features struct {
+	// NoFrameBuffers disables the work-file local-frame buffers: local
+	// frames live on the local stack only.
+	NoFrameBuffers bool
+	// NoCtrlBuffers disables the work-file residency of the newest
+	// environment and choice point: control frames are written straight
+	// to the control stack.
+	NoCtrlBuffers bool
+	// NoLCO disables the tail-recursion (last-call) optimization.
+	NoLCO bool
+	// NoWriteStack demotes the dedicated Write-Stack cache command to a
+	// plain write (with block read-in on miss).
+	NoWriteStack bool
+	// NoTrailBuffer disables the work-file trail staging buffer.
+	NoTrailBuffer bool
+	// Indexing enables PSI-II-style first-argument clause selection (the
+	// "instruction code suitable for the compile time optimization" the
+	// paper's conclusion announces): calls with a bound first argument
+	// dispatch through an index instead of trying every clause.
+	Indexing bool
+}
+
+// stack-offset base: offset 0 is reserved so that address 0 can mean
+// "none" in control registers.
+const stackBase = 16
+
+// frameBuf describes one work-file frame buffer.
+type frameBuf struct {
+	base  uint32 // local stack offset of the buffered frame
+	size  int
+	valid bool
+}
+
+// context is the full execution state of one process.
+type context struct {
+	// Area ids.
+	global, local, control, trail word.AreaID
+	// Stack tops (offsets).
+	localTop, globalTop, controlTop, trailTop uint32
+	// Registers.
+	code word.Addr // next instruction word
+	e    word.Addr // current environment (0 = none)
+	lf   word.Addr // current local frame base (0 = none)
+	gf   word.Addr // current global frame base (0 = none)
+	b    word.Addr // newest choice point (0 = none)
+	// Trail watermarks of the newest choice point (HB registers).
+	lMark, gMark uint32
+	// Work-file frame buffers (per process conceptually; the hardware has
+	// one set, so switching processes flushes them — modelled in
+	// switchContext).
+	buf    [2]frameBuf
+	curBuf int
+	// Work-file control-frame buffers: the newest environment and the
+	// newest choice point live in the WF state area until superseded.
+	envBuf ctrlBuf
+	cpBuf  ctrlBuf
+	// Trail buffer fill (entries buffered in the WF on top of trailTop).
+	trailBuf int
+}
+
+// Machine is one PSI machine instance. It is not safe for concurrent use.
+type Machine struct {
+	prog   *kl0.Program
+	loaded int // words of prog.Code already copied into the heap
+
+	mem   *mem.Memory
+	cache *cache.Cache
+	wf    *wf.File
+	out   io.Writer
+
+	stats micro.Stats
+	sink  micro.Sink
+
+	// noCacheStall accumulates memory latency when the cache is disabled.
+	noCacheStall int64
+
+	ctxs []context
+	cur  int
+	ctx  *context
+
+	heapTop uint32 // heap allocation pointer (code, then heap vectors)
+
+	inferences int64
+	maxSteps   int64
+
+	// failed marks that the current path failed and the main loop must
+	// backtrack; kept on the machine so deep failure chains stay
+	// iterative.
+	failed bool
+
+	// redoBarrier carries the pre-call choice point across the redo
+	// path: a retried clause's cut barrier is the B value from before
+	// the call, not the call's own (still live) choice point.
+	redoBarrier word.Addr
+
+	// forceTrail makes every binding below the base watermarks trailed
+	// even with no live choice point — findall/3 must be able to undo
+	// its sub-execution completely.
+	forceTrail           bool
+	baseLMark, baseGMark uint32
+
+	// feat holds the machine-feature configuration.
+	feat Features
+
+	// interrupt handler: a compiled query run on another process context.
+	intrQuery   *kl0.Query
+	intrProcess int
+
+	halted bool
+}
+
+// New builds a machine for a compiled program.
+func New(prog *kl0.Program, cfg Config) *Machine {
+	if cfg.Processes <= 0 {
+		cfg.Processes = 1
+	}
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	m := &Machine{
+		prog:     prog,
+		mem:      mem.New(cfg.Processes),
+		wf:       wf.New(),
+		out:      cfg.Out,
+		maxSteps: cfg.MaxSteps,
+		feat:     cfg.Features,
+	}
+	if !cfg.NoCache {
+		cc := cfg.Cache
+		if cc.Words == 0 {
+			cc = cache.PSI
+		}
+		m.cache = cache.New(cc)
+	}
+	if cfg.Trace != nil {
+		m.sink = micro.Tee{&m.stats, cfg.Trace}
+	} else {
+		m.sink = &m.stats
+	}
+	m.ctxs = make([]context, cfg.Processes)
+	for p := range m.ctxs {
+		m.ctxs[p] = context{
+			global:     word.StackArea(p, word.AreaGlobal),
+			local:      word.StackArea(p, word.AreaLocal),
+			control:    word.StackArea(p, word.AreaControl),
+			trail:      word.StackArea(p, word.AreaTrail),
+			localTop:   stackBase,
+			globalTop:  stackBase,
+			controlTop: stackBase,
+			trailTop:   stackBase,
+		}
+	}
+	m.ctx = &m.ctxs[0]
+	m.load()
+	return m
+}
+
+// load copies newly compiled program code into the heap area.
+func (m *Machine) load() {
+	for ; m.loaded < len(m.prog.Code); m.loaded++ {
+		m.mem.Write(word.MakeAddr(word.AreaHeap, uint32(m.loaded)), m.prog.Code[m.loaded])
+	}
+	if uint32(m.loaded) > m.heapTop {
+		m.heapTop = uint32(m.loaded)
+	}
+}
+
+// Stats returns the accumulated microcycle statistics.
+func (m *Machine) Stats() *micro.Stats { return &m.stats }
+
+// Cache returns the cache model (nil when disabled).
+func (m *Machine) Cache() *cache.Cache { return m.cache }
+
+// Inferences reports the number of user predicate calls executed.
+func (m *Machine) Inferences() int64 { return m.inferences }
+
+// TimeNS reports the simulated execution time: one 200 ns cycle per
+// microinstruction plus all memory stalls.
+func (m *Machine) TimeNS() int64 {
+	t := m.stats.Steps * micro.CycleNS
+	if m.cache != nil {
+		t += m.cache.StallNS
+	} else {
+		t += m.noCacheStall
+	}
+	return t
+}
+
+// Program returns the loaded program.
+func (m *Machine) Program() *kl0.Program { return m.prog }
+
+// SetInterruptHandler installs a goal to be run (to completion, on the
+// given process context) each time the program executes the interrupt/0
+// built-in. This models the PSI's interrupt-handling processes: the
+// handler shares the heap but runs on its own stack areas.
+func (m *Machine) SetInterruptHandler(process int, q *kl0.Query) error {
+	if process <= 0 || process >= len(m.ctxs) {
+		return fmt.Errorf("core: interrupt process %d out of range (machine has %d)", process, len(m.ctxs))
+	}
+	m.intrQuery = q
+	m.intrProcess = process
+	return nil
+}
+
+// ---- microcycle emission helpers -------------------------------------
+
+// tick emits one microcycle.
+func (m *Machine) tick(c micro.Cycle) {
+	m.sink.Cycle(c)
+	if m.maxSteps > 0 && m.stats.Steps > m.maxSteps {
+		panic(&RunError{Msg: fmt.Sprintf("step limit %d exceeded", m.maxSteps)})
+	}
+}
+
+// memAccess drives the cache for one memory command and applies the
+// latency model.
+func (m *Machine) memAccess(op micro.CacheOp, a word.Addr) {
+	if m.cache != nil {
+		m.cache.Access(op, m.mem.Translate(a), a.Area())
+		return
+	}
+	// No cache: every access pays the full 800 ns main-memory time, i.e.
+	// 600 ns beyond the cycle.
+	m.noCacheStall += cache.MissExtraNS
+}
+
+// read performs a memory read microcycle and returns the word.
+func (m *Machine) read(mod micro.Module, a word.Addr, c micro.Cycle) word.Word {
+	c.Module = mod
+	c.Cache = micro.OpRead
+	c.Addr = a
+	m.tick(c)
+	m.memAccess(micro.OpRead, a)
+	return m.mem.Read(a)
+}
+
+// write performs a memory write microcycle.
+func (m *Machine) write(mod micro.Module, a word.Addr, w word.Word, c micro.Cycle) {
+	c.Module = mod
+	c.Cache = micro.OpWrite
+	c.Addr = a
+	m.tick(c)
+	m.memAccess(micro.OpWrite, a)
+	m.mem.Write(a, w)
+}
+
+// push performs a write-stack microcycle (no block read-in on miss).
+// With the Write-Stack command ablated, it degrades to a plain write.
+func (m *Machine) push(mod micro.Module, a word.Addr, w word.Word, c micro.Cycle) {
+	op := micro.OpWriteStack
+	if m.feat.NoWriteStack {
+		op = micro.OpWrite
+	}
+	c.Module = mod
+	c.Cache = op
+	c.Addr = a
+	m.tick(c)
+	m.memAccess(op, a)
+	m.mem.Write(a, w)
+}
+
+// alu emits a register-only microcycle.
+func (m *Machine) alu(mod micro.Module, c micro.Cycle) {
+	c.Module = mod
+	m.tick(c)
+}
+
+// RunError reports an abnormal termination (resource exhaustion or a
+// malformed execution state — the latter indicates a machine bug).
+type RunError struct{ Msg string }
+
+func (e *RunError) Error() string { return "core: " + e.Msg }

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"repro/internal/micro"
+	"repro/internal/word"
+)
+
+// val is a dereferenced runtime value.
+//
+//   - constants: W holds TagAtom/TagInt/TagNil (or TagVec)
+//   - unbound:   W is TagUndef and Addr locates the cell (Addr 0 = void)
+//   - compound:  W is TagSkel and Frame the skeleton's global frame
+type val struct {
+	W     word.Word
+	Frame word.Addr
+	Addr  word.Addr
+}
+
+func (v val) isUnbound() bool { return v.W.Tag() == word.TagUndef }
+func (v val) isVoid() bool    { return v.W.Tag() == word.TagUndef && v.Addr == 0 }
+
+var voidVal = val{W: word.Undef}
+
+// readCell reads a runtime cell from any stack (frame buffers apply for
+// locals).
+func (m *Machine) readCell(mod micro.Module, a word.Addr) word.Word {
+	if a.Area().Kind() == word.AreaLocal {
+		return m.readLocal(mod, a, micro.Cycle{Branch: micro.BNop2})
+	}
+	return m.read(mod, a, micro.Cycle{Branch: micro.BCondNot})
+}
+
+// writeCell writes a runtime cell.
+func (m *Machine) writeCell(mod micro.Module, a word.Addr, w word.Word) {
+	if a.Area().Kind() == word.AreaLocal {
+		m.writeLocal(mod, a, w, micro.Cycle{Branch: micro.BNop2, Data: true})
+		return
+	}
+	m.write(mod, a, w, micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCond, Data: true})
+}
+
+// resolveArg turns an instruction-code argument word into a runtime
+// value, given the clause instance's frames. The caller has already
+// fetched w (and charged the fetch).
+func (m *Machine) resolveArg(mod micro.Module, w word.Word, lf, gf word.Addr) val {
+	// Argument-register setup, then dispatch on the argument kind (the
+	// packed-operand tag dispatch).
+	m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF00, Branch: micro.BNop3, Data: true})
+	m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCaseIRN, Data: true})
+	switch w.Tag() {
+	case word.TagLocal:
+		a := lf.Add(w.VarIndex())
+		if w.IsFresh() {
+			// First occurrence: the cell is known unbound — write it.
+			m.writeCell(mod, a, word.Undef)
+			return val{W: word.Undef, Addr: a}
+		}
+		return m.derefCell(mod, a)
+	case word.TagGlobal:
+		a := gf.Add(w.VarIndex())
+		if w.IsFresh() {
+			m.writeCell(mod, a, word.Undef)
+			return val{W: word.Undef, Addr: a}
+		}
+		return m.derefCell(mod, a)
+	case word.TagVoid:
+		return voidVal
+	case word.TagSkel:
+		return val{W: w, Frame: gf}
+	default: // constants
+		return val{W: w}
+	}
+}
+
+// derefCell follows the reference chain from a cell.
+func (m *Machine) derefCell(mod micro.Module, a word.Addr) val {
+	for {
+		w := m.readCell(mod, a)
+		// Address formation and tag extraction, then the tag dispatch.
+		m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BGoto2, Data: true})
+		m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCaseTag, Data: true})
+		switch w.Tag() {
+		case word.TagRef:
+			a = w.Addr()
+		case word.TagUndef:
+			return val{W: word.Undef, Addr: a}
+		case word.TagMol:
+			// Fetch the two-word molecule: skeleton and frame.
+			sk := m.read(mod, w.Addr(), micro.Cycle{Branch: micro.BGoto2})
+			fr := m.read(mod, w.Addr().Add(1), micro.Cycle{Branch: micro.BReturn})
+			return val{W: sk, Frame: fr.Addr()}
+		default:
+			return val{W: w}
+		}
+	}
+}
+
+// deref resolves a value that may still be a reference (used after
+// reading argument registers).
+func (m *Machine) derefVal(mod micro.Module, v val) val {
+	if v.W.Tag() == word.TagRef {
+		return m.derefCell(mod, v.W.Addr())
+	}
+	return v
+}
+
+// bind stores value v into the unbound cell at a, trailing when the cell
+// is older than the newest choice point.
+func (m *Machine) bind(mod micro.Module, a word.Addr, v val) {
+	// Value formation (tag merge) before the store.
+	m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Src2: micro.ModeWF00, Branch: micro.BGoto2, Data: true})
+	var w word.Word
+	switch {
+	case v.isUnbound():
+		w = word.Ref(v.Addr)
+	case v.W.Tag() == word.TagSkel:
+		// Materialize a molecule on the global stack.
+		mol := m.pushGlobal(mod, v.W, micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCondNot, Data: true})
+		m.pushGlobal(mod, word.New(word.TagFrame, uint32(v.Frame)), micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCondNot, Data: true})
+		w = word.Mol(mol)
+	default:
+		w = v.W
+	}
+	m.writeCell(mod, a, w)
+	if m.needsTrail(a) {
+		m.trailPush(a)
+	}
+}
+
+// needsTrail reports whether a binding at a must be recorded for
+// backtracking: only cells older than the newest choice point.
+func (m *Machine) needsTrail(a word.Addr) bool {
+	// Condition check cycle.
+	m.alu(micro.MTrail, micro.Cycle{Src1: micro.ModeWF10, Src2: micro.ModeWF00, Branch: micro.BCondNot})
+	if m.ctx.b == 0 && !m.forceTrail {
+		return false
+	}
+	switch a.Area().Kind() {
+	case word.AreaLocal:
+		return a.Offset() < m.ctx.lMark
+	case word.AreaGlobal:
+		return a.Offset() < m.ctx.gMark
+	default:
+		// Heap vector updates (vset/3) are destructive, ESP-style, and
+		// are not undone on backtracking; nothing else binds heap cells.
+		return false
+	}
+}
+
+// bindVarVar binds two unbound cells, choosing the direction that keeps
+// references pointing from younger to older cells and never from the
+// global to the local stack.
+func (m *Machine) bindVarVar(mod micro.Module, x, y val) {
+	// Direction decision.
+	m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BCond, Data: true})
+	xa, ya := x.Addr, y.Addr
+	xLocal := xa.Area().Kind() == word.AreaLocal
+	yLocal := ya.Area().Kind() == word.AreaLocal
+	switch {
+	case xLocal && !yLocal:
+		m.bind(mod, xa, y)
+	case !xLocal && yLocal:
+		m.bind(mod, ya, x)
+	case xa.Offset() >= ya.Offset():
+		m.bind(mod, xa, y)
+	default:
+		m.bind(mod, ya, x)
+	}
+}
+
+// unify unifies two dereferenced values. On failure the caller must
+// backtrack (partial bindings are undone by the trail).
+func (m *Machine) unify(x, y val) bool {
+	const mod = micro.MUnify
+	// Operand staging into PDR/CDR (two moves), the mode/trap checks, and
+	// the tag-pair dispatch.
+	m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF00, Branch: micro.BCond, Data: true})
+	m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF00, Branch: micro.BGosub, Data: true})
+	m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BIfTag, Data: true})
+	m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BCaseTag, Data: true})
+
+	if x.isVoid() || y.isVoid() {
+		return true
+	}
+	switch {
+	case x.isUnbound() && y.isUnbound():
+		if x.Addr == y.Addr {
+			return true
+		}
+		m.bindVarVar(mod, x, y)
+		return true
+	case x.isUnbound():
+		m.bind(mod, x.Addr, y)
+		return true
+	case y.isUnbound():
+		m.bind(mod, y.Addr, x)
+		return true
+	}
+
+	xt, yt := x.W.Tag(), y.W.Tag()
+	if xt != yt {
+		m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCondNot})
+		return false
+	}
+	switch xt {
+	case word.TagAtom, word.TagInt:
+		m.alu(mod, micro.Cycle{Src1: micro.ModeConst, Src2: micro.ModeWF00, Branch: micro.BCond, Data: true})
+		return x.W.Data() == y.W.Data()
+	case word.TagNil:
+		return true
+	case word.TagVec:
+		m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BCond, Data: true})
+		return x.W.Data() == y.W.Data()
+	case word.TagSkel:
+		return m.unifySkel(x, y)
+	}
+	return false
+}
+
+// unifySkel unifies two compound values by walking their skeletons in
+// instruction code — the structure-sharing fast path that needs no
+// copying.
+func (m *Machine) unifySkel(x, y val) bool {
+	const mod = micro.MUnify
+	if x.W.Addr() == y.W.Addr() && x.Frame == y.Frame {
+		// Identical molecule.
+		m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BCond})
+		return true
+	}
+	fx := m.read(mod, x.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop3})
+	fy := m.read(mod, y.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop3})
+	// Functor/arity comparison; JR is loaded with the arity.
+	m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Src2: micro.ModeWF00, Branch: micro.BLoadJR, Data: true})
+	if fx != fy {
+		return false
+	}
+	arity := fx.FuncArity()
+	for i := 1; i <= arity; i++ {
+		// Loop bookkeeping (JR used as loop counter) plus the argument
+		// pointer advance on both sides.
+		m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF10, Branch: micro.BCond, Data: true})
+		m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Dest: micro.ModeWF00, Branch: micro.BNop3, Data: true})
+		ax := m.read(mod, x.W.Addr().Add(i), micro.Cycle{Branch: micro.BCondNot})
+		ay := m.read(mod, y.W.Addr().Add(i), micro.Cycle{Branch: micro.BCondNot})
+		vx := m.resolveSkelArg(mod, ax, x.Frame)
+		vy := m.resolveSkelArg(mod, ay, y.Frame)
+		if !m.unify(vx, vy) {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveSkelArg resolves a skeleton argument word (constants, global
+// variables, voids or nested skeletons — locals never occur inside
+// compound terms).
+func (m *Machine) resolveSkelArg(mod micro.Module, w word.Word, frame word.Addr) val {
+	m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCaseTag, Data: true})
+	switch w.Tag() {
+	case word.TagGlobal:
+		// Skeleton slots always hold eagerly-initialized globals.
+		return m.derefCell(mod, frame.Add(w.VarIndex()))
+	case word.TagVoid:
+		return voidVal
+	case word.TagSkel:
+		return val{W: w, Frame: frame}
+	default:
+		return val{W: w}
+	}
+}

@@ -1,0 +1,538 @@
+package dec10
+
+import (
+	"fmt"
+
+	"repro/internal/kl0"
+	"repro/internal/term"
+)
+
+// execBuiltin runs one built-in over the argument registers A[0..n).
+func (m *Machine) execBuiltin(bi kl0.Builtin, n int) {
+	m.cost(int64(n) * costBuiltinExtra)
+	ok := true
+	switch bi {
+	case kl0.BTrue:
+	case kl0.BFail:
+		ok = false
+	case kl0.BUnify:
+		ok = m.unify(m.x[0], m.x[1])
+	case kl0.BNotUnify:
+		ok = m.notUnifiable(m.x[0], m.x[1])
+	case kl0.BEqEq:
+		ok = m.identical(m.x[0], m.x[1])
+	case kl0.BNotEqEq:
+		ok = !m.identical(m.x[0], m.x[1])
+	case kl0.BVar:
+		ok = m.deref(m.x[0]).Tag() == CRef
+	case kl0.BNonvar:
+		ok = m.deref(m.x[0]).Tag() != CRef
+	case kl0.BAtom:
+		t := m.deref(m.x[0]).Tag()
+		ok = t == CCon || t == CNil
+	case kl0.BInteger:
+		ok = m.deref(m.x[0]).Tag() == CInt
+	case kl0.BAtomic:
+		t := m.deref(m.x[0]).Tag()
+		ok = t == CCon || t == CNil || t == CInt
+	case kl0.BIs:
+		v := m.evalCell(m.x[1])
+		ok = m.unify(m.x[0], Int32(v))
+	case kl0.BArithEq, kl0.BArithNe, kl0.BLess, kl0.BLessEq, kl0.BGreater, kl0.BGreaterEq:
+		a := m.evalCell(m.x[0])
+		b := m.evalCell(m.x[1])
+		switch bi {
+		case kl0.BArithEq:
+			ok = a == b
+		case kl0.BArithNe:
+			ok = a != b
+		case kl0.BLess:
+			ok = a < b
+		case kl0.BLessEq:
+			ok = a <= b
+		case kl0.BGreater:
+			ok = a > b
+		default:
+			ok = a >= b
+		}
+	case kl0.BFunctor:
+		ok = m.biFunctor()
+	case kl0.BArg:
+		ok = m.biArg()
+	case kl0.BUniv:
+		ok = m.biUniv()
+	case kl0.BCall:
+		m.metacall()
+		return
+	case kl0.BWrite:
+		fmt.Fprint(m.out, m.decodeCell(m.x[0]).String())
+	case kl0.BNl:
+		fmt.Fprintln(m.out)
+	case kl0.BTab:
+		k := m.evalCell(m.x[0])
+		for i := int32(0); i < k; i++ {
+			fmt.Fprint(m.out, " ")
+		}
+	case kl0.BHalt:
+		m.halted = true
+		return
+	case kl0.BFindall:
+		ok = m.biFindall()
+	case kl0.BName:
+		ok = m.biName()
+	case kl0.BCompare:
+		ok = m.unify(m.x[0], m.orderAtom(m.compareCells(m.x[1], m.x[2])))
+	case kl0.BTermLess:
+		ok = m.compareCells(m.x[0], m.x[1]) < 0
+	case kl0.BTermLeq:
+		ok = m.compareCells(m.x[0], m.x[1]) <= 0
+	case kl0.BTermGtr:
+		ok = m.compareCells(m.x[0], m.x[1]) > 0
+	case kl0.BTermGeq:
+		ok = m.compareCells(m.x[0], m.x[1]) >= 0
+	default:
+		panic(&RunError{Msg: fmt.Sprintf("builtin %v is not available on the DEC-10 baseline", bi)})
+	}
+	if !ok {
+		m.failed = true
+		return
+	}
+	m.pc++
+}
+
+// notUnifiable attempts unification and rolls it back.
+func (m *Machine) notUnifiable(a, b Cell) bool {
+	trailMark := len(m.trail)
+	heapMark := len(m.heap)
+	savedHB := m.hb
+	m.hb = len(m.heap) // make every binding trailable
+	ok := m.unify(a, b)
+	for len(m.trail) > trailMark {
+		at := m.trail[len(m.trail)-1]
+		m.trail = m.trail[:len(m.trail)-1]
+		m.heap[at] = C(CRef, uint32(at))
+		m.cost(costTrailEntry)
+	}
+	m.heap = m.heap[:heapMark]
+	m.hb = savedHB
+	return !ok
+}
+
+// identical implements ==/2.
+func (m *Machine) identical(a, b Cell) bool {
+	x := m.deref(a)
+	y := m.deref(b)
+	m.cost(costUnifyNode)
+	if x == y {
+		return true
+	}
+	if x.Tag() != y.Tag() {
+		return false
+	}
+	switch x.Tag() {
+	case CLis:
+		return m.identical(m.heap[x.Ptr()], m.heap[y.Ptr()]) &&
+			m.identical(m.heap[x.Ptr()+1], m.heap[y.Ptr()+1])
+	case CStr:
+		fx, fy := m.heap[x.Ptr()], m.heap[y.Ptr()]
+		if fx != fy {
+			return false
+		}
+		for i := 1; i <= fx.FuncArity(); i++ {
+			if !m.identical(m.heap[x.Ptr()+i], m.heap[y.Ptr()+i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// evalCell computes an arithmetic expression. Only operator nodes cost
+// units; integer leaves ride the operator's fetch.
+func (m *Machine) evalCell(c Cell) int32 {
+	d := m.deref(c)
+	switch d.Tag() {
+	case CInt:
+		return d.Int()
+	case CRef:
+		panic(&RunError{Msg: "is/2: unbound variable in arithmetic expression"})
+	case CStr:
+		m.cost(costArithNode)
+		f := m.heap[d.Ptr()]
+		name := m.prog.Syms.Name(f.FuncSym())
+		arity := f.FuncArity()
+		if arity > 2 {
+			panic(&RunError{Msg: fmt.Sprintf("is/2: unknown function %s/%d", name, arity)})
+		}
+		var xs [2]int32
+		for i := 0; i < arity; i++ {
+			xs[i] = m.evalCell(m.heap[d.Ptr()+1+i])
+		}
+		switch {
+		case name == "+" && arity == 2:
+			return xs[0] + xs[1]
+		case name == "-" && arity == 2:
+			return xs[0] - xs[1]
+		case name == "-" && arity == 1:
+			return -xs[0]
+		case name == "+" && arity == 1:
+			return xs[0]
+		case name == "*" && arity == 2:
+			return xs[0] * xs[1]
+		case (name == "//" || name == "/") && arity == 2:
+			if xs[1] == 0 {
+				panic(&RunError{Msg: "is/2: division by zero"})
+			}
+			return xs[0] / xs[1]
+		case name == "mod" && arity == 2:
+			if xs[1] == 0 {
+				panic(&RunError{Msg: "is/2: modulo by zero"})
+			}
+			r := xs[0] % xs[1]
+			if r != 0 && (r < 0) != (xs[1] < 0) {
+				r += xs[1]
+			}
+			return r
+		case name == "abs" && arity == 1:
+			if xs[0] < 0 {
+				return -xs[0]
+			}
+			return xs[0]
+		case name == "min" && arity == 2:
+			if xs[0] < xs[1] {
+				return xs[0]
+			}
+			return xs[1]
+		case name == "max" && arity == 2:
+			if xs[0] > xs[1] {
+				return xs[0]
+			}
+			return xs[1]
+		}
+		panic(&RunError{Msg: fmt.Sprintf("is/2: unknown function %s/%d", name, arity)})
+	default:
+		panic(&RunError{Msg: "is/2: type error"})
+	}
+}
+
+// biFunctor implements functor/3.
+func (m *Machine) biFunctor() bool {
+	t := m.deref(m.x[0])
+	switch t.Tag() {
+	case CRef:
+		name := m.deref(m.x[1])
+		nv := m.deref(m.x[2])
+		if nv.Tag() != CInt {
+			panic(&RunError{Msg: "functor/3: arity must be an integer"})
+		}
+		n := int(nv.Int())
+		if n < 0 || n > kl0.MaxArity {
+			panic(&RunError{Msg: "functor/3: arity out of range"})
+		}
+		if n == 0 {
+			return m.unify(t, name)
+		}
+		var c Cell
+		switch name.Tag() {
+		case CCon:
+			if name.Data() == uint32(term.SymDot) && n == 2 {
+				h := len(m.heap)
+				m.newVar()
+				m.newVar()
+				c = C(CLis, uint32(h))
+			} else {
+				h := len(m.heap)
+				m.heap = append(m.heap, Fun(name.Data(), n))
+				m.cost(costHeapCell)
+				for i := 0; i < n; i++ {
+					m.newVar()
+				}
+				c = C(CStr, uint32(h))
+			}
+		default:
+			panic(&RunError{Msg: "functor/3: name must be an atom"})
+		}
+		return m.unify(t, c)
+	case CLis:
+		return m.unify(m.x[1], Con(term.SymDot)) && m.unify(m.x[2], Int32(2))
+	case CStr:
+		f := m.heap[t.Ptr()]
+		return m.unify(m.x[1], Con(f.FuncSym())) && m.unify(m.x[2], Int32(int32(f.FuncArity())))
+	default:
+		return m.unify(m.x[1], t) && m.unify(m.x[2], Int32(0))
+	}
+}
+
+// biArg implements arg/3.
+func (m *Machine) biArg() bool {
+	nv := m.deref(m.x[0])
+	t := m.deref(m.x[1])
+	if nv.Tag() != CInt {
+		return false
+	}
+	n := int(nv.Int())
+	switch t.Tag() {
+	case CLis:
+		if n < 1 || n > 2 {
+			return false
+		}
+		return m.unify(m.heap[t.Ptr()+n-1], m.x[2])
+	case CStr:
+		f := m.heap[t.Ptr()]
+		if n < 1 || n > f.FuncArity() {
+			return false
+		}
+		return m.unify(m.heap[t.Ptr()+n], m.x[2])
+	default:
+		return false
+	}
+}
+
+// biUniv implements =../2.
+func (m *Machine) biUniv() bool {
+	t := m.deref(m.x[0])
+	switch t.Tag() {
+	case CRef:
+		elems, ok := m.cellList(m.x[1])
+		if !ok || len(elems) == 0 {
+			panic(&RunError{Msg: "=../2: second argument must be a proper non-empty list"})
+		}
+		if len(elems) == 1 {
+			return m.unify(t, elems[0])
+		}
+		head := m.deref(elems[0])
+		if head.Tag() != CCon {
+			panic(&RunError{Msg: "=../2: functor must be an atom"})
+		}
+		n := len(elems) - 1
+		var c Cell
+		if head.Data() == uint32(term.SymDot) && n == 2 {
+			h := len(m.heap)
+			m.heap = append(m.heap, elems[1], elems[2])
+			m.cost(2 * costHeapCell)
+			c = C(CLis, uint32(h))
+		} else {
+			h := len(m.heap)
+			m.heap = append(m.heap, Fun(head.Data(), n))
+			m.heap = append(m.heap, elems[1:]...)
+			m.cost(int64(n+1) * costHeapCell)
+			c = C(CStr, uint32(h))
+		}
+		return m.unify(t, c)
+	case CLis:
+		return m.unify(m.x[1], m.mkList([]Cell{Con(term.SymDot), m.heap[t.Ptr()], m.heap[t.Ptr()+1]}))
+	case CStr:
+		f := m.heap[t.Ptr()]
+		elems := []Cell{Con(f.FuncSym())}
+		for i := 1; i <= f.FuncArity(); i++ {
+			elems = append(elems, m.heap[t.Ptr()+i])
+		}
+		return m.unify(m.x[1], m.mkList(elems))
+	default:
+		return m.unify(m.x[1], m.mkList([]Cell{t}))
+	}
+}
+
+// mkList builds a list on the heap.
+func (m *Machine) mkList(elems []Cell) Cell {
+	out := NilCell
+	for i := len(elems) - 1; i >= 0; i-- {
+		h := len(m.heap)
+		m.heap = append(m.heap, elems[i], out)
+		m.cost(2 * costHeapCell)
+		out = C(CLis, uint32(h))
+	}
+	return out
+}
+
+// cellList flattens a proper list.
+func (m *Machine) cellList(c Cell) ([]Cell, bool) {
+	var out []Cell
+	for {
+		d := m.deref(c)
+		switch d.Tag() {
+		case CNil:
+			return out, true
+		case CLis:
+			out = append(out, m.heap[d.Ptr()])
+			c = m.heap[d.Ptr()+1]
+		default:
+			return nil, false
+		}
+	}
+}
+
+// compareCells orders two cells by the standard order of terms.
+func (m *Machine) compareCells(a, b Cell) int {
+	x := m.deref(a)
+	y := m.deref(b)
+	m.cost(costUnifyNode)
+	rank := func(c Cell) int {
+		switch c.Tag() {
+		case CRef:
+			return 0
+		case CInt:
+			return 1
+		case CCon, CNil:
+			return 2
+		default:
+			return 3
+		}
+	}
+	if d := rank(x) - rank(y); d != 0 {
+		return csign(d)
+	}
+	switch x.Tag() {
+	case CRef:
+		return csign(x.Ptr() - y.Ptr())
+	case CInt:
+		return csign(int(x.Int()) - int(y.Int()))
+	case CCon, CNil:
+		xn, yn := m.conName(x), m.conName(y)
+		switch {
+		case xn == yn:
+			return 0
+		case xn < yn:
+			return -1
+		default:
+			return 1
+		}
+	default:
+		fx, ax := m.functorOf(x)
+		fy, ay := m.functorOf(y)
+		if d := ax - ay; d != 0 {
+			return csign(d)
+		}
+		if fx != fy {
+			if fx < fy {
+				return -1
+			}
+			return 1
+		}
+		for i := 0; i < ax; i++ {
+			if c := m.compareCells(m.argOf(x, i), m.argOf(y, i)); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+}
+
+func (m *Machine) conName(c Cell) string {
+	if c.Tag() == CNil {
+		return "[]"
+	}
+	return m.prog.Syms.Name(c.Data())
+}
+
+func (m *Machine) functorOf(c Cell) (string, int) {
+	if c.Tag() == CLis {
+		return ".", 2
+	}
+	f := m.heap[c.Ptr()]
+	return m.prog.Syms.Name(f.FuncSym()), f.FuncArity()
+}
+
+func (m *Machine) argOf(c Cell, i int) Cell {
+	if c.Tag() == CLis {
+		return m.heap[c.Ptr()+i]
+	}
+	return m.heap[c.Ptr()+1+i]
+}
+
+func (m *Machine) orderAtom(c int) Cell {
+	name := "="
+	switch {
+	case c < 0:
+		name = "<"
+	case c > 0:
+		name = ">"
+	}
+	return Con(m.prog.Syms.Intern(name))
+}
+
+func csign(d int) int {
+	switch {
+	case d < 0:
+		return -1
+	case d > 0:
+		return 1
+	}
+	return 0
+}
+
+// metacall implements call/1.
+func (m *Machine) metacall() {
+	m.calls++
+	g := m.deref(m.x[0])
+	var sym uint32
+	var arity int
+	switch g.Tag() {
+	case CCon:
+		sym = g.Data()
+	case CNil:
+		sym = uint32(term.SymEmptyList)
+	case CLis:
+		sym = uint32(term.SymDot)
+		arity = 2
+		m.x[0] = m.heap[g.Ptr()]
+		m.x[1] = m.heap[g.Ptr()+1]
+	case CStr:
+		f := m.heap[g.Ptr()]
+		sym = f.FuncSym()
+		arity = f.FuncArity()
+		for i := 0; i < arity; i++ {
+			m.x[i] = m.heap[g.Ptr()+1+i]
+		}
+		m.cost(int64(arity) * costCPArg)
+	case CRef:
+		panic(&RunError{Msg: "call/1: unbound goal"})
+	default:
+		panic(&RunError{Msg: "call/1: goal is not callable"})
+	}
+	name := m.prog.Syms.Name(sym)
+	if name == "," && arity == 2 {
+		// Sequence the two goals through the conjunction stub.
+		a, b := m.x[0], m.x[1]
+		if m.conjStub == 0 {
+			m.conjStub = len(m.prog.Code)
+			m.prog.Code = append(m.prog.Code,
+				instr{op: opAllocate, a: 2},
+				instr{op: opGetVariableY, a: 0, b: 0},
+				instr{op: opGetVariableY, a: 1, b: 1},
+				instr{op: opPutValueY, a: 0, b: 0},
+				instr{op: opBuiltin, bi: kl0.BCall, a: 1},
+				instr{op: opPutValueY, a: 1, b: 0},
+				instr{op: opBuiltin, bi: kl0.BCall, a: 1},
+				instr{op: opDeallocate},
+				instr{op: opProceed})
+		}
+		m.x[0], m.x[1] = a, b
+		m.cont = m.pc + 1
+		m.b0 = m.b
+		m.pc = m.conjStub
+		return
+	}
+	if name == `\+` && arity == 1 {
+		if m.metaNegation(m.x[0]) {
+			m.pc++
+		} else {
+			m.failed = true
+		}
+		return
+	}
+	if bi, ok := kl0.LookupBuiltin(name, arity); ok {
+		// Run the builtin in place; it advances pc itself.
+		m.execBuiltin(bi, arity)
+		return
+	}
+	idx, ok := m.prog.LookupProcSym(sym, arity)
+	if !ok || m.prog.Procs[idx].Entry < 0 {
+		panic(&RunError{Msg: fmt.Sprintf("call/1: undefined predicate %s/%d", name, arity)})
+	}
+	m.cont = m.pc + 1
+	m.b0 = m.b
+	m.pc = m.prog.Procs[idx].Entry
+}

@@ -1,0 +1,89 @@
+// Package dec10 implements the baseline comparator of the paper's
+// Table 1: a compiled-code Prolog engine in the style of the DEC-10
+// Prolog compiler running on the DEC-2060. Clauses compile to a
+// WAM-flavoured instruction set with the optimizations the paper credits
+// for DEC's wins on simple deterministic programs: first-argument
+// indexing (switch_on_term plus constant/structure tables, which removes
+// choice points that the PSI's firmware interpreter must create),
+// specialized list and constant unification instructions, and last-call
+// optimization.
+//
+// Terms are structure-copied onto a heap of tagged cells (the compiled
+// counterpart of the PSI's structure sharing). Timing uses a
+// per-instruction cost model in abstract units; a single global
+// nanosecond scale is calibrated on benchmark (1), nreverse — see
+// cost.go — and all other Table 1 ratios are emergent.
+package dec10
+
+import "fmt"
+
+// CTag tags a heap cell.
+type CTag uint8
+
+// Cell tags.
+const (
+	CRef CTag = iota // reference (unbound when self-referential)
+	CStr             // pointer to a functor cell followed by arguments
+	CLis             // pointer to a two-cell list pair
+	CCon             // atom constant (data = symbol)
+	CInt             // integer constant
+	CNil             // empty list
+	CFun             // functor cell: data packs symbol<<8 | arity
+)
+
+var ctagNames = [...]string{"ref", "str", "lis", "con", "int", "nil", "fun"}
+
+// String names the tag.
+func (t CTag) String() string {
+	if int(t) < len(ctagNames) {
+		return ctagNames[t]
+	}
+	return "ctag?"
+}
+
+// Cell is one tagged heap cell: tag in bits 32..39, data below.
+type Cell uint64
+
+// C assembles a cell.
+func C(t CTag, data uint32) Cell { return Cell(uint64(t)<<32 | uint64(data)) }
+
+// Tag extracts the tag.
+func (c Cell) Tag() CTag { return CTag(c >> 32) }
+
+// Data extracts the 32-bit data part.
+func (c Cell) Data() uint32 { return uint32(c) }
+
+// Int interprets the data as a signed integer.
+func (c Cell) Int() int32 { return int32(uint32(c)) }
+
+// Ptr interprets the data as a heap index.
+func (c Cell) Ptr() int { return int(uint32(c)) }
+
+// FuncSym extracts the symbol of a functor cell.
+func (c Cell) FuncSym() uint32 { return c.Data() >> 8 }
+
+// FuncArity extracts the arity of a functor cell.
+func (c Cell) FuncArity() int { return int(c.Data() & 0xff) }
+
+// Fun builds a functor cell.
+func Fun(sym uint32, arity int) Cell { return C(CFun, sym<<8|uint32(arity)&0xff) }
+
+// Con builds an atom cell.
+func Con(sym uint32) Cell { return C(CCon, sym) }
+
+// Int32 builds an integer cell.
+func Int32(v int32) Cell { return C(CInt, uint32(v)) }
+
+// NilCell is the empty list.
+var NilCell = C(CNil, 0)
+
+func (c Cell) String() string {
+	switch c.Tag() {
+	case CInt:
+		return fmt.Sprintf("int:%d", c.Int())
+	case CFun:
+		return fmt.Sprintf("fun:%d/%d", c.FuncSym(), c.FuncArity())
+	default:
+		return fmt.Sprintf("%s:%d", c.Tag(), c.Data())
+	}
+}

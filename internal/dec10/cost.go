@@ -1,0 +1,68 @@
+package dec10
+
+// The timing model: every executed instruction costs a number of abstract
+// units, with additional dynamic units for work proportional to data
+// (unification nodes, trail unwinding, environment size). One unit
+// corresponds to roughly one DEC-2060 microcoded memory-touching step.
+//
+// NSPerUnit is the single global calibration constant of the baseline. It
+// was fixed once so that benchmark (1), nreverse(30), reproduces the
+// paper's DEC-2060 measurement of 9.48 ms (Table 1); every other
+// benchmark's DEC time is then emergent from its instruction counts. See
+// EXPERIMENTS.md for the calibration protocol.
+const NSPerUnit = 1585
+
+// instruction base costs in units.
+var opCost = [...]int64{
+	opNop:               0,
+	opGetVariableX:      1,
+	opGetVariableY:      1,
+	opGetValueX:         2,
+	opGetValueY:         2,
+	opGetConstant:       1,
+	opGetNil:            1,
+	opGetList:           1,
+	opGetStructure:      1,
+	opUnifyVariableX:    1,
+	opUnifyVariableY:    1,
+	opUnifyValueX:       2,
+	opUnifyValueY:       2,
+	opUnifyConstant:     1,
+	opUnifyNil:          1,
+	opUnifyVoid:         1,
+	opPutVariableX:      1,
+	opPutVariableY:      1,
+	opPutValueX:         1,
+	opPutValueY:         1,
+	opPutConstant:       1,
+	opPutNil:            1,
+	opPutList:           2,
+	opPutStructure:      2,
+	opAllocate:          4, // environment frame setup
+	opDeallocate:        2,
+	opCall:              4,
+	opExecute:           3,
+	opProceed:           2,
+	opCut:               3,
+	opFail:              1,
+	opTry:               2, // choice-point save (registers + marks)
+	opRetry:             1,
+	opTrust:             1,
+	opSwitchOnTerm:      1,
+	opSwitchOnConstant:  4,
+	opSwitchOnStructure: 2,
+	opBuiltin:           1,
+	opHaltSuccess:       0,
+}
+
+// Dynamic cost units.
+const (
+	costUnifyNode    = 1 // per node pair visited by general unification
+	costDeref        = 1 // per extra reference hop (beyond the first)
+	costTrailEntry   = 1 // per trail entry pushed or unwound
+	costEnvSlot      = 1 // per permanent variable at allocate
+	costCPArg        = 1 // per argument register saved/restored at try/backtrack
+	costHeapCell     = 0 // heap-cell writes ride the instruction cost
+	costArithNode    = 1 // per arithmetic expression node
+	costBuiltinExtra = 1 // per argument of a builtin
+)

@@ -1,0 +1,357 @@
+package dec10
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parse"
+	"repro/internal/term"
+)
+
+func mk(t *testing.T, src string) *Machine {
+	t.Helper()
+	prog := NewProgram(nil)
+	if src != "" {
+		cs, err := parse.Clauses("test", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prog.AddClauses(cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(prog, Config{MaxUnits: 500_000_000})
+}
+
+func solveAll(t *testing.T, m *Machine, query string, limit int) []map[string]*term.Term {
+	t.Helper()
+	sols, err := m.Solve(query)
+	if err != nil {
+		t.Fatalf("Solve(%q): %v", query, err)
+	}
+	var out []map[string]*term.Term
+	for len(out) < limit {
+		ans, ok := sols.Next()
+		if !ok {
+			break
+		}
+		out = append(out, ans)
+	}
+	if sols.Err() != nil {
+		t.Fatalf("Solve(%q): %v", query, sols.Err())
+	}
+	return out
+}
+
+func answers(t *testing.T, m *Machine, query, v string, limit int) []string {
+	t.Helper()
+	var out []string
+	for _, ans := range solveAll(t, m, query, limit) {
+		out = append(out, ans[v].String())
+	}
+	return out
+}
+
+func expectAnswers(t *testing.T, src, query, v string, want ...string) {
+	t.Helper()
+	m := mk(t, src)
+	got := answers(t, m, query, v, len(want)+5)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d answers %v, want %v", query, len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: answer %d = %s, want %s", query, i, got[i], want[i])
+		}
+	}
+}
+
+func expectTrue(t *testing.T, src, query string) {
+	t.Helper()
+	m := mk(t, src)
+	if got := solveAll(t, m, query, 1); len(got) != 1 {
+		t.Fatalf("%s should succeed", query)
+	}
+}
+
+func expectFail(t *testing.T, src, query string) {
+	t.Helper()
+	m := mk(t, src)
+	if got := solveAll(t, m, query, 1); len(got) != 0 {
+		t.Fatalf("%s should fail, got %v", query, got)
+	}
+}
+
+func TestFactsAndBacktracking(t *testing.T) {
+	src := "likes(mary, wine). likes(john, beer). likes(john, wine)."
+	expectAnswers(t, src, "likes(john, X)", "X", "beer", "wine")
+	expectAnswers(t, src, "likes(P, wine)", "P", "mary", "john")
+	expectFail(t, src, "likes(mary, beer)")
+}
+
+func TestUnification(t *testing.T) {
+	src := "eq(X, X)."
+	expectTrue(t, src, "eq(a, a)")
+	expectFail(t, src, "eq(a, b)")
+	expectTrue(t, src, "eq(f(a, g(B)), f(a, g(b)))")
+	expectFail(t, src, "eq(f(a), g(a))")
+	expectFail(t, src, "eq(f(a), f(a, b))")
+	expectAnswers(t, src, "eq(X, f(Y)), eq(Y, 3)", "X", "f(3)")
+	expectAnswers(t, src, "eq(X, Y), eq(Y, hello)", "X", "hello")
+	expectAnswers(t, src, "eq(f(g(h(A)), [1, A, 2]), f(g(h(z)), L))", "L", "[1,z,2]")
+}
+
+func TestAppendAndNrev(t *testing.T) {
+	src := `
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+`
+	expectAnswers(t, src, "append([1,2], [3], X)", "X", "[1,2,3]")
+	expectAnswers(t, src, "append(X, [3], [1,2,3])", "X", "[1,2]")
+	expectAnswers(t, src, "nrev([1,2,3,4,5], R)", "R", "[5,4,3,2,1]")
+	m := mk(t, src)
+	if got := answers(t, m, "append(X, Y, [1,2])", "X", 10); len(got) != 3 {
+		t.Fatalf("append split: %v", got)
+	}
+}
+
+func TestIndexingRemovesChoicePoints(t *testing.T) {
+	src := `
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+`
+	m := mk(t, src)
+	// With a bound list first argument, indexing jumps directly: no try
+	// instruction runs, so deterministic append creates no choice points.
+	sols, err := m.Solve("append([1,2,3], [4], R)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sols.Next(); !ok {
+		t.Fatal("append failed")
+	}
+	if m.b != nil {
+		t.Error("indexing should leave no choice points for a bound first argument")
+	}
+}
+
+func TestVarFirstArgUsesChain(t *testing.T) {
+	m := mk(t, "n(1). n(2). n(3).")
+	if got := answers(t, m, "n(X)", "X", 10); strings.Join(got, ",") != "1,2,3" {
+		t.Fatalf("chain answers: %v", got)
+	}
+}
+
+func TestConstantIndexing(t *testing.T) {
+	src := `
+color(red, 1). color(green, 2). color(blue, 3).
+`
+	expectAnswers(t, src, "color(green, X)", "X", "2")
+	expectFail(t, src, "color(mauve, _)")
+}
+
+func TestMixedIndexBuckets(t *testing.T) {
+	src := `
+t([], empty).
+t([_|_], list).
+t(f(_), struct).
+t(42, int).
+t(X, var_or_other) :- atom(X).
+`
+	// atom([]) holds, so the var-keyed clause also matches [].
+	expectAnswers(t, src, "t([], R)", "R", "empty", "var_or_other")
+	expectAnswers(t, src, "t([a], R)", "R", "list")
+	expectAnswers(t, src, "t(f(1), R)", "R", "struct")
+	expectAnswers(t, src, "t(42, R)", "R", "int")
+	expectAnswers(t, src, "t(foo, R)", "R", "var_or_other")
+	m := mk(t, src)
+	// The var chain tries all five clauses; the last fails its atom/1
+	// guard for an unbound argument, leaving four answers.
+	if got := answers(t, m, "t(Y, R)", "R", 10); len(got) != 4 {
+		t.Fatalf("var query must try all clauses: %v", got)
+	}
+}
+
+func TestCut(t *testing.T) {
+	src := `
+max(X, Y, X) :- X >= Y, !.
+max(_, Y, Y).
+`
+	expectAnswers(t, src, "max(3, 7, M)", "M", "7")
+	m := mk(t, src)
+	if got := answers(t, m, "max(9, 7, M)", "M", 5); len(got) != 1 || got[0] != "9" {
+		t.Fatalf("cut: %v", got)
+	}
+}
+
+func TestNegationAndITE(t *testing.T) {
+	src := `
+man(socrates).
+sign(X, S) :- (X < 0 -> S = minus ; X > 0 -> S = plus ; S = zero).
+`
+	expectTrue(t, src, "\\+ man(zeus)")
+	expectFail(t, src, "\\+ man(socrates)")
+	expectAnswers(t, src, "sign(-3, S)", "S", "minus")
+	expectAnswers(t, src, "sign(0, S)", "S", "zero")
+}
+
+func TestArithmetic(t *testing.T) {
+	src := "id(X, X)."
+	expectAnswers(t, src, "X is 2 + 3 * 4", "X", "14")
+	expectAnswers(t, src, "X is 7 // 2 + 7 mod 2", "X", "4")
+	expectAnswers(t, src, "X is abs(-5) + min(1, 2) + max(1, 2)", "X", "8")
+	expectTrue(t, src, "4 > 3, 3 =< 3, 3 =:= 3, 4 =\\= 3")
+	m := mk(t, src)
+	sols, _ := m.Solve("X is Y + 1")
+	if _, ok := sols.Next(); ok || sols.Err() == nil {
+		t.Fatal("unbound arithmetic should error")
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	src := "id(X, X)."
+	expectTrue(t, src, "var(X), id(X, 3), nonvar(X), integer(X)")
+	expectTrue(t, src, "atom(foo), atomic(42), \\+ atom(f(x))")
+	expectTrue(t, src, "f(X) == f(X), f(X) \\== f(Y), a \\= b")
+	expectAnswers(t, src, "functor(f(a, b), N, A), id(N-A, R)", "R", "f-2")
+	expectAnswers(t, src, "functor(T, pair, 2), arg(1, T, x), arg(2, T, y)", "T", "pair(x,y)")
+	expectAnswers(t, src, "f(1, 2) =.. L", "L", "[f,1,2]")
+	expectAnswers(t, src, "T =.. [g, 7]", "T", "g(7)")
+	expectAnswers(t, src, "[a] =.. L", "L", "[.,a,[]]")
+	expectAnswers(t, src, "T =.. ['.', h, []]", "T", "[h]")
+}
+
+func TestMetacall(t *testing.T) {
+	src := "p(1). p(2).\napply(G) :- call(G).\napplyv(G) :- G."
+	expectAnswers(t, src, "apply(p(X))", "X", "1", "2")
+	expectAnswers(t, src, "applyv(p(X))", "X", "1", "2")
+	expectTrue(t, src, "call(true)")
+}
+
+func TestQueens6(t *testing.T) {
+	src := `
+range(L, L, [L]) :- !.
+range(L, H, [L|T]) :- L < H, L1 is L + 1, range(L1, H, T).
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+safe(_, _, []).
+safe(Q, D, [Q2|Qs]) :- Q =\= Q2 + D, Q =\= Q2 - D, D1 is D + 1, safe(Q, D1, Qs).
+place([], []).
+place(Cols, [Q|Sol]) :- sel(Q, Cols, Rest), place(Rest, Sol), safe(Q, 1, Sol).
+queens(N, Sol) :- range(1, N, Cols), place(Cols, Sol).
+`
+	m := mk(t, src)
+	if got := answers(t, m, "queens(6, S)", "S", 100); len(got) != 4 {
+		t.Fatalf("6-queens solutions: %d", len(got))
+	}
+}
+
+func TestDeepRecursion(t *testing.T) {
+	src := `
+count(0) :- !.
+count(N) :- N > 0, M is N - 1, count(M).
+`
+	m := mk(t, src)
+	if got := solveAll(t, m, "count(30000)", 1); len(got) != 1 {
+		t.Fatal("deep recursion failed")
+	}
+}
+
+func TestCostsAccumulate(t *testing.T) {
+	m := mk(t, "n(1). n(2).")
+	solveAll(t, m, "n(X), X > 1", 5)
+	if m.Units() <= 0 || m.TimeNS() <= 0 || m.Calls() <= 0 {
+		t.Error("cost accounting inactive")
+	}
+}
+
+func TestUnitLimit(t *testing.T) {
+	prog := NewProgram(nil)
+	cs, _ := parse.Clauses("t", "loop :- loop.")
+	if err := prog.AddClauses(cs); err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, Config{MaxUnits: 10000})
+	sols, _ := m.Solve("loop")
+	if _, ok := sols.Next(); ok || sols.Err() == nil {
+		t.Fatal("expected unit-limit error")
+	}
+}
+
+func TestUndefinedPredicate(t *testing.T) {
+	prog := NewProgram(nil)
+	cs, _ := parse.Clauses("t", "p :- q.")
+	if err := prog.AddClauses(cs); err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, Config{})
+	sols, err := m.Solve("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sols.Next(); ok || sols.Err() == nil {
+		t.Fatal("undefined predicate should error at run time")
+	}
+}
+
+func TestWriteOutput(t *testing.T) {
+	prog := NewProgram(nil)
+	cs, _ := parse.Clauses("t", "go :- write(hi), tab(2), write(f(1)), nl.")
+	if err := prog.AddClauses(cs); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	m := New(prog, Config{Out: &sb})
+	sols, _ := m.Solve("go")
+	if _, ok := sols.Next(); !ok {
+		t.Fatal(sols.Err())
+	}
+	if sb.String() != "hi  f(1)\n" {
+		t.Errorf("output %q", sb.String())
+	}
+}
+
+func TestAcrossBatchLinking(t *testing.T) {
+	prog := NewProgram(nil)
+	cs1, _ := parse.Clauses("t", "p(X) :- q(X).")
+	if err := prog.AddClauses(cs1); err != nil {
+		t.Fatal(err)
+	}
+	cs2, _ := parse.Clauses("t", "q(7).")
+	if err := prog.AddClauses(cs2); err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, Config{})
+	if got := answers(t, m, "p(X)", "X", 5); len(got) != 1 || got[0] != "7" {
+		t.Fatalf("cross-batch: %v", got)
+	}
+}
+
+func TestFindallDEC(t *testing.T) {
+	src := `
+n(1). n(2). n(3).
+pair(X, Y) :- n(X), n(Y), X < Y.
+`
+	expectAnswers(t, src, "findall(X, n(X), L)", "L", "[1,2,3]")
+	expectAnswers(t, src, "findall(X-Y, pair(X, Y), L)", "L", "[1-2,1-3,2-3]")
+	expectAnswers(t, src, "findall(X, fail, L)", "L", "[]")
+	expectAnswers(t, src, "findall(X, n(X), _), X = clean", "X", "clean")
+	expectAnswers(t, src, "findall(L1, (n(_), findall(X, n(X), L1)), L)", "L",
+		"[[1,2,3],[1,2,3],[1,2,3]]")
+}
+
+func TestNameDEC(t *testing.T) {
+	src := "id(X, X)."
+	expectAnswers(t, src, "name(hello, L)", "L", "[104,101,108,108,111]")
+	expectAnswers(t, src, `name(A, "abc")`, "A", "abc")
+	expectAnswers(t, src, `name(N, "42")`, "N", "42")
+}
+
+func TestMetaControlDEC(t *testing.T) {
+	src := "n(1). n(2).\napply(G) :- call(G)."
+	expectAnswers(t, src, "apply((n(X), n(Y))), X = Y", "X", "1", "2")
+	expectTrue(t, src, "apply(\\+ n(3))")
+	expectFail(t, src, "apply(\\+ n(1))")
+}

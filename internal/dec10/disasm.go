@@ -1,0 +1,110 @@
+package dec10
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders a procedure's compiled code, including its indexing
+// blocks, for debugging and documentation.
+func (p *Program) Disasm(procIdx int) string {
+	proc := p.Procs[procIdx]
+	var b strings.Builder
+	fmt.Fprintf(&b, "%% %s entry @%d\n", proc.Indicator(), proc.Entry)
+	if proc.Entry < 0 {
+		fmt.Fprintf(&b, "  (undefined)\n")
+		return b.String()
+	}
+	// Walk from the entry following static structure: print the entry
+	// block and every clause block it can reach.
+	seen := map[int]bool{}
+	var walk func(pc int)
+	walk = func(pc int) {
+		for pc < len(p.Code) && !seen[pc] {
+			seen[pc] = true
+			ins := p.Code[pc]
+			fmt.Fprintf(&b, "%6d  %s", pc, p.insString(ins))
+			fmt.Fprintln(&b)
+			switch ins.op {
+			case opProceed, opExecute, opFail, opHaltSuccess:
+				return
+			case opTry, opRetry:
+				walk(int(ins.a))
+			case opTrust:
+				walk(int(ins.a))
+				return
+			case opSwitchOnTerm:
+				walk(int(ins.lv))
+				walk(int(ins.lc))
+				walk(int(ins.ll))
+				walk(int(ins.ls))
+				return
+			case opSwitchOnConstant:
+				for _, t := range ins.tbl {
+					walk(int(t))
+				}
+				walk(int(ins.a))
+				return
+			case opSwitchOnStructure:
+				for _, t := range ins.ftb {
+					walk(int(t))
+				}
+				walk(int(ins.a))
+				return
+			}
+			pc++
+		}
+	}
+	walk(proc.Entry)
+	return b.String()
+}
+
+func (p *Program) insString(ins instr) string {
+	switch ins.op {
+	case opCall, opExecute:
+		return fmt.Sprintf("%-18s %s", ins.op, p.Procs[ins.a].Indicator())
+	case opGetConstant, opPutConstant, opUnifyConstant:
+		return fmt.Sprintf("%-18s A%d, %s", ins.op, ins.b, p.cellString(ins.c))
+	case opGetStructure, opPutStructure:
+		return fmt.Sprintf("%-18s A%d, %s/%d", ins.op, ins.b, p.Syms.Name(ins.f>>8), ins.f&0xff)
+	case opGetVariableX, opGetValueX, opPutVariableX, opPutValueX:
+		return fmt.Sprintf("%-18s X%d, A%d", ins.op, ins.a, ins.b)
+	case opGetVariableY, opGetValueY, opPutVariableY, opPutValueY:
+		return fmt.Sprintf("%-18s Y%d, A%d", ins.op, ins.a, ins.b)
+	case opUnifyVariableX, opUnifyValueX:
+		return fmt.Sprintf("%-18s X%d", ins.op, ins.a)
+	case opUnifyVariableY, opUnifyValueY:
+		return fmt.Sprintf("%-18s Y%d", ins.op, ins.a)
+	case opAllocate, opUnifyVoid:
+		return fmt.Sprintf("%-18s %d", ins.op, ins.a)
+	case opTry:
+		return fmt.Sprintf("%-18s @%d (save %d args)", ins.op, ins.a, ins.b)
+	case opRetry, opTrust:
+		return fmt.Sprintf("%-18s @%d", ins.op, ins.a)
+	case opSwitchOnTerm:
+		return fmt.Sprintf("%-18s var@%d const@%d list@%d struct@%d", ins.op, ins.lv, ins.lc, ins.ll, ins.ls)
+	case opSwitchOnConstant:
+		return fmt.Sprintf("%-18s %d keys, default @%d", ins.op, len(ins.tbl), ins.a)
+	case opSwitchOnStructure:
+		return fmt.Sprintf("%-18s %d functors, default @%d", ins.op, len(ins.ftb), ins.a)
+	case opBuiltin:
+		return fmt.Sprintf("%-18s %v/%d", ins.op, ins.bi, ins.a)
+	case opGetList, opGetNil, opPutList, opPutNil:
+		return fmt.Sprintf("%-18s A%d", ins.op, ins.b)
+	default:
+		return ins.op.String()
+	}
+}
+
+func (p *Program) cellString(c Cell) string {
+	switch c.Tag() {
+	case CCon:
+		return p.Syms.Name(c.Data())
+	case CInt:
+		return fmt.Sprintf("%d", c.Int())
+	case CNil:
+		return "[]"
+	default:
+		return c.String()
+	}
+}

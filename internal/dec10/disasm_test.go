@@ -1,0 +1,40 @@
+package dec10
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parse"
+)
+
+func TestDisasm(t *testing.T) {
+	prog := NewProgram(nil)
+	cs, err := parse.Clauses("t", `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+color(red, 1). color(green, 2).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.AddClauses(cs); err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := prog.LookupProc("app", 3)
+	out := prog.Disasm(idx)
+	for _, want := range []string{"app/3", "switch_on_term", "get_list", "execute", "proceed", "try"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disasm missing %q:\n%s", want, out)
+		}
+	}
+	cidx, _ := prog.LookupProc("color", 2)
+	cout := prog.Disasm(cidx)
+	if !strings.Contains(cout, "switch_on_constant") || !strings.Contains(cout, "get_constant") {
+		t.Errorf("color disasm:\n%s", cout)
+	}
+	// Undefined proc renders gracefully.
+	pidx := prog.ensureProc("ghost", 1)
+	if !strings.Contains(prog.Disasm(pidx), "undefined") {
+		t.Error("undefined proc disasm")
+	}
+}

@@ -1,0 +1,119 @@
+package dec10
+
+import (
+	"fmt"
+
+	"repro/internal/kl0"
+)
+
+// opcode is a compiled-code instruction opcode.
+type opcode uint8
+
+// The instruction set. Register operands address the argument/temporary
+// register bank (A/X registers are the same bank, as in the WAM); Y
+// operands address the current environment's permanent variables.
+const (
+	opNop opcode = iota
+
+	// Head (get/unify) instructions.
+	opGetVariableX // X[a] := A[b]
+	opGetVariableY // Y[a] := A[b]
+	opGetValueX    // unify(X[a], A[b])
+	opGetValueY    // unify(Y[a], A[b])
+	opGetConstant  // unify A[b] with constant c
+	opGetNil       // unify A[b] with []
+	opGetList      // unify A[b] with a list pair; sets read/write mode
+	opGetStructure // unify A[b] with structure f; sets read/write mode
+
+	// Unify (argument-stream) instructions, valid after get/put
+	// list/structure.
+	opUnifyVariableX
+	opUnifyVariableY
+	opUnifyValueX
+	opUnifyValueY
+	opUnifyConstant
+	opUnifyNil
+	opUnifyVoid // a = count of voids
+
+	// Body (put/set) instructions.
+	opPutVariableX // fresh unbound; X[a] and A[b] reference it
+	opPutVariableY
+	opPutValueX // A[b] := X[a]
+	opPutValueY
+	opPutConstant  // A[b] := c
+	opPutNil       // A[b] := []
+	opPutList      // A[b] := new list pair (write mode for set_*)
+	opPutStructure // A[b] := new structure f (write mode)
+
+	// Control.
+	opAllocate   // new environment with a permanent variables
+	opDeallocate // drop the current environment
+	opCall       // call procedure a (continuation = next instruction)
+	opExecute    // tail-call procedure a
+	opProceed    // return to continuation
+	opCut        // discard choice points newer than the env's barrier
+	opFail       // force backtracking
+
+	// Choice and indexing.
+	opTry   // push choice point (alternative = next instr), jump to a
+	opRetry // current choice point's alternative = next instr, jump to a
+	opTrust // pop choice point, jump to a
+	opSwitchOnTerm
+	opSwitchOnConstant
+	opSwitchOnStructure
+
+	// Built-ins operate on A[0..arity).
+	opBuiltin
+
+	// Query control.
+	opHaltSuccess
+)
+
+var opNames = [...]string{
+	"nop",
+	"get_variable_x", "get_variable_y", "get_value_x", "get_value_y",
+	"get_constant", "get_nil", "get_list", "get_structure",
+	"unify_variable_x", "unify_variable_y", "unify_value_x", "unify_value_y",
+	"unify_constant", "unify_nil", "unify_void",
+	"put_variable_x", "put_variable_y", "put_value_x", "put_value_y",
+	"put_constant", "put_nil", "put_list", "put_structure",
+	"allocate", "deallocate", "call", "execute", "proceed", "cut", "fail",
+	"try", "retry", "trust",
+	"switch_on_term", "switch_on_constant", "switch_on_structure",
+	"builtin",
+	"halt_success",
+}
+
+func (o opcode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// instr is one compiled instruction.
+type instr struct {
+	op opcode
+	a  int32 // register / proc index / count / jump target
+	b  int32 // register / secondary target
+	c  Cell  // constant operand
+	f  uint32
+	bi kl0.Builtin
+	// switch tables (constant cell -> code index, functor -> code index)
+	tbl map[Cell]int32
+	ftb map[uint32]int32
+	// switch_on_term targets: var, const, list, struct (a/b hold
+	// var/const; l/s below)
+	lv, lc, ll, ls int32
+}
+
+// Proc is one compiled predicate.
+type Proc struct {
+	Name  string
+	Sym   uint32
+	Arity int
+	Entry int // code index; -1 until defined
+}
+
+// Indicator returns name/arity.
+func (p *Proc) Indicator() string { return fmt.Sprintf("%s/%d", p.Name, p.Arity) }

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kl0"
+	"repro/internal/parse"
+	"repro/internal/progs"
+)
+
+// AblationRow reports one machine variant's cost on one workload.
+type AblationRow struct {
+	Feature  string
+	Workload string
+	BaseMS   float64 // the full PSI configuration
+	VarMS    float64 // with the feature ablated (or PSI-II enabled)
+	DeltaPct float64 // (VarMS/BaseMS - 1) * 100; negative = variant faster
+}
+
+// ablationVariants lists the design choices the paper's data speaks to.
+func ablationVariants() []struct {
+	name string
+	feat core.Features
+} {
+	return []struct {
+		name string
+		feat core.Features
+	}{
+		{"no frame buffers", core.Features{NoFrameBuffers: true}},
+		{"no control-frame buffers", core.Features{NoCtrlBuffers: true}},
+		{"no last-call optimization", core.Features{NoLCO: true}},
+		{"no Write-Stack command", core.Features{NoWriteStack: true}},
+		{"no trail buffer", core.Features{NoTrailBuffer: true}},
+		{"PSI-II indexing", core.Features{Indexing: true}},
+	}
+}
+
+// ablationWorkloads picks a spread of styles: deterministic list code,
+// search, and the OO window system.
+func ablationWorkloads() []progs.Benchmark {
+	return []progs.Benchmark{progs.NReverse, progs.QueensFirst, progs.BUP2, progs.Window1}
+}
+
+// runFeat executes a benchmark under a feature configuration.
+func runFeat(b progs.Benchmark, feat core.Features) (*core.Machine, error) {
+	prog := kl0.NewProgram(nil)
+	cs, err := parse.Clauses(b.Name, b.Source)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.AddClauses(cs); err != nil {
+		return nil, err
+	}
+	procs := b.Processes
+	if procs == 0 {
+		procs = 1
+	}
+	m := core.New(prog, core.Config{Processes: procs, MaxSteps: maxSteps, Features: feat})
+	if b.Handler != "" {
+		hg, err := parse.Term(b.Handler)
+		if err != nil {
+			return nil, err
+		}
+		hq, err := prog.CompileQuery(hg)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.SetInterruptHandler(1, hq); err != nil {
+			return nil, err
+		}
+	}
+	sols, err := m.Solve(b.Query)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := sols.Next(); !ok {
+		if sols.Err() != nil {
+			return nil, sols.Err()
+		}
+		return nil, fmt.Errorf("%s: query failed under %+v", b.Name, feat)
+	}
+	return m, nil
+}
+
+// Ablations measures every feature variant on every ablation workload.
+func Ablations() ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, b := range ablationWorkloads() {
+		base, err := runFeat(b, core.Features{})
+		if err != nil {
+			return nil, err
+		}
+		baseMS := float64(base.TimeNS()) / 1e6
+		for _, v := range ablationVariants() {
+			m, err := runFeat(b, v.feat)
+			if err != nil {
+				return nil, fmt.Errorf("%s / %s: %w", b.Name, v.name, err)
+			}
+			varMS := float64(m.TimeNS()) / 1e6
+			rows = append(rows, AblationRow{
+				Feature:  v.name,
+				Workload: b.Name,
+				BaseMS:   baseMS,
+				VarMS:    varMS,
+				DeltaPct: (varMS/baseMS - 1) * 100,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatAblations renders the ablation study.
+func FormatAblations(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation study: simulated time change per removed feature (+%% = slower without it)\n")
+	fmt.Fprintf(&b, "%-26s %-16s %9s %9s %8s\n", "variant", "workload", "base(ms)", "var(ms)", "delta")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %-16s %9.1f %9.1f %+7.1f%%\n",
+			r.Feature, r.Workload, r.BaseMS, r.VarMS, r.DeltaPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/micro"
+)
+
+// FormatTable1 renders Table 1 with paper-vs-measured columns.
+func FormatTable1(rows []T1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Execution time of benchmark programs on PSI and DEC-2060\n")
+	fmt.Fprintf(&b, "%-18s %10s %10s %8s | %9s %9s %8s\n",
+		"program", "PSI(ms)", "DEC(ms)", "DEC/PSI", "paperPSI", "paperDEC", "paperR")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %10.1f %10.1f %8.2f | %9.1f %9.1f %8.2f\n",
+			r.Name, r.PSIMS, r.DECMS, r.Ratio, r.PaperPSIMS, r.PaperDECMS, r.PaperRatio)
+	}
+	return b.String()
+}
+
+// FormatTable2 renders the firmware module step ratios.
+func FormatTable2(rows []T2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Execution step ratios of firmware interpreter modules (%%)\n")
+	fmt.Fprintf(&b, "%-14s", "program")
+	for m := micro.Module(0); m < micro.NumModules; m++ {
+		fmt.Fprintf(&b, " %8s", m)
+	}
+	fmt.Fprintln(&b)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r.Name)
+		for _, v := range r.Modules {
+			fmt.Fprintf(&b, " %8.1f", v)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FormatTable3 renders the cache command rates.
+func FormatTable3(rows []T3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Execution rate of each cache command in total microprogram steps (%%)\n")
+	fmt.Fprintf(&b, "%-14s %8s %12s %8s %12s %8s\n",
+		"program", "read", "write-stack", "write", "write-total", "total")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8.1f %12.1f %8.1f %12.1f %8.1f\n",
+			r.Name, r.Read, r.WriteStack, r.Write, r.WriteTotal, r.Total)
+	}
+	return b.String()
+}
+
+// FormatTable4 renders the per-area access shares.
+func FormatTable4(rows []T4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: Access frequency of each memory area (%%)\n")
+	fmt.Fprintf(&b, "%-14s %8s %8s %8s %8s %8s\n",
+		"program", "heap", "global", "local", "control", "trail")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8.1f %8.1f %8.1f %8.1f %8.1f\n",
+			r.Name, r.Areas[0], r.Areas[1], r.Areas[2], r.Areas[3], r.Areas[4])
+	}
+	return b.String()
+}
+
+// FormatTable5 renders the per-area hit ratios.
+func FormatTable5(rows []T5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: Cache hit ratios of each memory area (%%)\n")
+	fmt.Fprintf(&b, "%-14s %8s %8s %8s %8s %8s %8s\n",
+		"program", "heap", "global", "local", "control", "trail", "total")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f\n",
+			r.Name, r.Areas[0], r.Areas[1], r.Areas[2], r.Areas[3], r.Areas[4], r.Total)
+	}
+	return b.String()
+}
+
+// FormatFigure1 renders the capacity sweep and ablations.
+func FormatFigure1(f *Fig1) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: Performance improvement ratio vs cache capacity (workload %s)\n", f.Workload)
+	fmt.Fprintf(&b, "%10s %14s %10s\n", "words", "improvement(%)", "hit-ratio")
+	var max float64
+	for _, p := range f.Points {
+		if p.Improvement > max {
+			max = p.Improvement
+		}
+	}
+	for _, p := range f.Points {
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", int(p.Improvement/max*40+0.5))
+		}
+		fmt.Fprintf(&b, "%10d %14.1f %10.3f  %s\n", p.Words, p.Improvement, p.HitRatio, bar)
+	}
+	fmt.Fprintf(&b, "\nAblations at 8K words:\n")
+	fmt.Fprintf(&b, "  two-set store-in     %8.1f%%\n", f.TwoSet8K)
+	fmt.Fprintf(&b, "  one-set store-in     %8.1f%%\n", f.OneSet8K)
+	fmt.Fprintf(&b, "  two-set store-through%8.1f%%\n", f.StoreThrough)
+	fmt.Fprintf(&b, "One-set penalty (improvement-ratio points):\n")
+	for name, v := range f.OneSetPenalty {
+		fmt.Fprintf(&b, "  %-14s %6.1f\n", name, v)
+	}
+	return b.String()
+}
+
+// FormatTable6 renders the work-file access-mode distribution.
+func FormatTable6(t *T6) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 6: Dynamic frequency of work file access modes (%%) — workload %s\n", t.Workload)
+	fmt.Fprintf(&b, "%-12s %17s %17s %17s\n", "mode", "source1", "source2", "destination")
+	for mode := micro.WFMode(1); mode < micro.NumWFModes; mode++ {
+		fmt.Fprintf(&b, "%-12s", mode)
+		for field := 0; field < 3; field++ {
+			fmt.Fprintf(&b, "  %6.1f / %6.2f ",
+				t.Usage.RateOfAccesses(field, mode)*100,
+				t.Usage.RateOfSteps(field, mode)*100)
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "%-12s", "total")
+	for field := 0; field < 3; field++ {
+		acc := t.Usage.Accesses(field)
+		fmt.Fprintf(&b, "  %6.1f / %6.2f ", 100.0,
+			float64(acc)/float64(t.Usage.Steps)*100)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "(cell format: %%-of-field-accesses / %%-of-all-steps, as in the paper)\n")
+	return b.String()
+}
+
+// FormatTable7 renders the branch operation distribution.
+func FormatTable7(cols []T7Col) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 7: Dynamic frequency of branch operations (%% of steps)\n")
+	fmt.Fprintf(&b, "%-24s", "operation")
+	for _, c := range cols {
+		fmt.Fprintf(&b, " %10s", c.Name)
+	}
+	fmt.Fprintln(&b)
+	lastType := 0
+	for op := micro.BranchOp(0); op < micro.NumBranchOps; op++ {
+		if op.Type() != lastType {
+			lastType = op.Type()
+			fmt.Fprintf(&b, "Type%d\n", lastType)
+		}
+		fmt.Fprintf(&b, "  (%2d) %-17s", int(op)+1, op)
+		for _, c := range cols {
+			fmt.Fprintf(&b, " %10.1f", c.Rates[op])
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "%-24s", "total branch ops")
+	for _, c := range cols {
+		fmt.Fprintf(&b, " %10.1f", c.Branch)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "%-24s", "branch with data manip")
+	for _, c := range cols {
+		fmt.Fprintf(&b, " %10.1f", c.Data)
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}

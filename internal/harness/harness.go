@@ -1,0 +1,108 @@
+// Package harness runs the paper's evaluation: it executes the benchmark
+// programs on the PSI machine and the DEC-10 baseline and regenerates
+// every table and figure of the paper (Tables 1-7, Figure 1, and the
+// cache ablations discussed in section 4.2).
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dec10"
+	"repro/internal/kl0"
+	"repro/internal/micro"
+	"repro/internal/parse"
+	"repro/internal/progs"
+	"repro/internal/trace"
+)
+
+// maxSteps bounds any single simulated run.
+const maxSteps = 4_000_000_000
+
+// PSIRun is the outcome of one PSI execution.
+type PSIRun struct {
+	Machine *core.Machine
+	Trace   *trace.Log // nil unless requested
+}
+
+// RunPSI executes a benchmark on the PSI machine. When collect is true, a
+// full COLLECT trace is attached (needed for PMMS replay and MAP).
+func RunPSI(b progs.Benchmark, collect bool) (*PSIRun, error) {
+	prog := kl0.NewProgram(nil)
+	cs, err := parse.Clauses(b.Name, b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	if err := prog.AddClauses(cs); err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	procs := b.Processes
+	if procs == 0 {
+		procs = 1
+	}
+	cfg := core.Config{Processes: procs, MaxSteps: maxSteps}
+	var log *trace.Log
+	if collect {
+		log = &trace.Log{}
+		cfg.Trace = log
+	}
+	m := core.New(prog, cfg)
+	if b.Handler != "" {
+		hg, err := parse.Term(b.Handler)
+		if err != nil {
+			return nil, err
+		}
+		hq, err := prog.CompileQuery(hg)
+		if err != nil {
+			return nil, fmt.Errorf("%s handler: %w", b.Name, err)
+		}
+		if err := m.SetInterruptHandler(1, hq); err != nil {
+			return nil, err
+		}
+	}
+	sols, err := m.Solve(b.Query)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	if _, ok := sols.Next(); !ok {
+		if sols.Err() != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, sols.Err())
+		}
+		return nil, fmt.Errorf("%s: query %q failed", b.Name, b.Query)
+	}
+	return &PSIRun{Machine: m, Trace: log}, nil
+}
+
+// RunDEC executes a benchmark on the DEC-10 baseline.
+func RunDEC(b progs.Benchmark) (*dec10.Machine, error) {
+	prog := dec10.NewProgram(nil)
+	cs, err := parse.Clauses(b.Name, b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	if err := prog.AddClauses(cs); err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	m := dec10.New(prog, dec10.Config{MaxUnits: maxSteps})
+	sols, err := m.Solve(b.Query)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	if _, ok := sols.Next(); !ok {
+		if sols.Err() != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, sols.Err())
+		}
+		return nil, fmt.Errorf("%s: DEC query %q failed", b.Name, b.Query)
+	}
+	return m, nil
+}
+
+// StatsFor runs a benchmark and returns its microcycle statistics (no
+// trace).
+func StatsFor(b progs.Benchmark) (*micro.Stats, *core.Machine, error) {
+	r, err := RunPSI(b, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Machine.Stats(), r.Machine, nil
+}

@@ -1,0 +1,273 @@
+package harness
+
+import (
+	"repro/internal/cache"
+	"repro/internal/mapper"
+	"repro/internal/micro"
+	"repro/internal/pmms"
+	"repro/internal/progs"
+	"repro/internal/trace"
+	"repro/internal/word"
+)
+
+// ---- Table 1 -------------------------------------------------------------
+
+// T1Row is one Table 1 row: execution times on both machines.
+type T1Row struct {
+	Name       string
+	PSIMS      float64
+	DECMS      float64
+	Ratio      float64 // DEC/PSI
+	PaperPSIMS float64
+	PaperDECMS float64
+	PaperRatio float64
+	Inferences int64
+}
+
+// Table1 measures every benchmark on both engines.
+func Table1() ([]T1Row, error) {
+	var rows []T1Row
+	for _, b := range progs.Table1() {
+		r, err := RunPSI(b, false)
+		if err != nil {
+			return nil, err
+		}
+		d, err := RunDEC(b)
+		if err != nil {
+			return nil, err
+		}
+		psi := float64(r.Machine.TimeNS()) / 1e6
+		dec := float64(d.TimeNS()) / 1e6
+		rows = append(rows, T1Row{
+			Name:       b.Name,
+			PSIMS:      psi,
+			DECMS:      dec,
+			Ratio:      dec / psi,
+			PaperPSIMS: b.PaperPSIMS,
+			PaperDECMS: b.PaperDECMS,
+			PaperRatio: b.PaperDECMS / b.PaperPSIMS,
+			Inferences: r.Machine.Inferences(),
+		})
+	}
+	return rows, nil
+}
+
+// ---- Table 2 -------------------------------------------------------------
+
+// T2Row is one Table 2 row: firmware module step ratios (percent).
+type T2Row struct {
+	Name    string
+	Modules [micro.NumModules]float64
+}
+
+// Table2 measures the interpreter-module step distribution.
+func Table2() ([]T2Row, error) {
+	var rows []T2Row
+	for _, b := range progs.Table2Set() {
+		s, _, err := StatsFor(b)
+		if err != nil {
+			return nil, err
+		}
+		var row T2Row
+		row.Name = b.Name
+		for m := micro.Module(0); m < micro.NumModules; m++ {
+			row.Modules[m] = s.ModuleRatio(m) * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---- Table 3 -------------------------------------------------------------
+
+// T3Row is one Table 3 row: cache command rates per microstep (percent).
+type T3Row struct {
+	Name       string
+	Read       float64
+	WriteStack float64
+	Write      float64
+	WriteTotal float64
+	Total      float64
+}
+
+// Table3 measures the cache command frequency of each workload.
+func Table3() ([]T3Row, error) {
+	var rows []T3Row
+	for _, b := range progs.HardwareSet() {
+		s, _, err := StatsFor(b)
+		if err != nil {
+			return nil, err
+		}
+		read := s.CacheOpRatio(micro.OpRead) * 100
+		ws := s.CacheOpRatio(micro.OpWriteStack) * 100
+		wr := s.CacheOpRatio(micro.OpWrite) * 100
+		rows = append(rows, T3Row{
+			Name: b.Name, Read: read, WriteStack: ws, Write: wr,
+			WriteTotal: ws + wr, Total: read + ws + wr,
+		})
+	}
+	return rows, nil
+}
+
+// ---- Table 4 -------------------------------------------------------------
+
+// T4Row is one Table 4 row: access share per memory area (percent).
+type T4Row struct {
+	Name  string
+	Areas [5]float64 // heap, global, local, control, trail
+}
+
+// Table4 measures the per-area access distribution.
+func Table4() ([]T4Row, error) {
+	var rows []T4Row
+	for _, b := range progs.HardwareSet() {
+		s, _, err := StatsFor(b)
+		if err != nil {
+			return nil, err
+		}
+		var row T4Row
+		row.Name = b.Name
+		for k := 0; k < 5; k++ {
+			row.Areas[k] = s.AreaAccessRatio(word.AreaID(k)) * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---- Table 5 -------------------------------------------------------------
+
+// T5Row is one Table 5 row: cache hit ratios per area (percent).
+type T5Row struct {
+	Name  string
+	Areas [5]float64
+	Total float64
+}
+
+// Table5 measures per-area cache hit ratios with the PSI cache.
+func Table5() ([]T5Row, error) {
+	var rows []T5Row
+	for _, b := range progs.HardwareSet() {
+		r, err := RunPSI(b, false)
+		if err != nil {
+			return nil, err
+		}
+		c := r.Machine.Cache()
+		var row T5Row
+		row.Name = b.Name
+		for k := 0; k < 5; k++ {
+			row.Areas[k] = c.Area[k].HitRatio() * 100
+		}
+		row.Total = c.HitRatio() * 100
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---- Figure 1 and the cache ablations -------------------------------------
+
+// Fig1 holds the Figure 1 sweep plus the one-set and store-through
+// ablations discussed alongside it.
+type Fig1 struct {
+	Workload string
+	Points   []pmms.Point
+	// Ablations at 8K words on the same trace:
+	TwoSet8K     float64 // paper configuration
+	OneSet8K     float64 // direct-mapped, same capacity
+	StoreThrough float64 // store-through instead of store-in
+	// Per-workload one-set penalty for the programs the paper names.
+	OneSetPenalty map[string]float64
+}
+
+// Figure1 replays the WINDOW trace over cache sizes from 8 words to 8K
+// words (the paper's sweep) and computes the ablations.
+func Figure1() (*Fig1, error) {
+	r, err := RunPSI(progs.Window1, true)
+	if err != nil {
+		return nil, err
+	}
+	log := r.Trace
+	f := &Fig1{Workload: progs.Window1.Name}
+	f.Points = pmms.Sweep(log, pmms.DefaultSizes())
+	f.TwoSet8K = pmms.Improvement(log, cache.Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreIn})
+	// The paper compares "two 4K-word sets" (the machine) against "one
+	// 4K-word set": half the capacity, direct-mapped.
+	f.OneSet8K = pmms.Improvement(log, cache.Config{Words: 4096, Assoc: 1, BlockWords: 4, Policy: cache.StoreIn})
+	f.StoreThrough = pmms.Improvement(log, cache.Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreThrough})
+
+	f.OneSetPenalty = map[string]float64{}
+	for _, b := range []progs.Benchmark{progs.Window1, progs.Puzzle8, progs.BUP3} {
+		br, err := RunPSI(b, true)
+		if err != nil {
+			return nil, err
+		}
+		two := pmms.Improvement(br.Trace, cache.Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreIn})
+		one := pmms.Improvement(br.Trace, cache.Config{Words: 4096, Assoc: 1, BlockWords: 4, Policy: cache.StoreIn})
+		f.OneSetPenalty[b.Name] = two - one
+	}
+	return f, nil
+}
+
+// ---- Table 6 -------------------------------------------------------------
+
+// T6 is the work-file access-mode measurement for one workload.
+type T6 struct {
+	Workload string
+	Usage    mapper.WFUsage
+}
+
+// Table6 measures the dynamic work-file access modes (the paper shows
+// BUP; other programs give close results).
+func Table6() (*T6, error) {
+	r, err := RunPSI(progs.BUP3, true)
+	if err != nil {
+		return nil, err
+	}
+	return &T6{Workload: progs.BUP3.Name, Usage: mapper.Analyze(r.Trace)}, nil
+}
+
+// ---- Table 7 -------------------------------------------------------------
+
+// T7Col is the branch-operation distribution for one workload.
+type T7Col struct {
+	Name   string
+	Rates  [micro.NumBranchOps]float64 // percent of steps
+	Branch float64                     // total non-nop percent
+	Data   float64                     // branch steps with data manipulation (percent of steps)
+}
+
+// Table7 measures the dynamic branch-field operations for the paper's
+// three programs.
+func Table7() ([]T7Col, error) {
+	var cols []T7Col
+	for _, b := range []progs.Benchmark{progs.BUP3, progs.Window1, progs.Puzzle8} {
+		s, _, err := StatsFor(b)
+		if err != nil {
+			return nil, err
+		}
+		var c T7Col
+		c.Name = b.Name
+		nonNop := 0.0
+		for op := micro.BranchOp(0); op < micro.NumBranchOps; op++ {
+			c.Rates[op] = s.BranchRatio(op) * 100
+			if !op.IsNop() {
+				nonNop += c.Rates[op]
+			}
+		}
+		c.Branch = nonNop
+		if s.Steps > 0 {
+			c.Data = float64(s.BranchData) / float64(s.Steps) * 100
+		}
+		cols = append(cols, c)
+	}
+	return cols, nil
+}
+
+// TraceFor produces a COLLECT trace of a benchmark (for the CLI tools).
+func TraceFor(b progs.Benchmark) (*trace.Log, error) {
+	r, err := RunPSI(b, true)
+	if err != nil {
+		return nil, err
+	}
+	return r.Trace, nil
+}

@@ -1,0 +1,312 @@
+package kl0
+
+import (
+	"math"
+
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+// varKind classifies one clause variable.
+type varKind uint8
+
+const (
+	kindVoid varKind = iota
+	kindLocal
+	kindGlobal
+)
+
+type varInfo struct {
+	count          int
+	inCompound     bool
+	inLastUserGoal bool
+}
+
+// classifier scans a clause and decides each variable's kind.
+type classifier struct {
+	forceGlobal bool
+	order       []string
+	info        map[string]*varInfo
+}
+
+func newClassifier() *classifier {
+	return &classifier{info: make(map[string]*varInfo)}
+}
+
+func (c *classifier) touch(name string) *varInfo {
+	if name == "_" {
+		return nil
+	}
+	vi, ok := c.info[name]
+	if !ok {
+		vi = &varInfo{}
+		c.info[name] = vi
+		c.order = append(c.order, name)
+	}
+	vi.count++
+	return vi
+}
+
+// scanTerm records occurrences below the top level (inside a compound).
+func (c *classifier) scanTerm(t *term.Term) {
+	switch t.Kind {
+	case term.Var:
+		if vi := c.touch(t.Name); vi != nil {
+			vi.inCompound = true
+		}
+	case term.Compound:
+		for _, a := range t.Args {
+			c.scanTerm(a)
+		}
+	}
+}
+
+// scanArgs records top-level argument occurrences.
+func (c *classifier) scanArgs(args []*term.Term) {
+	for _, a := range args {
+		if a.Kind == term.Var {
+			c.touch(a.Name)
+			continue
+		}
+		c.scanTerm(a)
+	}
+}
+
+// scanGoals records all body occurrences, applying the unsafe-variable
+// rule to the last user goal.
+func (c *classifier) scanGoals(goals []goal) {
+	last := -1
+	for i, g := range goals {
+		if !g.isBI && !g.cut {
+			last = i
+		}
+	}
+	for i, g := range goals {
+		for _, a := range g.args {
+			if a.Kind == term.Var {
+				vi := c.touch(a.Name)
+				if vi != nil && i == last {
+					// Unsafe: tail-recursion optimization releases the
+					// local frame before the last call, so the variable
+					// must live on the global stack.
+					vi.inLastUserGoal = true
+				}
+				continue
+			}
+			c.scanTerm(a)
+		}
+	}
+}
+
+// varSet is the classification result. Global slots are ordered with the
+// eagerly-initialized variables (those occurring inside compound terms,
+// whose cells a shared skeleton may touch at any time) first; the
+// remaining globals and all locals materialize lazily at their first
+// top-level occurrence, which the emitter marks with the fresh bit.
+type varSet struct {
+	kind        map[string]varKind
+	index       map[string]int
+	lazy        map[string]bool
+	localNames  []string
+	globalNames []string
+	ginit       int
+	err         error
+}
+
+func (c *classifier) finish(clause *term.Term) *varSet {
+	vs := &varSet{
+		kind:  make(map[string]varKind),
+		index: make(map[string]int),
+		lazy:  make(map[string]bool),
+	}
+	// Pass 1: eager globals (inside compound terms) take the low indices.
+	for _, name := range c.order {
+		vi := c.info[name]
+		if c.forceGlobal || vi.count == 1 {
+			continue
+		}
+		if vi.inCompound {
+			vs.kind[name] = kindGlobal
+			vs.index[name] = len(vs.globalNames)
+			vs.globalNames = append(vs.globalNames, name)
+		}
+	}
+	vs.ginit = len(vs.globalNames)
+	// Pass 2: the rest.
+	for _, name := range c.order {
+		vi := c.info[name]
+		if _, done := vs.kind[name]; done {
+			continue
+		}
+		switch {
+		case c.forceGlobal:
+			// Query variables are all global and eagerly initialized (the
+			// query frame outlives the run for answer extraction).
+			vs.kind[name] = kindGlobal
+			vs.index[name] = len(vs.globalNames)
+			vs.globalNames = append(vs.globalNames, name)
+			vs.ginit = len(vs.globalNames)
+		case vi.count == 1:
+			vs.kind[name] = kindVoid
+		default:
+			vs.kind[name] = kindLocal
+			vs.index[name] = len(vs.localNames)
+			vs.localNames = append(vs.localNames, name)
+			vs.lazy[name] = true
+		}
+	}
+	if len(vs.globalNames) > MaxArity {
+		vs.err = errf(clause, "clause needs %d global variables; at most %d supported", len(vs.globalNames), MaxArity)
+	}
+	if len(vs.localNames) > MaxArity {
+		vs.err = errf(clause, "clause needs %d local variables; at most %d supported", len(vs.localNames), MaxArity)
+	}
+	return vs
+}
+
+// emitter writes instruction code words for one clause.
+type emitter struct {
+	p       *Program
+	vars    *varSet
+	clause  *term.Term
+	skels   map[*term.Term]int
+	emitted map[string]bool // lazy variables whose fresh occurrence is out
+}
+
+// emitClause writes all skeletons then the clause proper, returning the
+// offset of the info word.
+func (em *emitter) emitClause(headArgs []*term.Term, goals []goal, vars *varSet) (int, error) {
+	em.skels = make(map[*term.Term]int)
+	em.emitted = make(map[string]bool)
+	// Emit skeletons for every compound argument first so the clause body
+	// is a contiguous run of words (instruction fetch locality).
+	for _, a := range headArgs {
+		if err := em.prepareArg(a); err != nil {
+			return 0, err
+		}
+	}
+	for _, g := range goals {
+		for _, a := range g.args {
+			if err := em.prepareArg(a); err != nil {
+				return 0, err
+			}
+		}
+	}
+	start := len(em.p.Code)
+	em.p.Code = append(em.p.Code, word.Info(len(vars.localNames), len(vars.globalNames), vars.ginit, len(headArgs)))
+	for _, a := range headArgs {
+		w, err := em.argWord(a)
+		if err != nil {
+			return 0, err
+		}
+		em.p.Code = append(em.p.Code, w)
+	}
+	for _, g := range goals {
+		switch {
+		case g.cut:
+			em.p.Code = append(em.p.Code, word.New(word.TagCut, 0))
+		case g.isBI:
+			em.p.Code = append(em.p.Code, word.New(word.TagBuiltin, uint32(g.builtin)<<8|uint32(len(g.args))))
+		default:
+			em.p.Code = append(em.p.Code, word.New(word.TagGoal, uint32(g.proc)<<8|uint32(len(g.args))))
+		}
+		for _, a := range g.args {
+			w, err := em.argWord(a)
+			if err != nil {
+				return 0, err
+			}
+			em.p.Code = append(em.p.Code, w)
+		}
+	}
+	em.p.Code = append(em.p.Code, word.New(word.TagEnd, 0))
+	return start, nil
+}
+
+// prepareArg emits the skeleton(s) for a compound argument.
+func (em *emitter) prepareArg(t *term.Term) error {
+	if t.Kind != term.Compound {
+		return nil
+	}
+	_, err := em.emitSkel(t)
+	return err
+}
+
+// emitSkel writes the skeleton for compound term t (children first) and
+// returns its offset.
+func (em *emitter) emitSkel(t *term.Term) (int, error) {
+	if off, ok := em.skels[t]; ok {
+		return off, nil
+	}
+	if len(t.Args) > MaxArity {
+		return 0, errf(em.clause, "functor arity %d exceeds %d", len(t.Args), MaxArity)
+	}
+	for _, a := range t.Args {
+		if a.Kind == term.Compound {
+			if _, err := em.emitSkel(a); err != nil {
+				return 0, err
+			}
+		}
+	}
+	off := len(em.p.Code)
+	sym := em.p.Syms.Intern(t.Functor)
+	em.p.Code = append(em.p.Code, word.Functor(sym, len(t.Args)))
+	for _, a := range t.Args {
+		w, err := em.argWord(a)
+		if err != nil {
+			return 0, err
+		}
+		em.p.Code = append(em.p.Code, w)
+	}
+	em.skels[t] = off
+	return off, nil
+}
+
+// argWord encodes one argument position.
+func (em *emitter) argWord(t *term.Term) (word.Word, error) {
+	switch t.Kind {
+	case term.Var:
+		if t.Name == "_" {
+			return word.New(word.TagVoid, 0), nil
+		}
+		var tag word.Tag
+		switch em.vars.kind[t.Name] {
+		case kindVoid:
+			return word.New(word.TagVoid, 0), nil
+		case kindLocal:
+			tag = word.TagLocal
+		default:
+			tag = word.TagGlobal
+		}
+		data := uint32(em.vars.index[t.Name])
+		if em.vars.lazy[t.Name] && !em.emitted[t.Name] {
+			// First top-level occurrence of a lazily-materialized
+			// variable: the firmware writes the cell instead of reading
+			// it. (Lazy variables never occur inside skeletons, so code
+			// emission order equals execution order for them.)
+			em.emitted[t.Name] = true
+			data |= word.FreshBit
+		}
+		return word.New(tag, data), nil
+	case term.Int:
+		if t.N < math.MinInt32 || t.N > math.MaxInt32 {
+			return 0, errf(em.clause, "integer %d does not fit in a 32-bit data part", t.N)
+		}
+		return word.Int32(int32(t.N)), nil
+	case term.Atom:
+		if t.Functor == "[]" {
+			return word.Nil, nil
+		}
+		return word.Atom(em.p.Syms.Intern(t.Functor)), nil
+	case term.Compound:
+		off, ok := em.skels[t]
+		if !ok {
+			var err error
+			off, err = em.emitSkel(t)
+			if err != nil {
+				return 0, err
+			}
+		}
+		return word.Skel(word.Addr(off)), nil
+	}
+	return 0, errf(em.clause, "cannot encode term %s", t)
+}

@@ -1,0 +1,99 @@
+package kl0
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/word"
+)
+
+// Disasm renders the instruction code of one procedure in a readable
+// form, for debugging and for documenting the code model.
+func (p *Program) Disasm(procIdx int) string {
+	proc := p.Procs[procIdx]
+	var b strings.Builder
+	fmt.Fprintf(&b, "%% %s — %d clause(s)\n", proc.Indicator(), len(proc.Clauses))
+	for ci, info := range proc.Clauses {
+		fmt.Fprintf(&b, "clause %d @%d (locals %d, globals %d):\n", ci, info.Start, info.NLocals, info.NGlobals)
+		p.disasmClause(&b, info.Start)
+	}
+	return b.String()
+}
+
+// DisasmQuery renders a compiled query.
+func (p *Program) DisasmQuery(q *Query) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%% query @%d vars %v\n", q.Start, q.Vars)
+	p.disasmClause(&b, q.Start)
+	return b.String()
+}
+
+func (p *Program) disasmClause(b *strings.Builder, start int) {
+	pos := start
+	info := p.Code[pos]
+	fmt.Fprintf(b, "%6d  info   l=%d g=%d ginit=%d arity=%d\n",
+		pos, info.InfoLocals(), info.InfoGlobals(), info.InfoGInit(), info.InfoArity())
+	pos++
+	for i := 0; i < info.InfoArity(); i++ {
+		fmt.Fprintf(b, "%6d  head   %s\n", pos, p.argString(p.Code[pos]))
+		pos++
+	}
+	for {
+		w := p.Code[pos]
+		switch w.Tag() {
+		case word.TagGoal:
+			proc := p.Procs[w.FuncSym()]
+			fmt.Fprintf(b, "%6d  call   %s\n", pos, proc.Indicator())
+			pos++
+			for i := 0; i < w.FuncArity(); i++ {
+				fmt.Fprintf(b, "%6d    arg  %s\n", pos, p.argString(p.Code[pos]))
+				pos++
+			}
+		case word.TagBuiltin:
+			fmt.Fprintf(b, "%6d  built  %v\n", pos, Builtin(w.FuncSym()))
+			pos++
+			for i := 0; i < w.FuncArity(); i++ {
+				fmt.Fprintf(b, "%6d    arg  %s\n", pos, p.argString(p.Code[pos]))
+				pos++
+			}
+		case word.TagCut:
+			fmt.Fprintf(b, "%6d  cut\n", pos)
+			pos++
+		case word.TagEnd:
+			fmt.Fprintf(b, "%6d  end\n", pos)
+			return
+		default:
+			fmt.Fprintf(b, "%6d  ?      %v\n", pos, w)
+			return
+		}
+	}
+}
+
+// argString renders one argument word.
+func (p *Program) argString(w word.Word) string {
+	switch w.Tag() {
+	case word.TagAtom:
+		return "atom " + p.Syms.Name(w.Data())
+	case word.TagInt:
+		return fmt.Sprintf("int %d", w.Int())
+	case word.TagNil:
+		return "nil"
+	case word.TagVoid:
+		return "void"
+	case word.TagLocal:
+		if w.IsFresh() {
+			return fmt.Sprintf("local %d (fresh)", w.VarIndex())
+		}
+		return fmt.Sprintf("local %d", w.VarIndex())
+	case word.TagGlobal:
+		if w.IsFresh() {
+			return fmt.Sprintf("global %d (fresh)", w.VarIndex())
+		}
+		return fmt.Sprintf("global %d", w.VarIndex())
+	case word.TagSkel:
+		f := p.Code[w.Addr()]
+		return fmt.Sprintf("skel @%d %s/%d", w.Addr(), p.Syms.Name(f.FuncSym()), f.FuncArity())
+	default:
+		return w.String()
+	}
+}

@@ -1,0 +1,47 @@
+package kl0
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parse"
+)
+
+func TestDisasm(t *testing.T) {
+	p := compile(t, `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+p(X) :- X = f(1), !, q(X).
+q(_).
+`)
+	idx, _ := p.LookupProc("app", 3)
+	out := p.Disasm(idx)
+	for _, want := range []string{"app/3", "clause 0", "clause 1", "info", "head", "call   app/3", "end", "skel"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disasm missing %q:\n%s", want, out)
+		}
+	}
+	pidx, _ := p.LookupProc("p", 1)
+	pout := p.Disasm(pidx)
+	for _, want := range []string{"built  =/2", "cut", "fresh"} {
+		if !strings.Contains(pout, want) {
+			t.Errorf("p/1 disasm missing %q:\n%s", want, pout)
+		}
+	}
+}
+
+func TestDisasmQuery(t *testing.T) {
+	p := compile(t, "r(1). r(2).")
+	g, err := parse.Term("r(X), r(Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := p.CompileQuery(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.DisasmQuery(q)
+	if !strings.Contains(out, "query") || !strings.Contains(out, "call   r/1") {
+		t.Errorf("query disasm:\n%s", out)
+	}
+}

@@ -1,0 +1,100 @@
+package kl0
+
+import (
+	"testing"
+
+	"repro/internal/parse"
+	"repro/internal/word"
+)
+
+func TestIndexBuckets(t *testing.T) {
+	p := compile(t, `
+t([], empty).
+t([_|_], list).
+t(f(_), struct).
+t(42, int).
+t(X, other) :- integer(X).
+`)
+	idx, _ := p.LookupProc("t", 2)
+	ix := p.Index(idx)
+
+	// [] bucket: clause 0 plus the var clause 4.
+	nilKey := ix.SelectConst(word.Nil)
+	if len(nilKey) != 2 || nilKey[0] != 0 || nilKey[1] != 4 {
+		t.Errorf("nil bucket = %v", nilKey)
+	}
+	// 42 bucket: clause 3 + var clause.
+	intKey := ix.SelectConst(word.Int32(42))
+	if len(intKey) != 2 || intKey[0] != 3 || intKey[1] != 4 {
+		t.Errorf("int bucket = %v", intKey)
+	}
+	// An unknown constant falls back to the var clauses only.
+	unk := ix.SelectConst(word.Int32(99))
+	if len(unk) != 1 || unk[0] != 4 {
+		t.Errorf("default bucket = %v", unk)
+	}
+	// Structure buckets: './2' for the list clause, f/1 for the struct.
+	dot := word.Functor(p.Syms.Intern("."), 2)
+	cons := ix.SelectStruct(dot.Data())
+	if len(cons) != 2 || cons[0] != 1 || cons[1] != 4 {
+		t.Errorf("cons bucket = %v", cons)
+	}
+	f1 := word.Functor(p.Syms.Intern("f"), 1)
+	fb := ix.SelectStruct(f1.Data())
+	if len(fb) != 2 || fb[0] != 2 || fb[1] != 4 {
+		t.Errorf("f/1 bucket = %v", fb)
+	}
+	// Unknown functor -> var clauses.
+	g2 := word.Functor(p.Syms.Intern("g"), 2)
+	if gb := ix.SelectStruct(g2.Data()); len(gb) != 1 || gb[0] != 4 {
+		t.Errorf("unknown functor bucket = %v", gb)
+	}
+}
+
+func TestIndexPreservesSourceOrder(t *testing.T) {
+	p := compile(t, `
+m(a, 1).
+m(X, 2) :- atom(X).
+m(a, 3).
+`)
+	idx, _ := p.LookupProc("m", 2)
+	ix := p.Index(idx)
+	a := word.Atom(p.Syms.Intern("a"))
+	got := ix.SelectConst(a)
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("source order lost: %v", got)
+	}
+}
+
+func TestIndexRebuildAfterAddClauses(t *testing.T) {
+	p := compile(t, "q(a).")
+	idx, _ := p.LookupProc("q", 1)
+	ix1 := p.Index(idx)
+	if len(ix1.Const) != 1 {
+		t.Fatalf("initial buckets: %v", ix1.Const)
+	}
+	cs, err := parse.Clauses("t", "q(b).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddClauses(cs); err != nil {
+		t.Fatal(err)
+	}
+	ix2 := p.Index(idx)
+	if ix2 == ix1 {
+		t.Error("stale index not rebuilt")
+	}
+	b := word.Atom(p.Syms.Intern("b"))
+	if got := ix2.SelectConst(b); len(got) != 1 || got[0] != 1 {
+		t.Errorf("new clause not indexed: %v", got)
+	}
+}
+
+func TestIndexZeroArity(t *testing.T) {
+	p := compile(t, "z. z.")
+	idx, _ := p.LookupProc("z", 0)
+	ix := p.Index(idx)
+	if len(ix.VarOnly) != 2 {
+		t.Errorf("zero-arity clauses should all be var-keyed: %v", ix.VarOnly)
+	}
+}

@@ -1,0 +1,400 @@
+// Package kl0 compiles Prolog source clauses into the PSI's
+// machine-resident KL0 instruction code.
+//
+// The code model follows the DEC-10 Prolog structure-sharing scheme the
+// PSI firmware interprets: each clause becomes an info word (frame
+// sizes), head argument words, and body goal words, all in the heap area.
+// Compound arguments compile to skeletons — functor word plus argument
+// words — also resident in the heap; at run time a compound value is a
+// two-word molecule pairing a skeleton address with a global-frame
+// address.
+//
+// Variables are classified per clause: a variable occurring inside a
+// compound term is global (it needs a cell in the clause's global frame,
+// which outlives the local frame); a variable occurring as a top-level
+// argument of the last user goal is globalized too (the classical
+// "unsafe variable" rule, required because tail-recursion optimization
+// releases the local frame before the last call); all other variables are
+// local; single-occurrence variables are void and need no cell at all.
+//
+// Control constructs ';', '->' and '\+' are lifted into auxiliary
+// predicates so the firmware only ever sees conjunctions, cut, built-ins
+// and user calls.
+package kl0
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+	"repro/internal/word"
+)
+
+// MaxArity is the largest supported predicate or functor arity (the
+// functor word packs the arity into 8 bits).
+const MaxArity = 255
+
+// ClauseInfo locates one compiled clause inside the code image.
+type ClauseInfo struct {
+	Start    int // offset of the info word
+	NLocals  int
+	NGlobals int
+	// Dead marks a retracted clause: it stays in place (so live choice
+	// points keep valid clause numbers) but is skipped by dispatch.
+	Dead bool
+}
+
+// RetractClause marks clause number k of a procedure dead.
+func (p *Program) RetractClause(procIdx, k int) {
+	p.Procs[procIdx].Clauses[k].Dead = true
+}
+
+// Proc is one user predicate.
+type Proc struct {
+	Name    string
+	Sym     uint32
+	Arity   int
+	Clauses []ClauseInfo
+	index   *ClauseIndex
+}
+
+// Indicator returns name/arity.
+func (p *Proc) Indicator() string { return fmt.Sprintf("%s/%d", p.Name, p.Arity) }
+
+// Query is a compiled top-level goal. All query variables are global so
+// that answers survive until extraction.
+type Query struct {
+	Start    int      // offset of the query pseudo-clause info word
+	Vars     []string // query variable names; Vars[i] lives in global slot i
+	NGlobals int
+}
+
+// Program is a compiled KL0 code image plus its procedure table. The
+// image is relocatable: TagSkel words and clause starts are offsets into
+// Code; the machine loader adds its heap base.
+type Program struct {
+	Syms      *term.Symbols
+	Code      []word.Word
+	Procs     []*Proc
+	procIndex map[uint64]int
+	auxCount  int
+}
+
+// NewProgram returns an empty program sharing the given symbol table.
+func NewProgram(syms *term.Symbols) *Program {
+	if syms == nil {
+		syms = term.NewSymbols()
+	}
+	return &Program{Syms: syms, procIndex: make(map[uint64]int)}
+}
+
+// Error is a compilation error.
+type Error struct {
+	Clause string
+	Msg    string
+}
+
+func (e *Error) Error() string {
+	if e.Clause == "" {
+		return "kl0: " + e.Msg
+	}
+	return fmt.Sprintf("kl0: in clause (%s): %s", e.Clause, e.Msg)
+}
+
+func errf(clause *term.Term, format string, args ...interface{}) error {
+	c := ""
+	if clause != nil {
+		c = clause.String()
+	}
+	return &Error{Clause: c, Msg: fmt.Sprintf(format, args...)}
+}
+
+func procKey(sym uint32, arity int) uint64 { return uint64(sym)<<8 | uint64(arity) }
+
+// LookupProc finds the procedure index for name/arity.
+func (p *Program) LookupProc(name string, arity int) (int, bool) {
+	sym, ok := p.Syms.Lookup(name)
+	if !ok {
+		return 0, false
+	}
+	idx, ok := p.procIndex[procKey(sym, arity)]
+	return idx, ok
+}
+
+// LookupProcSym finds the procedure index for an interned symbol/arity,
+// used by the machine's metacall.
+func (p *Program) LookupProcSym(sym uint32, arity int) (int, bool) {
+	idx, ok := p.procIndex[procKey(sym, arity)]
+	return idx, ok
+}
+
+func (p *Program) ensureProc(name string, arity int) int {
+	sym := p.Syms.Intern(name)
+	key := procKey(sym, arity)
+	if idx, ok := p.procIndex[key]; ok {
+		return idx
+	}
+	idx := len(p.Procs)
+	p.Procs = append(p.Procs, &Proc{Name: name, Sym: sym, Arity: arity})
+	p.procIndex[key] = idx
+	return idx
+}
+
+// goal is a normalized body goal.
+type goal struct {
+	cut     bool
+	builtin Builtin
+	isBI    bool
+	proc    int // user proc index when !isBI && !cut
+	args    []*term.Term
+	indic   string
+}
+
+// AddClauses compiles a batch of source clauses into the program. Within
+// the batch, forward references are allowed; references to predicates of
+// earlier batches resolve too. A clause of the form (H :- B) is a rule,
+// anything else a fact. Directives (:- G) are rejected — run goals
+// through a Query instead.
+func (p *Program) AddClauses(clauses []*term.Term) error {
+	type pending struct {
+		src   *term.Term
+		head  *term.Term
+		body  *term.Term
+		owner int
+	}
+	var work []pending
+
+	// Pass 1: register every defined predicate so bodies can resolve
+	// forward references.
+	for _, c := range clauses {
+		head, body := c, (*term.Term)(nil)
+		if c.Kind == term.Compound && c.Functor == ":-" {
+			switch len(c.Args) {
+			case 2:
+				head, body = c.Args[0], c.Args[1]
+			case 1:
+				return errf(c, "directives are not supported; compile a query instead")
+			}
+		}
+		if head.Kind != term.Atom && head.Kind != term.Compound {
+			return errf(c, "clause head must be an atom or compound term, got %s", head)
+		}
+		if head.Arity() > MaxArity {
+			return errf(c, "head arity %d exceeds %d", head.Arity(), MaxArity)
+		}
+		if _, isBI := LookupBuiltin(head.Functor, head.Arity()); isBI {
+			return errf(c, "cannot redefine built-in %s/%d", head.Functor, head.Arity())
+		}
+		idx := p.ensureProc(head.Functor, head.Arity())
+		work = append(work, pending{src: c, head: head, body: body, owner: idx})
+	}
+
+	// Pass 2: compile.
+	for _, w := range work {
+		if err := p.compileClause(w.src, w.head, w.body, w.owner); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompileQuery compiles a top-level goal into a pseudo-clause with arity
+// 0 whose variables are all global.
+func (p *Program) CompileQuery(body *term.Term) (*Query, error) {
+	goals, lifted, err := p.normalizeBody(body, body)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.compileLifted(lifted); err != nil {
+		return nil, err
+	}
+	cl := newClassifier()
+	cl.forceGlobal = true
+	cl.scanGoals(goals)
+	vars := cl.finish(nil)
+	if len(vars.globalNames) > MaxArity {
+		return nil, errf(body, "query has %d variables; at most %d supported", len(vars.globalNames), MaxArity)
+	}
+	em := &emitter{p: p, vars: vars, clause: body}
+	start, err := em.emitClause(nil, goals, vars)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Start: start, Vars: vars.globalNames, NGlobals: len(vars.globalNames)}, nil
+}
+
+func (p *Program) compileClause(src, head, body *term.Term, owner int) error {
+	var goals []goal
+	var lifted []*term.Term
+	if body != nil {
+		var err error
+		goals, lifted, err = p.normalizeBody(body, src)
+		if err != nil {
+			return err
+		}
+	}
+	cl := newClassifier()
+	var headArgs []*term.Term
+	if head.Kind == term.Compound {
+		headArgs = head.Args
+	}
+	cl.scanArgs(headArgs)
+	cl.scanGoals(goals)
+	vars := cl.finish(src)
+	if vars.err != nil {
+		return vars.err
+	}
+	em := &emitter{p: p, vars: vars, clause: src}
+	start, err := em.emitClause(headArgs, goals, vars)
+	if err != nil {
+		return err
+	}
+	p.Procs[owner].Clauses = append(p.Procs[owner].Clauses, ClauseInfo{
+		Start:    start,
+		NLocals:  len(vars.localNames),
+		NGlobals: len(vars.globalNames),
+	})
+	// Compile any predicates lifted out of control constructs.
+	return p.compileLifted(lifted)
+}
+
+func (p *Program) compileLifted(lifted []*term.Term) error {
+	if len(lifted) == 0 {
+		return nil
+	}
+	return p.AddClauses(lifted)
+}
+
+// normalizeBody flattens a clause body into a goal sequence, lifting
+// disjunction, if-then-else and negation into fresh auxiliary predicates.
+// It returns the goal list plus the auxiliary clauses to compile.
+func (p *Program) normalizeBody(body, src *term.Term) ([]goal, []*term.Term, error) {
+	var goals []goal
+	var lifted []*term.Term
+	var walk func(t *term.Term) error
+	walk = func(t *term.Term) error {
+		if t.Kind == term.Compound && t.Functor == "," && len(t.Args) == 2 {
+			if err := walk(t.Args[0]); err != nil {
+				return err
+			}
+			return walk(t.Args[1])
+		}
+		g, aux, err := p.normalizeGoal(t, src)
+		if err != nil {
+			return err
+		}
+		lifted = append(lifted, aux...)
+		goals = append(goals, g)
+		return nil
+	}
+	if err := walk(body); err != nil {
+		return nil, nil, err
+	}
+	return goals, lifted, nil
+}
+
+func (p *Program) freshAux() string {
+	p.auxCount++
+	return fmt.Sprintf("$aux%d", p.auxCount)
+}
+
+// containsTopCut reports whether a conjunction contains cut at the top
+// level (not inside a nested control construct).
+func containsTopCut(t *term.Term) bool {
+	if t.Kind == term.Atom && t.Functor == "!" {
+		return true
+	}
+	if t.Kind == term.Compound && t.Functor == "," && len(t.Args) == 2 {
+		return containsTopCut(t.Args[0]) || containsTopCut(t.Args[1])
+	}
+	return false
+}
+
+func auxHead(name string, varNames []string) *term.Term {
+	args := make([]*term.Term, len(varNames))
+	for i, v := range varNames {
+		args[i] = term.NewVar(v)
+	}
+	return term.NewCompound(name, args...)
+}
+
+func (p *Program) normalizeGoal(t *term.Term, src *term.Term) (goal, []*term.Term, error) {
+	switch {
+	case t.Kind == term.Var:
+		// A variable goal is a metacall.
+		return goal{builtin: BCall, isBI: true, args: []*term.Term{t}, indic: "call/1"}, nil, nil
+
+	case t.Kind == term.Int:
+		return goal{}, nil, errf(src, "integer %d cannot be a goal", t.N)
+
+	case t.Kind == term.Atom && t.Functor == "!":
+		return goal{cut: true}, nil, nil
+
+	case t.Kind == term.Compound && t.Functor == ";" && len(t.Args) == 2:
+		name := p.freshAux()
+		vars := t.Vars()
+		p.ensureProc(name, len(vars))
+		head := auxHead(name, vars)
+		var aux []*term.Term
+		if c, ok := splitIfThen(t.Args[0]); ok {
+			// (C -> T ; E): the condition's cut is local — lifting is exact.
+			aux = []*term.Term{
+				term.NewCompound(":-", head, conj(c.cond, conj(term.NewAtom("!"), c.then))),
+				term.NewCompound(":-", head, t.Args[1]),
+			}
+		} else {
+			if containsTopCut(t.Args[0]) || containsTopCut(t.Args[1]) {
+				return goal{}, nil, errf(src, "cut at the top level of a disjunct is not supported (KL0 restriction); restructure the clause")
+			}
+			aux = []*term.Term{
+				term.NewCompound(":-", head, t.Args[0]),
+				term.NewCompound(":-", head, t.Args[1]),
+			}
+		}
+		g, _, err := p.normalizeGoal(head, src)
+		return g, aux, err
+
+	case t.Kind == term.Compound && t.Functor == "->" && len(t.Args) == 2:
+		// Bare if-then is (C -> T ; fail).
+		return p.normalizeGoal(term.NewCompound(";", t, term.NewAtom("fail")), src)
+
+	case t.Kind == term.Compound && t.Functor == "\\+" && len(t.Args) == 1:
+		name := p.freshAux()
+		vars := t.Args[0].Vars()
+		p.ensureProc(name, len(vars))
+		head := auxHead(name, vars)
+		aux := []*term.Term{
+			term.NewCompound(":-", head,
+				conj(t.Args[0], conj(term.NewAtom("!"), term.NewAtom("fail")))),
+			head,
+		}
+		g, _, err := p.normalizeGoal(head, src)
+		return g, aux, err
+
+	case t.Kind == term.Atom || t.Kind == term.Compound:
+		if t.Arity() > MaxArity {
+			return goal{}, nil, errf(src, "goal arity %d exceeds %d", t.Arity(), MaxArity)
+		}
+		if bi, ok := LookupBuiltin(t.Functor, t.Arity()); ok {
+			return goal{builtin: bi, isBI: true, args: t.Args, indic: t.Indicator()}, nil, nil
+		}
+		sym, ok := p.Syms.Lookup(t.Functor)
+		if ok {
+			if idx, ok := p.procIndex[procKey(sym, t.Arity())]; ok {
+				return goal{proc: idx, args: t.Args, indic: t.Indicator()}, nil, nil
+			}
+		}
+		return goal{}, nil, errf(src, "call to undefined predicate %s", t.Indicator())
+	}
+	return goal{}, nil, errf(src, "malformed goal %s", t)
+}
+
+type ifThen struct{ cond, then *term.Term }
+
+func splitIfThen(t *term.Term) (ifThen, bool) {
+	if t.Kind == term.Compound && t.Functor == "->" && len(t.Args) == 2 {
+		return ifThen{t.Args[0], t.Args[1]}, true
+	}
+	return ifThen{}, false
+}
+
+func conj(a, b *term.Term) *term.Term { return term.NewCompound(",", a, b) }

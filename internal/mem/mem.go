@@ -1,0 +1,89 @@
+// Package mem models the PSI main memory: a set of independent logical
+// address spaces (the heap plus four stacks per process) backed by
+// physical memory through a hardware address translation table. The
+// translation matters for cache behaviour — distinct areas and processes
+// land on distinct physical pages, so cache conflicts arise exactly where
+// they would on the machine.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// PageWords is the translation granularity in words.
+const PageWords = 1024
+
+// Memory is the logical memory of one PSI machine instance.
+type Memory struct {
+	areas     [][]word.Word
+	pageTable map[uint32]uint32 // logical page key -> physical page number
+	nextPhys  uint32
+}
+
+// New allocates a memory with room for the given number of processes
+// (heap plus four stack areas each).
+func New(processes int) *Memory {
+	return &Memory{
+		areas:     make([][]word.Word, word.NumAreas(processes)),
+		pageTable: make(map[uint32]uint32),
+	}
+}
+
+// ensure grows area storage to cover offset.
+func (m *Memory) ensure(area word.AreaID, offset uint32) {
+	if int(area) >= len(m.areas) {
+		panic(fmt.Sprintf("mem: area %d out of range", area))
+	}
+	a := m.areas[area]
+	if int(offset) < len(a) {
+		return
+	}
+	n := len(a)
+	if n == 0 {
+		n = PageWords
+	}
+	for n <= int(offset) {
+		n *= 2
+	}
+	grown := make([]word.Word, n)
+	copy(grown, a)
+	m.areas[area] = grown
+}
+
+// Read returns the word at a logical address.
+func (m *Memory) Read(a word.Addr) word.Word {
+	m.ensure(a.Area(), a.Offset())
+	return m.areas[a.Area()][a.Offset()]
+}
+
+// Write stores a word at a logical address.
+func (m *Memory) Write(a word.Addr, w word.Word) {
+	m.ensure(a.Area(), a.Offset())
+	m.areas[a.Area()][a.Offset()] = w
+}
+
+// Translate maps a logical address to a physical word address through the
+// address translation table, allocating physical pages on first touch.
+func (m *Memory) Translate(a word.Addr) uint32 {
+	key := uint32(a) / PageWords
+	phys, ok := m.pageTable[key]
+	if !ok {
+		phys = m.nextPhys
+		m.nextPhys++
+		m.pageTable[key] = phys
+	}
+	return phys*PageWords + a.Offset()%PageWords
+}
+
+// AreaSize reports the high-water storage size of an area in words.
+func (m *Memory) AreaSize(area word.AreaID) int {
+	if int(area) >= len(m.areas) {
+		return 0
+	}
+	return len(m.areas[area])
+}
+
+// PhysicalPages reports how many physical pages have been allocated.
+func (m *Memory) PhysicalPages() int { return int(m.nextPhys) }

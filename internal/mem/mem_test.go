@@ -1,0 +1,101 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/word"
+)
+
+func TestReadWrite(t *testing.T) {
+	m := New(1)
+	a := word.MakeAddr(word.AreaHeap, 100)
+	if got := m.Read(a); got != 0 {
+		t.Errorf("fresh read = %v", got)
+	}
+	m.Write(a, word.Int32(42))
+	if got := m.Read(a); got.Int() != 42 {
+		t.Errorf("read-back = %v", got)
+	}
+}
+
+func TestAreasAreIndependent(t *testing.T) {
+	m := New(2)
+	a1 := word.MakeAddr(word.StackArea(0, word.AreaLocal), 7)
+	a2 := word.MakeAddr(word.StackArea(1, word.AreaLocal), 7)
+	m.Write(a1, word.Int32(1))
+	m.Write(a2, word.Int32(2))
+	if m.Read(a1).Int() != 1 || m.Read(a2).Int() != 2 {
+		t.Error("areas alias each other")
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	m := New(1)
+	a := word.MakeAddr(word.AreaHeap, 100000)
+	m.Write(a, word.Int32(9))
+	if m.Read(a).Int() != 9 {
+		t.Error("growth lost data")
+	}
+	if m.AreaSize(word.AreaHeap) < 100001 {
+		t.Errorf("area size %d", m.AreaSize(word.AreaHeap))
+	}
+}
+
+func TestTranslateStable(t *testing.T) {
+	m := New(1)
+	a := word.MakeAddr(word.AreaHeap, 12345)
+	p1 := m.Translate(a)
+	p2 := m.Translate(a)
+	if p1 != p2 {
+		t.Error("translation not stable")
+	}
+}
+
+func TestTranslateDistinctPages(t *testing.T) {
+	m := New(2)
+	seen := map[uint32]word.Addr{}
+	addrs := []word.Addr{
+		word.MakeAddr(word.AreaHeap, 0),
+		word.MakeAddr(word.AreaHeap, PageWords),
+		word.MakeAddr(word.StackArea(0, word.AreaLocal), 0),
+		word.MakeAddr(word.StackArea(1, word.AreaLocal), 0),
+		word.MakeAddr(word.StackArea(0, word.AreaGlobal), 0),
+	}
+	for _, a := range addrs {
+		p := m.Translate(a) / PageWords
+		if prev, dup := seen[p]; dup {
+			t.Errorf("addresses %v and %v share physical page %d", prev, a, p)
+		}
+		seen[p] = a
+	}
+	if m.PhysicalPages() != len(addrs) {
+		t.Errorf("pages allocated = %d", m.PhysicalPages())
+	}
+}
+
+func TestTranslatePreservesPageOffset(t *testing.T) {
+	m := New(1)
+	f := func(off uint32) bool {
+		off &= word.MaxOffset
+		a := word.MakeAddr(word.AreaGlobal, off)
+		return m.Translate(a)%PageWords == off%PageWords
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryRoundTripProperty(t *testing.T) {
+	m := New(1)
+	f := func(off uint32, v uint32) bool {
+		off &= 0xffff
+		a := word.MakeAddr(word.AreaControl, off)
+		w := word.New(word.TagInt, v)
+		m.Write(a, w)
+		return m.Read(a) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package micro models the PSI microengine at the accounting level: every
+// firmware action is a sequence of 200 ns microinstruction cycles, each
+// carrying a module attribution (for Table 2), up to three work-file field
+// accesses (Table 6), an optional cache command (Tables 3-5) and a branch
+// field operation (Table 7). The interpreter core emits Cycle records;
+// Stats aggregates them and trace sinks can persist them for the offline
+// MAP and PMMS tools.
+package micro
+
+import "repro/internal/word"
+
+// CycleNS is the PSI microinstruction cycle time (200 ns, Schottky TTL).
+const CycleNS = 200
+
+// Module attributes a microinstruction to a firmware interpreter module,
+// matching the rows of Table 2.
+type Module uint8
+
+// Firmware modules.
+const (
+	MControl Module = iota // call/return/frame management
+	MUnify                 // general unification
+	MTrail                 // trailing and backtrack undo
+	MGetArg                // argument fetch for built-in predicates
+	MCut                   // cut processing
+	MBuilt                 // built-in predicate bodies
+	NumModules
+)
+
+var moduleNames = [...]string{"control", "unify", "trail", "get_arg", "cut", "built"}
+
+// String names the module as in the paper's Table 2 header.
+func (m Module) String() string {
+	if int(m) < len(moduleNames) {
+		return moduleNames[m]
+	}
+	return "module?"
+}
+
+// WFMode is a work-file access mode for one microinstruction field,
+// matching the rows of Table 6.
+type WFMode uint8
+
+// Work-file access modes. ModeNone means the field does not touch the WF
+// in this cycle.
+const (
+	ModeNone  WFMode = iota
+	ModeWF00         // direct, words 00-0F (dual port; only mode legal for source 2)
+	ModeWF10         // direct, words 10-3F
+	ModeConst        // direct, constant storage area
+	ModePCDR         // base-relative via PDR or CDR
+	ModeWFAR1        // indirect via WFAR1 (frame buffer)
+	ModeWFAR2        // indirect via WFAR2 (trail buffer)
+	ModeWFCBR        // base-relative via WFCBR (general purpose)
+	NumWFModes
+)
+
+var wfModeNames = [...]string{"-", "WF00-0F", "WF10-3F", "Constant", "@PDR/CDR", "@WFAR1", "@WFAR2", "@WFCBR"}
+
+// String names the mode as in Table 6.
+func (m WFMode) String() string {
+	if int(m) < len(wfModeNames) {
+		return wfModeNames[m]
+	}
+	return "mode?"
+}
+
+// CacheOp is the cache command carried by a microinstruction, matching the
+// columns of Table 3.
+type CacheOp uint8
+
+// Cache commands. OpNone means no memory access this cycle.
+const (
+	OpNone CacheOp = iota
+	OpRead
+	OpWrite
+	OpWriteStack // write without block read-in on miss, for stack pushes
+	NumCacheOps
+)
+
+var cacheOpNames = [...]string{"-", "read", "write", "write-stack"}
+
+// String names the cache command.
+func (o CacheOp) String() string {
+	if int(o) < len(cacheOpNames) {
+		return cacheOpNames[o]
+	}
+	return "op?"
+}
+
+// BranchOp is the branch-field operation of a microinstruction, matching
+// the rows of Table 7. The PSI microword has three branch-field formats;
+// each format has its own no-operation encoding.
+type BranchOp uint8
+
+// Branch operations, grouped by microword type as in Table 7.
+const (
+	// Type 1 (full branch field).
+	BNop1    BranchOp = iota // (1) no operation
+	BCond                    // (2) if (cond) then
+	BCondNot                 // (3) if (not(cond)) then
+	BIfTag                   // (4) if tag(src2) then
+	BCaseTag                 // (5) case (tag(n, P/CDR)) — multi-way tag dispatch
+	BCaseIRN                 // (6) case (irn) — packed-operand tag dispatch
+	BCaseOp                  // (7) case (ir-opcode)
+	BGoto                    // (8) goto
+	BGosub                   // (9) gosub
+	BReturn                  // (10) return
+	BLoadJR                  // (11) load jr
+	BGotoJR                  // (12) goto @jr
+	// Type 2 (short goto field).
+	BNop2  // (13) no operation
+	BGoto2 // (14) goto
+	// Type 3 (jr field).
+	BNop3    // (15) no operation
+	BGotoJR3 // (16) goto @jr
+	NumBranchOps
+)
+
+var branchNames = [...]string{
+	"no operation", "if (cond) then", "if (not(cond)) then", "if tag(src2) then",
+	"case (tag(n,P/CDR))", "case (irn)", "case (ir-opcode)", "goto", "gosub",
+	"return", "load-jr", "goto @jr", "no operation", "goto", "no operation", "goto @jr",
+}
+
+// String names the branch operation as in Table 7.
+func (b BranchOp) String() string {
+	if int(b) < len(branchNames) {
+		return branchNames[b]
+	}
+	return "branch?"
+}
+
+// IsNop reports whether the branch field carries no operation.
+func (b BranchOp) IsNop() bool { return b == BNop1 || b == BNop2 || b == BNop3 }
+
+// Type returns the microword branch-field format (1, 2 or 3).
+func (b BranchOp) Type() int {
+	switch {
+	case b <= BGotoJR:
+		return 1
+	case b <= BGoto2:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Cycle describes one executed microinstruction.
+type Cycle struct {
+	Module Module
+	Src1   WFMode // ALU input-1 field
+	Src2   WFMode // ALU input-2 field (hardware restricts to WF00-0F)
+	Dest   WFMode // ALU output field
+	Cache  CacheOp
+	Addr   word.Addr // logical address for the cache command
+	Branch BranchOp
+	Data   bool // cycle performs data manipulation alongside the branch
+}
+
+// Sink receives executed cycles; Stats and the trace collector implement
+// it.
+type Sink interface {
+	Cycle(c Cycle)
+}
+
+// Stats aggregates cycle records into the dynamic counts behind
+// Tables 2, 3, 4, 6 and 7.
+type Stats struct {
+	Steps       int64
+	ModuleSteps [NumModules]int64
+	Branch      [NumBranchOps]int64
+	BranchData  int64 // branch-op cycles that also manipulate data
+	Src1        [NumWFModes]int64
+	Src2        [NumWFModes]int64
+	Dest        [NumWFModes]int64
+	CacheOps    [NumCacheOps]int64
+	// AreaOps counts cache commands per area kind (heap..trail) and op.
+	AreaOps [5][NumCacheOps]int64
+}
+
+// Cycle implements Sink.
+func (s *Stats) Cycle(c Cycle) {
+	s.Steps++
+	if c.Module < NumModules {
+		s.ModuleSteps[c.Module]++
+	}
+	s.Branch[c.Branch]++
+	if !c.Branch.IsNop() && c.Data {
+		s.BranchData++
+	}
+	s.Src1[c.Src1]++
+	s.Src2[c.Src2]++
+	s.Dest[c.Dest]++
+	s.CacheOps[c.Cache]++
+	if c.Cache != OpNone {
+		s.AreaOps[c.Addr.Area().Kind()][c.Cache]++
+	}
+}
+
+// Reset zeroes the statistics.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// MemoryAccesses reports the total number of cache commands issued.
+func (s *Stats) MemoryAccesses() int64 {
+	return s.CacheOps[OpRead] + s.CacheOps[OpWrite] + s.CacheOps[OpWriteStack]
+}
+
+// ModuleRatio reports the fraction of steps attributed to module m.
+func (s *Stats) ModuleRatio(m Module) float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return float64(s.ModuleSteps[m]) / float64(s.Steps)
+}
+
+// CacheOpRatio reports the fraction of steps carrying cache command op.
+func (s *Stats) CacheOpRatio(op CacheOp) float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return float64(s.CacheOps[op]) / float64(s.Steps)
+}
+
+// AreaAccessRatio reports the share of all memory accesses going to the
+// given area kind.
+func (s *Stats) AreaAccessRatio(kind word.AreaID) float64 {
+	total := s.MemoryAccesses()
+	if total == 0 {
+		return 0
+	}
+	var n int64
+	for op := OpRead; op < NumCacheOps; op++ {
+		n += s.AreaOps[kind.Kind()][op]
+	}
+	return float64(n) / float64(total)
+}
+
+// BranchRatio reports the fraction of steps whose branch field carries op.
+func (s *Stats) BranchRatio(op BranchOp) float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return float64(s.Branch[op]) / float64(s.Steps)
+}
+
+// Tee fans cycles out to several sinks (e.g. Stats plus a trace file).
+type Tee []Sink
+
+// Cycle implements Sink.
+func (t Tee) Cycle(c Cycle) {
+	for _, s := range t {
+		s.Cycle(c)
+	}
+}

@@ -1,0 +1,400 @@
+// Package parse implements a DEC-10-style operator-precedence Prolog
+// reader over the lexer, producing source terms for the KL0 compiler and
+// the DEC-10 baseline compiler.
+package parse
+
+import (
+	"fmt"
+
+	"repro/internal/lex"
+	"repro/internal/term"
+)
+
+// opType is the operator fixity class.
+type opType uint8
+
+const (
+	xfx opType = iota
+	xfy
+	yfx
+	fy
+	fx
+	xf
+	yf
+)
+
+type opDef struct {
+	prec int
+	typ  opType
+}
+
+// The standard DEC-10 Prolog operator table (the subset the PSI
+// benchmarks use).
+var infixOps = map[string]opDef{
+	":-":   {1200, xfx},
+	"-->":  {1200, xfx},
+	";":    {1100, xfy},
+	"->":   {1050, xfy},
+	",":    {1000, xfy},
+	"=":    {700, xfx},
+	"\\=":  {700, xfx},
+	"==":   {700, xfx},
+	"\\==": {700, xfx},
+	"@<":   {700, xfx},
+	"@>":   {700, xfx},
+	"@=<":  {700, xfx},
+	"@>=":  {700, xfx},
+	"is":   {700, xfx},
+	"=:=":  {700, xfx},
+	"=\\=": {700, xfx},
+	"<":    {700, xfx},
+	">":    {700, xfx},
+	"=<":   {700, xfx},
+	">=":   {700, xfx},
+	"=..":  {700, xfx},
+	"+":    {500, yfx},
+	"-":    {500, yfx},
+	"/\\":  {500, yfx},
+	"\\/":  {500, yfx},
+	"*":    {400, yfx},
+	"/":    {400, yfx},
+	"//":   {400, yfx},
+	"mod":  {400, yfx},
+	"<<":   {400, yfx},
+	">>":   {400, yfx},
+	"^":    {200, xfy},
+}
+
+var prefixOps = map[string]opDef{
+	":-":  {1200, fx},
+	"?-":  {1200, fx},
+	"\\+": {900, fy},
+	"-":   {200, fy},
+	"+":   {200, fy},
+	"\\":  {200, fy},
+}
+
+// Parser reads a sequence of clauses from source text.
+type Parser struct {
+	lx   *lex.Lexer
+	tok  lex.Token
+	err  error
+	path string
+}
+
+// New returns a parser over src. path is used in error messages.
+func New(path, src string) *Parser {
+	p := &Parser{lx: lex.New(src), path: path}
+	p.next()
+	return p
+}
+
+// Error is a syntax error with position information.
+type Error struct {
+	Path string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.Path, e.Line, e.Msg)
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return &Error{Path: p.path, Line: p.tok.Line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) next() {
+	if p.err != nil {
+		return
+	}
+	t, err := p.lx.Next()
+	if err != nil {
+		p.err = &Error{Path: p.path, Line: p.tok.Line, Msg: err.Error()}
+		return
+	}
+	p.tok = t
+}
+
+// ReadClause reads the next clause (a term terminated by '.'). It returns
+// nil, nil at end of input.
+func (p *Parser) ReadClause() (*term.Term, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.Kind == lex.EOF {
+		return nil, nil
+	}
+	t, err := p.parse(1200)
+	if err != nil {
+		return nil, err
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.Kind != lex.EndTok {
+		return nil, p.errf("expected '.' after clause, found %q", p.tok.String())
+	}
+	p.next()
+	if p.err != nil {
+		return nil, p.err
+	}
+	return t, nil
+}
+
+// ReadAll reads all clauses in the source.
+func (p *Parser) ReadAll() ([]*term.Term, error) {
+	var cs []*term.Term
+	for {
+		c, err := p.ReadClause()
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			return cs, nil
+		}
+		cs = append(cs, c)
+	}
+}
+
+// Term parses a single term from src (no trailing '.').
+func Term(src string) (*term.Term, error) {
+	p := New("<term>", src)
+	t, err := p.parse(1200)
+	if err != nil {
+		return nil, err
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.Kind != lex.EOF && p.tok.Kind != lex.EndTok {
+		return nil, p.errf("trailing input %q", p.tok.String())
+	}
+	return t, nil
+}
+
+// Clauses parses a whole program text.
+func Clauses(path, src string) ([]*term.Term, error) {
+	return New(path, src).ReadAll()
+}
+
+// MustClauses parses a program text and panics on error; for embedding
+// known-good benchmark sources.
+func MustClauses(path, src string) []*term.Term {
+	cs, err := Clauses(path, src)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+// parse reads a term whose principal operator has precedence <= maxPrec.
+func (p *Parser) parse(maxPrec int) (*term.Term, error) {
+	left, leftPrec, err := p.parsePrimary(maxPrec)
+	if err != nil {
+		return nil, err
+	}
+	return p.parseInfix(left, leftPrec, maxPrec)
+}
+
+func (p *Parser) parseInfix(left *term.Term, leftPrec, maxPrec int) (*term.Term, error) {
+	for {
+		if p.err != nil {
+			return nil, p.err
+		}
+		var name string
+		switch {
+		case p.tok.Kind == lex.AtomTok:
+			name = p.tok.Text
+		case p.tok.Kind == lex.PunctTok && p.tok.Text == ",":
+			name = ","
+		default:
+			return left, nil
+		}
+		op, ok := infixOps[name]
+		if !ok || op.prec > maxPrec {
+			return left, nil
+		}
+		var maxLeft, maxRight int
+		switch op.typ {
+		case xfx:
+			maxLeft, maxRight = op.prec-1, op.prec-1
+		case xfy:
+			maxLeft, maxRight = op.prec-1, op.prec
+		case yfx:
+			maxLeft, maxRight = op.prec, op.prec-1
+		}
+		if leftPrec > maxLeft {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parse(maxRight)
+		if err != nil {
+			return nil, err
+		}
+		left = term.NewCompound(name, left, right)
+		leftPrec = op.prec
+	}
+}
+
+// termStart reports whether the current token could begin a term.
+func (p *Parser) termStart() bool {
+	switch p.tok.Kind {
+	case lex.AtomTok, lex.VarTok, lex.IntTok, lex.StrTok, lex.FunctTok:
+		return true
+	case lex.PunctTok:
+		return p.tok.Text == "(" || p.tok.Text == "[" || p.tok.Text == "{"
+	}
+	return false
+}
+
+func (p *Parser) parsePrimary(maxPrec int) (*term.Term, int, error) {
+	if p.err != nil {
+		return nil, 0, p.err
+	}
+	tok := p.tok
+	switch tok.Kind {
+	case lex.IntTok:
+		p.next()
+		return term.NewInt(tok.Int), 0, nil
+
+	case lex.VarTok:
+		p.next()
+		return term.NewVar(tok.Text), 0, nil
+
+	case lex.StrTok:
+		p.next()
+		codes := make([]int64, 0, len(tok.Text))
+		for _, r := range tok.Text {
+			codes = append(codes, int64(r))
+		}
+		return term.IntList(codes...), 0, nil
+
+	case lex.FunctTok:
+		p.next() // functor; current token is '('
+		if p.tok.Kind != lex.PunctTok || p.tok.Text != "(" {
+			return nil, 0, p.errf("internal: functor token not followed by '('")
+		}
+		p.next()
+		var args []*term.Term
+		for {
+			a, err := p.parse(999)
+			if err != nil {
+				return nil, 0, err
+			}
+			args = append(args, a)
+			if p.tok.Kind == lex.PunctTok && p.tok.Text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if p.tok.Kind != lex.PunctTok || p.tok.Text != ")" {
+			return nil, 0, p.errf("expected ')' in arguments of %s, found %q", tok.Text, p.tok.String())
+		}
+		p.next()
+		return term.NewCompound(tok.Text, args...), 0, nil
+
+	case lex.AtomTok:
+		name := tok.Text
+		p.next()
+		// Prefix operator?
+		if op, ok := prefixOps[name]; ok && op.prec <= maxPrec && p.termStart() {
+			// '-' or '+' immediately before an integer folds into a literal.
+			if (name == "-" || name == "+") && p.tok.Kind == lex.IntTok {
+				v := p.tok.Int
+				p.next()
+				if name == "-" {
+					v = -v
+				}
+				return term.NewInt(v), 0, nil
+			}
+			argMax := op.prec
+			if op.typ == fx {
+				argMax = op.prec - 1
+			}
+			arg, err := p.parse(argMax)
+			if err != nil {
+				return nil, 0, err
+			}
+			return term.NewCompound(name, arg), op.prec, nil
+		}
+		// Plain atom. An atom that is also an operator keeps its
+		// precedence so that (a :- b) :- c parses correctly.
+		if op, ok := infixOps[name]; ok {
+			return term.NewAtom(name), op.prec, nil
+		}
+		return term.NewAtom(name), 0, nil
+
+	case lex.PunctTok:
+		switch tok.Text {
+		case "(":
+			p.next()
+			t, err := p.parse(1200)
+			if err != nil {
+				return nil, 0, err
+			}
+			if p.tok.Kind != lex.PunctTok || p.tok.Text != ")" {
+				return nil, 0, p.errf("expected ')', found %q", p.tok.String())
+			}
+			p.next()
+			return t, 0, nil
+		case "[":
+			p.next()
+			return p.parseList()
+		case "{":
+			p.next()
+			if p.tok.Kind == lex.PunctTok && p.tok.Text == "}" {
+				p.next()
+				return term.NewAtom("{}"), 0, nil
+			}
+			t, err := p.parse(1200)
+			if err != nil {
+				return nil, 0, err
+			}
+			if p.tok.Kind != lex.PunctTok || p.tok.Text != "}" {
+				return nil, 0, p.errf("expected '}', found %q", p.tok.String())
+			}
+			p.next()
+			return term.NewCompound("{}", t), 0, nil
+		}
+	}
+	return nil, 0, p.errf("unexpected token %q", tok.String())
+}
+
+func (p *Parser) parseList() (*term.Term, int, error) {
+	if p.tok.Kind == lex.PunctTok && p.tok.Text == "]" {
+		p.next()
+		return term.EmptyList(), 0, nil
+	}
+	var elems []*term.Term
+	for {
+		e, err := p.parse(999)
+		if err != nil {
+			return nil, 0, err
+		}
+		elems = append(elems, e)
+		if p.tok.Kind == lex.PunctTok && p.tok.Text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	tail := term.EmptyList()
+	if p.tok.Kind == lex.PunctTok && p.tok.Text == "|" {
+		p.next()
+		t, err := p.parse(999)
+		if err != nil {
+			return nil, 0, err
+		}
+		tail = t
+	}
+	if p.tok.Kind != lex.PunctTok || p.tok.Text != "]" {
+		return nil, 0, p.errf("expected ']', found %q", p.tok.String())
+	}
+	p.next()
+	for i := len(elems) - 1; i >= 0; i-- {
+		tail = term.Cons(elems[i], tail)
+	}
+	return tail, 0, nil
+}

@@ -1,0 +1,263 @@
+package parse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/term"
+)
+
+func mustTerm(t *testing.T, src string) *term.Term {
+	t.Helper()
+	tm, err := Term(src)
+	if err != nil {
+		t.Fatalf("Term(%q): %v", src, err)
+	}
+	return tm
+}
+
+func TestAtomsAndConstants(t *testing.T) {
+	cases := map[string]string{
+		"foo":       "foo",
+		"'Foo bar'": "'Foo bar'",
+		"42":        "42",
+		"-42":       "-42",
+		"X":         "X",
+		"[]":        "[]",
+		"\"ab\"":    "[97,98]",
+		"0'a":       "97",
+	}
+	for src, want := range cases {
+		if got := mustTerm(t, src).String(); got != want {
+			t.Errorf("Term(%q) = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestCompounds(t *testing.T) {
+	cases := map[string]string{
+		"f(a,b)":           "f(a,b)",
+		"f(g(X),[1,2|T])":  "f(g(X),[1,2|T])",
+		"'my pred'(1)":     "'my pred'(1)",
+		"-(1,2)":           "1-2",
+		".(a,[])":          "[a]",
+		"{a}":              "{}(a)",
+		"{}":               "{}",
+		"f([a,b],[c|[d]])": "f([a,b],[c,d])",
+		"append([],L,L)":   "append([],L,L)",
+	}
+	for src, want := range cases {
+		if got := mustTerm(t, src).String(); got != want {
+			t.Errorf("Term(%q) = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	cases := map[string]string{
+		"1+2*3":         "+(1,*(2,3))",
+		"1*2+3":         "+(*(1,2),3)",
+		"1-2-3":         "-(-(1,2),3)",
+		"a,b,c":         "','(a,','(b,c))",
+		"a;b,c":         ";(a,','(b,c))",
+		"(a;b),c":       "','(;(a,b),c)",
+		"X is Y+1":      "is(X,+(Y,1))",
+		"a :- b, c":     ":-(a,','(b,c))",
+		"\\+ a":         "\\+(a)",
+		"\\+ a, b":      "','(\\+(a),b)",
+		"X = Y":         "=(X,Y)",
+		"a -> b ; c":    ";(->(a,b),c)",
+		"X mod 2 =:= 0": "=:=(mod(X,2),0)",
+		"- (3)":         "-(3)",
+		"1 - 2":         "-(1,2)",
+		"f(a-b, c)":     "f(-(a,b),c)",
+		"[a,b|c]":       "[a,b|c]",
+		"X^2":           "^(X,2)",
+		"3 * -1":        "*(3,-1)",
+	}
+	for src, want := range cases {
+		got := mustTerm(t, src)
+		canon := canonical(got)
+		if canon != want {
+			t.Errorf("Term(%q) = %s, want %s", src, canon, want)
+		}
+	}
+}
+
+// canonical prints in pure functional notation to check structure.
+func canonical(t *term.Term) string {
+	switch t.Kind {
+	case term.Compound:
+		if t.IsCons() {
+			// keep list sugar for readability of expected values
+			return t.String()
+		}
+		var b strings.Builder
+		b.WriteString(term.QuoteAtom(t.Functor))
+		b.WriteByte('(')
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(canonical(a))
+		}
+		b.WriteByte(')')
+		return b.String()
+	default:
+		return t.String()
+	}
+}
+
+func TestClauses(t *testing.T) {
+	src := `
+% naive reverse
+nrev([],[]).
+nrev([H|T],R) :- nrev(T,RT), append(RT,[H],R).
+append([],L,L).
+append([H|T],L,[H|R]) :- append(T,L,R).
+`
+	cs, err := Clauses("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 4 {
+		t.Fatalf("got %d clauses", len(cs))
+	}
+	if cs[1].Functor != ":-" {
+		t.Errorf("clause 1 = %v", cs[1])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"f(a",
+		"f(a,)",
+		"[a,b",
+		"a b",
+		"f(a)) ",
+		", a",
+		"{a",
+		"a :- .",
+	}
+	for _, src := range bad {
+		if _, err := Term(src); err == nil {
+			t.Errorf("Term(%q) should fail", src)
+		}
+	}
+	if _, err := Clauses("t", "a"); err == nil {
+		t.Error("clause without terminator should fail")
+	}
+	if _, err := Clauses("t", "f(a,'x) ."); err == nil {
+		t.Error("lex error should propagate")
+	}
+}
+
+func TestReadClauseEOF(t *testing.T) {
+	p := New("t", "a. b.")
+	c1, err := p.ReadClause()
+	if err != nil || c1.Functor != "a" {
+		t.Fatalf("c1: %v %v", c1, err)
+	}
+	c2, err := p.ReadClause()
+	if err != nil || c2.Functor != "b" {
+		t.Fatalf("c2: %v %v", c2, err)
+	}
+	c3, err := p.ReadClause()
+	if err != nil || c3 != nil {
+		t.Fatalf("c3 should be nil at EOF: %v %v", c3, err)
+	}
+}
+
+func TestMustClausesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustClauses should panic on bad input")
+		}
+	}()
+	MustClauses("t", "f(")
+}
+
+// genTerm builds a random printable term for the round-trip property.
+func genTerm(r *rand.Rand, depth int) *term.Term {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return term.NewInt(int64(r.Intn(2000) - 1000))
+		case 1:
+			return term.NewAtom([]string{"a", "foo", "bar_1", "'odd atom'", "[]"}[r.Intn(5)])
+		case 2:
+			return term.NewVar([]string{"X", "Y", "Zed", "_1"}[r.Intn(4)])
+		default:
+			return term.EmptyList()
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		n := 1 + r.Intn(3)
+		args := make([]*term.Term, n)
+		for i := range args {
+			args[i] = genTerm(r, depth-1)
+		}
+		return term.NewCompound([]string{"f", "g", "point"}[r.Intn(3)], args...)
+	case 1:
+		n := r.Intn(3)
+		elems := make([]*term.Term, n)
+		for i := range elems {
+			elems[i] = genTerm(r, depth-1)
+		}
+		return term.FromList(elems...)
+	default:
+		return genTerm(r, 0)
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		orig := genTerm(r, 4)
+		printed := orig.String()
+		// Atoms quoted with leading quote parse back to the unquoted name.
+		back, err := Term(printed)
+		if err != nil {
+			t.Fatalf("round-trip parse of %q failed: %v", printed, err)
+		}
+		if !stripQuotes(orig).Equal(stripQuotes(back)) {
+			t.Fatalf("round trip %q -> %q", printed, back.String())
+		}
+	}
+}
+
+// stripQuotes normalizes atom names that were written quoted.
+func stripQuotes(t *term.Term) *term.Term {
+	norm := func(s string) string {
+		if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+			return s[1 : len(s)-1]
+		}
+		return s
+	}
+	switch t.Kind {
+	case term.Atom:
+		return term.NewAtom(norm(t.Functor))
+	case term.Compound:
+		args := make([]*term.Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = stripQuotes(a)
+		}
+		return &term.Term{Kind: term.Compound, Functor: norm(t.Functor), Args: args}
+	default:
+		return t
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		src := term.NewCompound("pair", term.NewInt(int64(a)), term.NewInt(int64(b)))
+		back, err := Term(src.String())
+		return err == nil && back.Equal(src)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

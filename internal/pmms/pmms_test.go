@@ -1,0 +1,101 @@
+package pmms
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/micro"
+	"repro/internal/trace"
+	"repro/internal/word"
+)
+
+// synthLog builds a trace with locality: a loop over a small code region
+// plus stack pushes.
+func synthLog(n int) *trace.Log {
+	var l trace.Log
+	for i := 0; i < n; i++ {
+		// Three plain cycles per memory access: 25% memory rate.
+		l.Cycle(micro.Cycle{Module: micro.MControl})
+		l.Cycle(micro.Cycle{Module: micro.MUnify})
+		l.Cycle(micro.Cycle{Module: micro.MUnify})
+		switch i % 4 {
+		case 0, 1:
+			l.Cycle(micro.Cycle{Cache: micro.OpRead,
+				Addr: word.MakeAddr(word.AreaHeap, uint32(i%64))})
+		case 2:
+			l.Cycle(micro.Cycle{Cache: micro.OpRead,
+				Addr: word.MakeAddr(word.AreaGlobal, uint32(i%512))})
+		default:
+			l.Cycle(micro.Cycle{Cache: micro.OpWriteStack,
+				Addr: word.MakeAddr(word.AreaLocal, uint32(i))})
+		}
+	}
+	return &l
+}
+
+func TestReplayHitRatio(t *testing.T) {
+	l := synthLog(4000)
+	big := Replay(l, cache.Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreIn})
+	small := Replay(l, cache.Config{Words: 16, Assoc: 2, BlockWords: 4, Policy: cache.StoreIn})
+	if big.HitRatio() <= small.HitRatio() {
+		t.Errorf("bigger cache should hit more: %v vs %v", big.HitRatio(), small.HitRatio())
+	}
+	if big.Total.Accesses != int64(l.MemoryAccesses()) {
+		t.Errorf("access count %d vs %d", big.Total.Accesses, l.MemoryAccesses())
+	}
+}
+
+func TestTimes(t *testing.T) {
+	l := synthLog(1000)
+	c := Replay(l, cache.PSI)
+	tc := TimeNS(l, c)
+	tnc := TimeNoCacheNS(l)
+	if tc >= tnc {
+		t.Errorf("cached time %d should beat uncached %d", tc, tnc)
+	}
+	base := int64(l.Len()) * micro.CycleNS
+	if tc < base {
+		t.Errorf("cached time below cycle floor")
+	}
+	if got := tnc - base; got != int64(l.MemoryAccesses())*cache.MissExtraNS {
+		t.Errorf("no-cache stall = %d", got)
+	}
+}
+
+func TestImprovementMonotone(t *testing.T) {
+	l := synthLog(8000)
+	pts := Sweep(l, DefaultSizes())
+	if len(pts) != len(DefaultSizes()) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Improvement < pts[i-1].Improvement-0.5 {
+			t.Errorf("improvement dropped at %d words: %v -> %v",
+				pts[i].Words, pts[i-1].Improvement, pts[i].Improvement)
+		}
+	}
+	if pts[len(pts)-1].Improvement <= 0 {
+		t.Error("large cache should improve over no cache")
+	}
+}
+
+func TestImprovementDefinition(t *testing.T) {
+	l := synthLog(1000)
+	cfg := cache.PSI
+	c := Replay(l, cfg)
+	want := (float64(TimeNoCacheNS(l))/float64(TimeNS(l, c)) - 1) * 100
+	if got := Improvement(l, cfg); got != want {
+		t.Errorf("Improvement = %v, want %v", got, want)
+	}
+}
+
+func TestTranslationReproducibility(t *testing.T) {
+	// Replaying the same trace twice must give identical hit counts (the
+	// first-touch translation is deterministic).
+	l := synthLog(3000)
+	a := Replay(l, cache.PSI)
+	b := Replay(l, cache.PSI)
+	if a.Total != b.Total {
+		t.Errorf("replays differ: %+v vs %+v", a.Total, b.Total)
+	}
+}

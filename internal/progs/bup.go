@@ -1,0 +1,126 @@
+package progs
+
+// BUP re-creates ICOT's bottom-up parser for natural language (benchmarks
+// (11)-(13)). The algorithm is the classical BUP translation: lexical
+// left corners are projected upward through a left-corner link relation,
+// which handles the grammar's left recursion (NP -> NP PP, VP -> VP PP)
+// directly. Categories carry an agreement feature and a growing parse
+// tree, so unification moves structures larger than eight elements and
+// deeply nested trees around, exactly the style the paper credits to BUP.
+const bupSource = `
+% parse(Cat, S0, S): category Cat spans the difference list S0-S.
+parse(Cat, [W|S0], S) :- lex(W, LC), link(LC, Cat), lc(LC, Cat, S0, S).
+
+% lc(Sub, Cat, S0, S): a complete Sub has been found; climb toward Cat.
+lc(Cat, Cat, S, S).
+lc(Sub, Cat, S0, S) :-
+    rule(Sub, Sup, Rest), link(Sup, Cat),
+    rest(Rest, S0, S1),
+    lc(Sup, Cat, S1, S).
+
+rest([], S, S).
+rest([C|Cs], S0, S) :- parse(C, S0, S1), rest(Cs, S1, S).
+
+% Grammar: rule(FirstDaughter, Parent, RestDaughters) — keyed on the
+% (always bound) left corner, the way BUP's rule dictionaries were
+% organized. Categories carry an agreement bundle agr(Number, Person,
+% Case) and a growing parse tree, so a single head unification moves
+% structures well past eight elements (the paper singles BUP out for
+% exactly this).
+rule(np(agr(N, P, nom), NP), s(agr(N, P, _), s(NP, VP)), [vp(agr(N, P, _), VP)]).
+rule(det(agr(N, P, C), D), np(agr(N, P, C), np(D, Nb)), [nbar(agr(N, P, C), Nb)]).
+rule(pn(agr(N, P, C), PN), np(agr(N, P, C), np(PN)), []).
+rule(np(agr(N, P, C), NP), np(agr(N, P, C), np(NP, PP)), [pp(PP)]).
+rule(n(agr(N, P, C), Noun), nbar(agr(N, P, C), nb(Noun)), []).
+rule(adj(A), nbar(agr(N, P, C), nb(A, Nb)), [nbar(agr(N, P, C), Nb)]).
+rule(v(agr(N, P, C), iv, V), vp(agr(N, P, C), vp(V)), []).
+rule(v(agr(N, P, C), tv, V), vp(agr(N, P, C), vp(V, NP)), [np(agr(_, _, acc), NP)]).
+rule(vp(agr(N, P, C), VP), vp(agr(N, P, C), vp(VP, PP)), [pp(PP)]).
+rule(p(Prep), pp(pp(Prep, NP)), [np(agr(_, _, _), NP)]).
+
+% Left-corner link relation (reflexive-transitive closure over first
+% daughters). As in the original BUP, the oracle is a precomputed
+% reachability matrix interrogated with built-in predicates: extract both
+% category functors, map them to indices, and probe the matrix cell —
+% deterministic and built-in-dominated, which is where BUP's 65% built-in
+% call rate in the paper comes from.
+link(Sub, Cat) :-
+    functor(Sub, F1, _), functor(Cat, F2, _),
+    lcode(F1, C1), lcode(F2, C2),
+    I is (C1 - 1) * 11 + C2,
+    ltab(T), arg(I, T, y).
+
+lcode(s, 1). lcode(np, 2). lcode(nbar, 3). lcode(vp, 4). lcode(pp, 5).
+lcode(det, 6). lcode(pn, 7). lcode(adj, 8). lcode(n, 9). lcode(v, 10).
+lcode(p, 11).
+
+% Row = from-category, column = to-category; diagonal is reflexive.
+ltab(t(y,n,n,n,n,n,n,n,n,n,n,
+       y,y,n,n,n,n,n,n,n,n,n,
+       n,n,y,n,n,n,n,n,n,n,n,
+       n,n,n,y,n,n,n,n,n,n,n,
+       n,n,n,n,y,n,n,n,n,n,n,
+       y,y,y,n,n,y,n,n,n,n,n,
+       y,y,n,n,n,n,y,n,n,n,n,
+       y,y,y,n,n,n,n,y,n,n,n,
+       y,y,y,n,n,n,n,n,y,n,n,
+       n,n,n,y,n,n,n,n,n,y,n,
+       n,n,n,n,y,n,n,n,n,n,y)).
+
+% Lexicon.
+lex(the, det(agr(_, 3, _), d(the, def))).
+lex(a, det(agr(sg, 3, _), d(a, indef))).
+lex(man, n(agr(sg, 3, _), n(man, anim))).
+lex(men, n(agr(pl, 3, _), n(men, anim))).
+lex(dog, n(agr(sg, 3, _), n(dog, anim))).
+lex(park, n(agr(sg, 3, _), n(park, loc))).
+lex(garden, n(agr(sg, 3, _), n(garden, loc))).
+lex(telescope, n(agr(sg, 3, _), n(telescope, inst))).
+lex(saw, n(agr(sg, 3, _), n(saw, inst))).
+lex(saw, v(agr(_, _, nom), tv, v(saw, past))).
+lex(walked, v(agr(_, _, nom), iv, v(walked, past))).
+lex(walked, v(agr(_, _, nom), tv, v(walked, past))).
+lex(liked, v(agr(_, _, nom), tv, v(liked, past))).
+lex(john, pn(agr(sg, 3, _), pn(john, masc))).
+lex(mary, pn(agr(sg, 3, _), pn(mary, fem))).
+lex(old, adj(a(old, qual))).
+lex(big, adj(a(big, size))).
+lex(in, p(p(in, loc))).
+lex(with, p(p(with, com))).
+lex(near, p(p(near, loc))).
+
+% Drivers: enumerate every parse (failure-driven), as the evaluation did.
+all_parses(Sent) :- parse(s(agr(_, _, _), _), Sent, []), fail.
+all_parses(_).
+rep(0, _) :- !.
+rep(K, Sent) :- all_parses(Sent), K1 is K - 1, rep(K1, Sent).
+`
+
+// BUP1 is benchmark (11): a short sentence.
+var BUP1 = Benchmark{
+	Name:       "BUP-1",
+	DEC:        true,
+	PaperPSIMS: 43, PaperDECMS: 52,
+	Source: bupSource + "go :- rep(3, [john, saw, mary]).\n",
+	Query:  "go",
+}
+
+// BUP2 is benchmark (12): a medium sentence with attachment ambiguity.
+var BUP2 = Benchmark{
+	Name:       "BUP-2",
+	DEC:        true,
+	PaperPSIMS: 139, PaperDECMS: 194,
+	Source: bupSource + "go :- rep(7, [the, old, man, saw, a, dog, in, the, park]).\n",
+	Query:  "go",
+}
+
+// BUP3 is benchmark (13): a long sentence whose prepositional phrases
+// multiply the ambiguity.
+var BUP3 = Benchmark{
+	Name:       "BUP-3",
+	DEC:        true,
+	PaperPSIMS: 309, PaperDECMS: 424,
+	Source: bupSource +
+		"go :- rep(12, [the, old, man, saw, a, big, dog, with, a, telescope, in, the, park, near, the, garden]).\n",
+	Query: "go",
+}

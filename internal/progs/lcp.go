@@ -1,0 +1,86 @@
+package progs
+
+// LCP re-creates the second natural-language parser of Table 1
+// (benchmarks (17)-(19)), written by an author with deep knowledge of the
+// DEC-10 Prolog compiler. The paper observes that DEC runs it faster than
+// the PSI. The program therefore uses the compiled-code engine's sweet
+// spots deliberately: a top-down parser over difference lists in which
+// every lexical access is keyed on the (constant) word for first-argument
+// indexing, determinism is enforced with early cuts, and categories stay
+// shallow so no structure grows past a few cells.
+const lcpSource = `
+% Top-level: sentence with agreement.
+s(s(NP, VP), S0, S) :- np(N, NP, S0, S1), vp(N, VP, S1, S).
+
+np(N, NP, S0, S) :- np1(N, Core, S0, S1), npx(N, Core, NP, S1, S).
+np1(N, np(D, Nb), [W|S0], S) :- dlex(W, det, N, D), nbar(N, Nb, S0, S).
+np1(N, np(PN), [W|S], S) :- dlex(W, pn, N, PN).
+npx(_, NP, NP, S, S).
+npx(N, Core, NP, S0, S) :- pp(PP, S0, S1), npx(N, np(Core, PP), NP, S1, S).
+
+nbar(N, nb(Noun), [W|S], S) :- dlex(W, n, N, Noun).
+nbar(N, nb(A, Nb), [W|S0], S) :- dlex(W, adj, _, A), nbar(N, Nb, S0, S).
+
+vp(N, VP, S0, S) :- vp1(N, Core, S0, S1), vpx(N, Core, VP, S1, S).
+vp1(N, vp(V, NP), [W|S0], S) :- dlex(W, tv, N, V), np(_, NP, S0, S).
+vp1(N, vp(V), [W|S], S) :- dlex(W, iv, N, V).
+vpx(_, VP, VP, S, S).
+vpx(N, Core, VP, S0, S) :- pp(PP, S0, S1), vpx(N, vp(Core, PP), VP, S1, S).
+
+pp(pp(P, NP), [W|S0], S) :- dlex(W, p, _, P), np(_, NP, S0, S).
+
+% Lexicon keyed on the word: one indexed lookup, committed with cut where
+% the word is unambiguous.
+dlex(the, det, _, d(the)) :- !.
+dlex(a, det, sg, d(a)) :- !.
+dlex(man, n, sg, n(man)) :- !.
+dlex(men, n, pl, n(men)) :- !.
+dlex(dog, n, sg, n(dog)) :- !.
+dlex(park, n, sg, n(park)) :- !.
+dlex(garden, n, sg, n(garden)) :- !.
+dlex(telescope, n, sg, n(telescope)) :- !.
+dlex(saw, n, sg, n(saw)).
+dlex(saw, tv, _, v(saw)) :- !.
+dlex(walked, iv, _, v(walked)).
+dlex(walked, tv, _, v(walked)) :- !.
+dlex(liked, tv, _, v(liked)) :- !.
+dlex(john, pn, sg, pn(john)) :- !.
+dlex(mary, pn, sg, pn(mary)) :- !.
+dlex(old, adj, _, a(old)) :- !.
+dlex(big, adj, _, a(big)) :- !.
+dlex(in, p, _, p(in)) :- !.
+dlex(with, p, _, p(with)) :- !.
+dlex(near, p, _, p(near)) :- !.
+
+all_parses(Sent) :- s(_, Sent, []), fail.
+all_parses(_).
+`
+
+// LCP1 is benchmark (17).
+var LCP1 = Benchmark{
+	Name:       "LCP-1",
+	DEC:        true,
+	PaperPSIMS: 379, PaperDECMS: 295,
+	Source: lcpSource + "go :- rep(40).\nrep(0) :- !.\nrep(K) :- all_parses([john, saw, mary]), K1 is K - 1, rep(K1).\n",
+	Query:  "go",
+}
+
+// LCP2 is benchmark (18).
+var LCP2 = Benchmark{
+	Name:       "LCP-2",
+	DEC:        true,
+	PaperPSIMS: 1387, PaperDECMS: 1071,
+	Source: lcpSource +
+		"go :- rep(40).\nrep(0) :- !.\nrep(K) :- all_parses([the, old, man, saw, a, dog, in, the, park]), K1 is K - 1, rep(K1).\n",
+	Query: "go",
+}
+
+// LCP3 is benchmark (19).
+var LCP3 = Benchmark{
+	Name:       "LCP-3",
+	DEC:        true,
+	PaperPSIMS: 2130, PaperDECMS: 1656,
+	Source: lcpSource +
+		"go :- rep(20).\nrep(0) :- !.\nrep(K) :- all_parses([the, old, man, saw, a, big, dog, with, a, telescope, in, the, park, near, the, garden]), K1 is K - 1, rep(K1).\n",
+	Query: "go",
+}

@@ -1,0 +1,67 @@
+// Package progs holds the benchmark and application programs of the
+// paper's evaluation as Prolog sources, together with the queries that
+// drive them.
+//
+// Programs (1)-(10) are the small list-processing benchmarks from the
+// first Prolog contest of Japan; (11)-(19) are re-creations of the
+// practical-scale ICOT applications (BUP and LCP natural-language
+// parsers, the HARMONIZER music generation system); WINDOW re-creates the
+// object-oriented window system written in ESP (heap vectors for instance
+// state, method dispatch across classes, interrupt-driven I/O service
+// processes); 8 PUZZLE is the search benchmark of Table 2.
+//
+// Every source is self-contained (each defines the library predicates it
+// needs) and uses only the KL0 built-in set, so the same text runs on
+// both the PSI machine and the DEC-10 baseline.
+package progs
+
+import "fmt"
+
+// Benchmark describes one runnable workload.
+type Benchmark struct {
+	// Name as it appears in the paper's tables.
+	Name string
+	// Source is the Prolog program text.
+	Source string
+	// Query is the driving goal.
+	Query string
+	// Var optionally names a query variable whose first binding is
+	// checked against Want (both empty = just demand success).
+	Var  string
+	Want string
+	// DEC reports whether the workload runs on the DEC-10 baseline
+	// (WINDOW needs heap vectors and interrupts, which are PSI features).
+	DEC bool
+	// Processes is the number of PSI process contexts (WINDOW uses 2).
+	Processes int
+	// Handler is the interrupt-handler goal for process 1, if any.
+	Handler string
+	// PaperPSIMS and PaperDECMS are the paper's Table 1 measurements in
+	// milliseconds (zero when the program is not in Table 1).
+	PaperPSIMS float64
+	PaperDECMS float64
+}
+
+// String identifies the benchmark.
+func (b Benchmark) String() string { return fmt.Sprintf("benchmark %q", b.Name) }
+
+// Table1 lists the 19 execution-time benchmarks in paper order.
+func Table1() []Benchmark {
+	return []Benchmark{
+		NReverse, QuickSort, TreeTraverse, LispTarai, LispFib, LispNReverse,
+		QueensFirst, QueensAll, ReverseFunction, SlowReverse,
+		BUP1, BUP2, BUP3, Harmonizer1, Harmonizer2, Harmonizer3,
+		LCP1, LCP2, LCP3,
+	}
+}
+
+// HardwareSet lists the workloads of the hardware evaluation (Tables 3-5
+// rows): window-1..3, 8 puzzle, BUP, harmonizer, LCP.
+func HardwareSet() []Benchmark {
+	return []Benchmark{Window1, Window2, Window3, Puzzle8, BUP3, Harmonizer2, LCP3}
+}
+
+// Table2Set lists the interpreter-dynamics workloads (Table 2 rows).
+func Table2Set() []Benchmark {
+	return []Benchmark{Window2, Puzzle8, BUP3, Harmonizer2}
+}

@@ -1,0 +1,243 @@
+package progs
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dec10"
+	"repro/internal/kl0"
+	"repro/internal/parse"
+)
+
+// runPSI executes a benchmark on the PSI machine and returns the first
+// answer for b.Var (or "" when the query has no tracked variable).
+func runPSI(t *testing.T, b Benchmark) (string, *core.Machine) {
+	t.Helper()
+	prog := kl0.NewProgram(nil)
+	cs, err := parse.Clauses(b.Name, b.Source)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", b.Name, err)
+	}
+	if err := prog.AddClauses(cs); err != nil {
+		t.Fatalf("%s: compile: %v", b.Name, err)
+	}
+	procs := b.Processes
+	if procs == 0 {
+		procs = 1
+	}
+	m := core.New(prog, core.Config{Processes: procs, MaxSteps: 2_000_000_000})
+	if b.Handler != "" {
+		hg, err := parse.Term(b.Handler)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hq, err := prog.CompileQuery(hg)
+		if err != nil {
+			t.Fatalf("%s: handler: %v", b.Name, err)
+		}
+		if err := m.SetInterruptHandler(1, hq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sols, err := m.Solve(b.Query)
+	if err != nil {
+		t.Fatalf("%s: query: %v", b.Name, err)
+	}
+	ans, ok := sols.Next()
+	if !ok {
+		t.Fatalf("%s: query %q failed (%v)", b.Name, b.Query, sols.Err())
+	}
+	if b.Var == "" {
+		return "", m
+	}
+	return ans[b.Var].String(), m
+}
+
+// runDEC executes a benchmark on the DEC-10 baseline.
+func runDEC(t *testing.T, b Benchmark) (string, *dec10.Machine) {
+	t.Helper()
+	prog := dec10.NewProgram(nil)
+	cs, err := parse.Clauses(b.Name, b.Source)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", b.Name, err)
+	}
+	if err := prog.AddClauses(cs); err != nil {
+		t.Fatalf("%s: compile: %v", b.Name, err)
+	}
+	m := dec10.New(prog, dec10.Config{MaxUnits: 10_000_000_000})
+	sols, err := m.Solve(b.Query)
+	if err != nil {
+		t.Fatalf("%s: query: %v", b.Name, err)
+	}
+	ans, ok := sols.Next()
+	if !ok {
+		t.Fatalf("%s: DEC query %q failed (%v)", b.Name, b.Query, sols.Err())
+	}
+	if b.Var == "" {
+		return "", m
+	}
+	return ans[b.Var].String(), m
+}
+
+func TestTable1BenchmarksOnPSI(t *testing.T) {
+	for _, b := range Table1() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			got, m := runPSI(t, b)
+			if b.Want != "" && got != b.Want {
+				t.Errorf("answer = %s, want %s", got, b.Want)
+			}
+			t.Logf("PSI: %d inferences, %d steps, %.2f ms simulated",
+				m.Inferences(), m.Stats().Steps, float64(m.TimeNS())/1e6)
+		})
+	}
+}
+
+func TestTable1BenchmarksOnDEC(t *testing.T) {
+	for _, b := range Table1() {
+		if !b.DEC {
+			continue
+		}
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			got, m := runDEC(t, b)
+			if b.Want != "" && got != b.Want {
+				t.Errorf("answer = %s, want %s", got, b.Want)
+			}
+			t.Logf("DEC: %d calls, %d units, %.2f ms modelled",
+				m.Calls(), m.Units(), float64(m.TimeNS())/1e6)
+		})
+	}
+}
+
+func TestEnginesAgree(t *testing.T) {
+	for _, b := range Table1() {
+		if !b.DEC || b.Var == "" {
+			continue
+		}
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			psi, _ := runPSI(t, b)
+			dec, _ := runDEC(t, b)
+			if psi != dec {
+				t.Errorf("engines disagree: PSI=%s DEC=%s", psi, dec)
+			}
+		})
+	}
+}
+
+func TestHardwareWorkloads(t *testing.T) {
+	for _, b := range HardwareSet() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			_, m := runPSI(t, b)
+			s := m.Stats()
+			if s.Steps == 0 || s.MemoryAccesses() == 0 {
+				t.Fatal("no activity recorded")
+			}
+			t.Logf("steps=%d mem=%d hit=%.4f", s.Steps, s.MemoryAccesses(), m.Cache().HitRatio())
+		})
+	}
+}
+
+func TestPuzzleSolvesCorrectly(t *testing.T) {
+	got, _ := runPSI(t, Puzzle8)
+	// The solution must be a list of boards ending at the goal state.
+	tm, err := parse.Term(got)
+	if err != nil {
+		t.Fatalf("unparseable moves: %v", err)
+	}
+	elems, ok := tm.ListElems()
+	if !ok || len(elems) == 0 {
+		t.Fatalf("moves = %s", got)
+	}
+	last := elems[len(elems)-1]
+	want := "b(1,2,3,8,0,4,7,6,5)"
+	if last.String() != want {
+		t.Errorf("final state %s, want %s", last, want)
+	}
+}
+
+func TestWindowUsesBothProcesses(t *testing.T) {
+	_, m := runPSI(t, Window2)
+	if m.Stats().Steps == 0 {
+		t.Fatal("no steps")
+	}
+}
+
+func TestBenchmarkMetadata(t *testing.T) {
+	names := map[string]bool{}
+	for _, b := range Table1() {
+		if b.Name == "" || b.Source == "" || b.Query == "" {
+			t.Errorf("incomplete benchmark %+v", b.Name)
+		}
+		if names[b.Name] {
+			t.Errorf("duplicate name %s", b.Name)
+		}
+		names[b.Name] = true
+		if b.PaperPSIMS <= 0 || b.PaperDECMS <= 0 {
+			t.Errorf("%s: missing paper numbers", b.Name)
+		}
+	}
+	if len(Table1()) != 19 {
+		t.Errorf("Table1 has %d entries, want 19", len(Table1()))
+	}
+	if len(HardwareSet()) != 7 {
+		t.Errorf("HardwareSet has %d entries, want 7", len(HardwareSet()))
+	}
+	if len(Table2Set()) != 4 {
+		t.Errorf("Table2Set has %d entries, want 4", len(Table2Set()))
+	}
+}
+
+// TestQueensSolutionCount cross-checks the full 8-queens solution space
+// on both engines: exactly 92 solutions, in the same order.
+func TestQueensSolutionCount(t *testing.T) {
+	prog := kl0.NewProgram(nil)
+	cs, err := parse.Clauses("q", QueensFirst.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.AddClauses(cs); err != nil {
+		t.Fatal(err)
+	}
+	m := core.New(prog, core.Config{MaxSteps: 500_000_000})
+	sols, err := m.Solve("queens(8, S)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var psiSols []string
+	for {
+		ans, ok := sols.Next()
+		if !ok {
+			break
+		}
+		psiSols = append(psiSols, ans["S"].String())
+	}
+	if len(psiSols) != 92 {
+		t.Fatalf("PSI found %d solutions, want 92", len(psiSols))
+	}
+
+	dprog := dec10.NewProgram(nil)
+	dcs, _ := parse.Clauses("q", QueensFirst.Source)
+	if err := dprog.AddClauses(dcs); err != nil {
+		t.Fatal(err)
+	}
+	dm := dec10.New(dprog, dec10.Config{MaxUnits: 2_000_000_000})
+	dsols, err := dm.Solve("queens(8, S)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		ans, ok := dsols.Next()
+		if !ok {
+			if i != 92 {
+				t.Fatalf("DEC found %d solutions, want 92", i)
+			}
+			break
+		}
+		if i < len(psiSols) && ans["S"].String() != psiSols[i] {
+			t.Fatalf("solution %d differs: DEC %s vs PSI %s", i, ans["S"], psiSols[i])
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package progs
+
+// Puzzle8 re-creates the 8 PUZZLE search workload of Tables 2-5: a
+// depth-first search with a visited list, rich in backtracking (the paper
+// measured a 7.5% trail share and zero cut activity for it) and in
+// built-in work (the visited check and the depth arithmetic).
+const puzzleSource = `
+% Boards are b/9 structures, positions 1-9 row-major, 0 marks the blank.
+% Moves are generated arithmetically: find the blank with arg/3, pick a
+% neighbouring position, and build the successor board with functor/3 —
+% the built-in-heavy style of the original (Table 2 shows 8 PUZZLE
+% spending over half its steps in built-in handling).
+blank(B, P) :- pos(P), arg(P, B, 0).
+pos(1). pos(2). pos(3). pos(4). pos(5). pos(6). pos(7). pos(8). pos(9).
+
+% neighbour(P, Q): tile at Q may slide into blank at P.
+neighbour(P, Q) :- P mod 3 =\= 0, Q is P + 1.
+neighbour(P, Q) :- P mod 3 =\= 1, Q is P - 1.
+neighbour(P, Q) :- P =< 6, Q is P + 3.
+neighbour(P, Q) :- P >= 4, Q is P - 3.
+
+m(B, B2) :-
+    blank(B, P),
+    neighbour(P, Q),
+    arg(Q, B, Tile),
+    functor(B2, b, 9),
+    copy_swap(9, B, B2, P, Q, Tile).
+
+copy_swap(0, _, _, _, _, _).
+copy_swap(I, B, B2, P, Q, Tile) :-
+    I > 0,
+    ( I =:= P -> arg(I, B2, Tile)
+    ; I =:= Q -> arg(I, B2, 0)
+    ; arg(I, B, X), arg(I, B2, X)
+    ),
+    I1 is I - 1,
+    copy_swap(I1, B, B2, P, Q, Tile).
+
+goal(b(1,2,3,8,0,4,7,6,5)).
+
+% The paper's Table 2 shows 8 PUZZLE executing no cut at all, so the
+% search is written cut-free: the visited check uses an explicit
+% not-member recursion instead of negation (whose expansion would
+% introduce a cut).
+notmem(_, []).
+notmem(X, [Y|T]) :- X \== Y, notmem(X, T).
+
+% Bounded depth-first search with a visited list.
+dfs(S, _, _, []) :- goal(S).
+dfs(S, Vis, D, [S2|Ms]) :-
+    D > 0,
+    m(S, S2),
+    notmem(S2, Vis),
+    D1 is D - 1,
+    dfs(S2, [S2|Vis], D1, Ms).
+
+% Iterative deepening driver (cut-free; a single solution is requested).
+ids(S, D, Ms) :- dfs(S, [S], D, Ms).
+ids(S, D, Ms) :- D < 14, D1 is D + 2, ids(S, D1, Ms).
+
+start(b(2,8,3,1,6,4,7,5,0)).
+go(Ms) :- start(S), ids(S, 2, Ms).
+`
+
+// Puzzle8 is the 8 PUZZLE search benchmark.
+var Puzzle8 = Benchmark{
+	Name:   "8 puzzle",
+	DEC:    true,
+	Source: puzzleSource,
+	Query:  "go(Ms)",
+	Var:    "Ms",
+}

@@ -1,0 +1,233 @@
+package progs
+
+// The ten small benchmarks of Table 1 rows (1)-(10): frequent list
+// processing from the first Prolog contest of Japan.
+
+// NReverse is benchmark (1): naive reverse of a 30-element list.
+var NReverse = Benchmark{
+	Name:       "nreverse (30)",
+	DEC:        true,
+	PaperPSIMS: 13.6, PaperDECMS: 9.48,
+	Source: `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+data([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,
+      21,22,23,24,25,26,27,28,29,30]).
+iter(0, _) :- !.
+iter(N, L) :- nrev(L, _), N1 is N - 1, iter(N1, L).
+go(R) :- data(L), nrev(L, R), iter(9, L).
+`,
+	Query: "go(R)",
+	Var:   "R",
+	Want:  "[30,29,28,27,26,25,24,23,22,21,20,19,18,17,16,15,14,13,12,11,10,9,8,7,6,5,4,3,2,1]",
+}
+
+// QuickSort is benchmark (2): quick sort of Warren's 50-number list.
+var QuickSort = Benchmark{
+	Name:       "quick sort (50)",
+	DEC:        true,
+	PaperPSIMS: 15.2, PaperDECMS: 14.6,
+	Source: `
+qsort([], R, R).
+qsort([X|L], R, R0) :- part(L, X, L1, L2), qsort(L2, R1, R0), qsort(L1, R, [X|R1]).
+part([], _, [], []).
+part([X|L], Y, [X|L1], L2) :- X =< Y, !, part(L, Y, L1, L2).
+part([X|L], Y, L1, [X|L2]) :- part(L, Y, L1, L2).
+data([27,74,17,33,94,18,46,83,65,2,32,53,28,85,99,47,28,82,6,11,
+      55,29,39,81,90,37,10,0,66,51,7,21,85,27,31,63,75,4,95,99,
+      11,28,61,74,18,92,40,53,59,8]).
+iter(0, _) :- !.
+iter(N, L) :- qsort(L, _, []), N1 is N - 1, iter(N1, L).
+go(R) :- data(L), qsort(L, R, []), iter(9, L).
+`,
+	Query: "go(R)",
+	Var:   "R",
+	Want: "[0,2,4,6,7,8,10,11,11,17,18,18,21,27,27,28,28,28,29,31,32,33,37,39,40," +
+		"46,47,51,53,53,55,59,61,63,65,66,74,74,75,81,82,83,85,85,90,92,94,95,99,99]",
+}
+
+// TreeTraverse is benchmark (3): build a binary tree and traverse it.
+var TreeTraverse = Benchmark{
+	Name:       "tree traversing",
+	DEC:        true,
+	PaperPSIMS: 51.7, PaperDECMS: 61.1,
+	Source: `
+mktree(0, leaf(1)) :- !.
+mktree(D, node(L, R)) :- D > 0, D1 is D - 1, mktree(D1, L), mktree(D1, R).
+tsum(leaf(X), X).
+tsum(node(L, R), S) :- tsum(L, SL), tsum(R, SR), S is SL + SR.
+trav(0, _, 0) :- !.
+trav(N, T, S) :- N > 0, tsum(T, S1), N1 is N - 1, trav(N1, T, S2), S is S1 + S2.
+go(S) :- mktree(8, T), trav(4, T, S).
+`,
+	Query: "go(S)",
+	Var:   "S",
+	Want:  "1024", // 4 traversals of 256 leaves
+}
+
+// lispInterp is the Lisp-in-Prolog interpreter shared by benchmarks
+// (4)-(6); the empty Prolog list doubles as Lisp nil.
+const lispInterp = `
+ev(X, _, X) :- integer(X), !.
+ev([], _, []) :- !.
+ev(t, _, t) :- !.
+ev(X, Env, V) :- atom(X), !, lookup(X, Env, V).
+ev([quote, X], _, X) :- !.
+ev([if, C, T, E], Env, V) :- !, ev(C, Env, CV), evif(CV, T, E, Env, V).
+ev([F|As], Env, V) :- evlis(As, Env, Vs), ap(F, Vs, V).
+evif([], _, E, Env, V) :- !, ev(E, Env, V).
+evif(_, T, _, Env, V) :- ev(T, Env, V).
+evlis([], _, []).
+evlis([A|As], Env, [V|Vs]) :- ev(A, Env, V), evlis(As, Env, Vs).
+lookup(X, [b(X, V)|_], V) :- !.
+lookup(X, [_|Env], V) :- lookup(X, Env, V).
+ap(add1, [X], V) :- !, V is X + 1.
+ap(sub1, [X], V) :- !, V is X - 1.
+ap(plus, [X, Y], V) :- !, V is X + Y.
+ap(lte, [X, Y], V) :- !, (X =< Y -> V = t ; V = []).
+ap(eq, [X, Y], V) :- !, (X == Y -> V = t ; V = []).
+ap(null, [X], V) :- !, (X == [] -> V = t ; V = []).
+ap(cons, [X, Y], [X|Y]) :- !.
+ap(car, [[X|_]], X) :- !.
+ap(cdr, [[_|Y]], Y) :- !.
+ap(F, Vs, V) :- fundef(F, Ps, Body), bindargs(Ps, Vs, Env), ev(Body, Env, V).
+bindargs([], [], []).
+bindargs([P|Ps], [V|Vs], [b(P, V)|Env]) :- bindargs(Ps, Vs, Env).
+`
+
+// LispTarai is benchmark (4): the tarai (tak) function under the Lisp
+// interpreter.
+var LispTarai = Benchmark{
+	Name:       "lisp (tarai3)",
+	DEC:        true,
+	PaperPSIMS: 4024, PaperDECMS: 4360,
+	Source: lispInterp + `
+fundef(tarai, [x, y, z],
+  [if, [lte, x, y], z,
+    [tarai, [tarai, [sub1, x], y, z],
+            [tarai, [sub1, y], z, x],
+            [tarai, [sub1, z], x, y]]]).
+go(V) :- ev([tarai, 8, 4, 0], [], V).
+`,
+	Query: "go(V)",
+	Var:   "V",
+	Want:  "1",
+}
+
+// LispFib is benchmark (5): fib(10) under the Lisp interpreter.
+var LispFib = Benchmark{
+	Name:       "lisp (fib10)",
+	DEC:        true,
+	PaperPSIMS: 369, PaperDECMS: 402,
+	Source: lispInterp + `
+fundef(fib, [n],
+  [if, [lte, n, 1], 1,
+    [plus, [fib, [sub1, n]], [fib, [sub1, [sub1, n]]]]]).
+go(V) :- ev([fib, 10], [], V).
+`,
+	Query: "go(V)",
+	Var:   "V",
+	Want:  "89",
+}
+
+// LispNReverse is benchmark (6): naive reverse under the Lisp
+// interpreter.
+var LispNReverse = Benchmark{
+	Name:       "lisp (nreverse)",
+	DEC:        true,
+	PaperPSIMS: 173, PaperDECMS: 194,
+	Source: lispInterp + `
+fundef(nrev, [l],
+  [if, [null, l], [quote, []],
+    [app, [nrev, [cdr, l]], [cons, [car, l], [quote, []]]]]).
+fundef(app, [a, b],
+  [if, [null, a], b,
+    [cons, [car, a], [app, [cdr, a], b]]]).
+go(V) :- ev([nrev, [quote, [1,2,3,4,5,6,7,8,9,10,11,12]]], [], V).
+`,
+	Query: "go(V)",
+	Var:   "V",
+	Want:  "[12,11,10,9,8,7,6,5,4,3,2,1]",
+}
+
+// queensSource is the shared 8-queens program for benchmarks (7)-(8).
+const queensSource = `
+range(L, L, [L]) :- !.
+range(L, H, [L|T]) :- L < H, L1 is L + 1, range(L1, H, T).
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+safe(_, _, []).
+safe(Q, D, [Q2|Qs]) :- Q =\= Q2 + D, Q =\= Q2 - D, D1 is D + 1, safe(Q, D1, Qs).
+place([], Sol, Sol).
+place(Cols, Placed, Sol) :-
+    sel(Q, Cols, Rest), safe(Q, 1, Placed), place(Rest, [Q|Placed], Sol).
+queens(N, Sol) :- range(1, N, Cols), place(Cols, [], Sol).
+`
+
+// QueensFirst is benchmark (7): the first 8-queens solution.
+var QueensFirst = Benchmark{
+	Name:       "8 queens (1)",
+	DEC:        true,
+	PaperPSIMS: 96.9, PaperDECMS: 97.5,
+	Source: queensSource + "go(S) :- queens(8, S), !.\n",
+	Query:  "go(S)",
+}
+
+// QueensAll is benchmark (8): all 92 solutions via a failure-driven loop.
+var QueensAll = Benchmark{
+	Name:       "8 queens (all)",
+	DEC:        true,
+	PaperPSIMS: 1570, PaperDECMS: 1580,
+	Source: queensSource + "go :- queens(8, _), fail.\ngo.\n",
+	Query:  "go",
+}
+
+// ReverseFunction is benchmark (9): reverse written in "function" style —
+// a fold combinator applying a constructor function per element through
+// the metacall machinery, the functional-programming idiom of the Prolog
+// contest.
+var ReverseFunction = Benchmark{
+	Name:       "reverse function",
+	DEC:        true,
+	PaperPSIMS: 38.2, PaperDECMS: 41.7,
+	Source: `
+foldl(_, [], A, A).
+foldl(F, [H|T], A, R) :- apply(F, H, A, A1), foldl(F, T, A1, R).
+apply(prepend, H, A, [H|A]).
+apply(keep, H, A, [H|A]) :- H > 0.
+data([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,
+      21,22,23,24,25,26,27,28,29,30]).
+iter(0, _) :- !.
+iter(N, L) :- foldl(prepend, L, [], _), N1 is N - 1, iter(N1, L).
+go(R) :- data(L), foldl(prepend, L, [], R), iter(9, L).
+`,
+	Query: "go(R)",
+	Var:   "R",
+	Want:  "[30,29,28,27,26,25,24,23,22,21,20,19,18,17,16,15,14,13,12,11,10,9,8,7,6,5,4,3,2,1]",
+}
+
+// SlowReverse is benchmark (10): the contest's deliberately slow reverse
+// of a 6-element list — generate permutations until the reversal test
+// accepts one.
+var SlowReverse = Benchmark{
+	Name:       "slow reverse (6)",
+	DEC:        true,
+	PaperPSIMS: 99.4, PaperDECMS: 89.0,
+	Source: `
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+perm([], []).
+perm(L, [H|T]) :- sel(H, L, L1), perm(L1, T).
+rv([], A, A).
+rv([H|T], A, R) :- rv(T, [H|A], R).
+srev(L, R) :- perm(L, R), rv(L, [], R), !.
+iter(0, _) :- !.
+iter(N, L) :- srev(L, _), N1 is N - 1, iter(N1, L).
+go(R) :- srev([a,b,c,d,e,f], R).
+`,
+	Query: "go(R)",
+	Var:   "R",
+	Want:  "[f,e,d,c,b,a]",
+}

@@ -1,0 +1,191 @@
+package progs
+
+// Window re-creates the WINDOW workload of Tables 2-5: a component of the
+// PSI operating system written in ESP, the object-oriented system
+// description language. Instances are heap vectors (rewritable data
+// structures in the heap area — the paper notes WINDOW is the only
+// program using heap-vector data), methods live in per-class predicates
+// so calls cross "the class" frequently (lowering instruction locality),
+// built-in predicates dominate (the paper measured an 82% built-in call
+// rate), and unification/backtracking are almost absent. WINDOW-2 and
+// WINDOW-3 additionally field interrupt-driven I/O service processes,
+// which the paper blames for their lower cache hit ratios.
+const windowSource = `
+% ---- class window ------------------------------------------------------
+% slots: 0 class, 1 x, 2 y, 3 w, 4 h, 5 screen, 6 border, 7 damage
+new_window(Scr, X, Y, W, H, Obj) :-
+    vector(Obj, 8),
+    vset(Obj, 0, window), vset(Obj, 1, X), vset(Obj, 2, Y),
+    vset(Obj, 3, W), vset(Obj, 4, H), vset(Obj, 5, Scr),
+    vset(Obj, 6, 1), vset(Obj, 7, 0).
+
+% ESP-style slot accessors: every slot access is a committed method with
+% a defensive alternative, as the ESP compiler generates.
+sget(Obj, I, V) :- vref(Obj, I, V), !.
+sget(Obj, I, _) :- write(bad_slot(Obj, I)), nl, fail.
+sset(Obj, I, V) :- vset(Obj, I, V), !.
+sset(Obj, I, _) :- write(bad_slot(Obj, I)), nl, fail.
+
+send(Obj, Msg) :- sget(Obj, 0, Class), dispatch(Class, Msg, Obj).
+
+dispatch(window, Msg, Obj) :- !, window_m(Msg, Obj).
+dispatch(menu, Msg, Obj) :- !, menu_m(Msg, Obj).
+dispatch(icon, Msg, Obj) :- !, icon_m(Msg, Obj).
+dispatch(label, Msg, Obj) :- !, label_m(Msg, Obj).
+
+window_m(move(DX, DY), Obj) :- !,
+    sget(Obj, 1, X), sget(Obj, 2, Y),
+    X1 is X + DX, Y1 is Y + DY,
+    sset(Obj, 1, X1), sset(Obj, 2, Y1),
+    send(Obj, damage).
+window_m(resize(W, H), Obj) :- !,
+    sset(Obj, 3, W), sset(Obj, 4, H), send(Obj, damage).
+window_m(damage, Obj) :- !,
+    sget(Obj, 7, D), D1 is D + 1, sset(Obj, 7, D1).
+window_m(draw, Obj) :- !,
+    sget(Obj, 5, Scr), sget(Obj, 1, X), sget(Obj, 2, Y),
+    sget(Obj, 3, W), sget(Obj, 4, H),
+    fill_rows(Scr, X, Y, W, H).
+window_m(clear, Obj) :-
+    sget(Obj, 5, Scr), sget(Obj, 1, X), sget(Obj, 2, Y),
+    sget(Obj, 3, W), sget(Obj, 4, H),
+    clear_rows(Scr, X, Y, W, H).
+
+% ---- class menu ----------------------------------------------------------
+new_menu(Scr, X, Y, Obj) :-
+    vector(Obj, 8),
+    vset(Obj, 0, menu), vset(Obj, 1, X), vset(Obj, 2, Y),
+    vset(Obj, 3, 12), vset(Obj, 4, 6), vset(Obj, 5, Scr),
+    vset(Obj, 6, 0), vset(Obj, 7, 0).
+menu_m(select(I), Obj) :- !,
+    sget(Obj, 2, Y), Row is Y + I,
+    sget(Obj, 5, Scr), sget(Obj, 1, X),
+    fill_span(Scr, Row, X, 12).
+menu_m(draw, Obj) :- !, window_m(draw, Obj).
+menu_m(damage, Obj) :- window_m(damage, Obj).
+
+% ---- class icon ----------------------------------------------------------
+new_icon(Scr, X, Y, Obj) :-
+    vector(Obj, 8),
+    vset(Obj, 0, icon), vset(Obj, 1, X), vset(Obj, 2, Y),
+    vset(Obj, 3, 4), vset(Obj, 4, 2), vset(Obj, 5, Scr),
+    vset(Obj, 6, 0), vset(Obj, 7, 0).
+icon_m(blink(0), _) :- !.
+icon_m(blink(N), Obj) :- N > 0, !,
+    window_m(draw, Obj), window_m(clear, Obj),
+    N1 is N - 1, icon_m(blink(N1), Obj).
+icon_m(draw, Obj) :- window_m(draw, Obj).
+
+% ---- class label ---------------------------------------------------------
+new_label(Scr, X, Y, W, Obj) :-
+    vector(Obj, 8),
+    vset(Obj, 0, label), vset(Obj, 1, X), vset(Obj, 2, Y),
+    vset(Obj, 3, W), vset(Obj, 4, 1), vset(Obj, 5, Scr),
+    vset(Obj, 6, 0), vset(Obj, 7, 0).
+label_m(draw, Obj) :-
+    sget(Obj, 5, Scr), sget(Obj, 2, Row), sget(Obj, 1, X), sget(Obj, 3, W),
+    fill_span(Scr, Row, X, W).
+
+% ---- screen drawing (heap-vector raster, 64x64) --------------------------
+new_screen(Scr) :- vector(Scr, 4096).
+
+fill_rows(_, _, _, _, 0) :- !.
+fill_rows(Scr, X, Y, W, H) :-
+    fill_span(Scr, Y, X, W),
+    Y1 is Y + 1, H1 is H - 1,
+    fill_rows(Scr, X, Y1, W, H1).
+clear_rows(_, _, _, _, 0) :- !.
+clear_rows(Scr, X, Y, W, H) :-
+    clear_span(Scr, Y, X, W),
+    Y1 is Y + 1, H1 is H - 1,
+    clear_rows(Scr, X, Y1, W, H1).
+fill_span(_, _, _, 0) :- !.
+fill_span(Scr, Row, X, W) :-
+    I is (Row mod 64) * 64 + (X + W - 1) mod 64,
+    vset(Scr, I, 35),
+    W1 is W - 1, fill_span(Scr, Row, X, W1).
+clear_span(_, _, _, 0) :- !.
+clear_span(Scr, Row, X, W) :-
+    I is (Row mod 64) * 64 + (X + W - 1) mod 64,
+    vset(Scr, I, 32),
+    W1 is W - 1, clear_span(Scr, Row, X, W1).
+
+% ---- scenarios ------------------------------------------------------------
+session1(Scr) :-
+    new_window(Scr, 2, 2, 20, 8, W1),
+    new_window(Scr, 10, 4, 24, 10, W2),
+    new_label(Scr, 3, 1, 10, L1),
+    send(W1, draw), send(W2, draw), send(L1, draw),
+    send(W1, move(3, 1)), send(W1, draw),
+    send(W2, resize(16, 6)), send(W2, draw),
+    send(W1, clear), send(W2, clear).
+
+session2(Scr) :-
+    new_window(Scr, 1, 1, 30, 12, W1),
+    new_menu(Scr, 40, 2, M1),
+    new_icon(Scr, 50, 12, I1),
+    send(W1, draw), interrupt,
+    send(M1, draw), send(M1, select(2)), interrupt,
+    send(I1, blink(3)), interrupt,
+    send(W1, move(2, 2)), send(W1, draw), interrupt,
+    send(W1, clear).
+
+session3(Scr) :-
+    session1(Scr), interrupt,
+    session2(Scr), interrupt,
+    new_menu(Scr, 20, 3, M),
+    send(M, draw), send(M, select(1)), interrupt,
+    send(M, select(4)), interrupt,
+    session1(Scr).
+`
+
+// windowHandler is the I/O service run as an interrupt-handling process:
+// it processes a queue of input events on its own stacks (the heap is
+// shared, so its instruction fetches disturb the cache exactly as a real
+// process switch would).
+const windowHandler = `
+ioq([k(10), k(13), m(3, 4), k(27), m(7, 2), k(65), k(66), m(1, 1),
+     k(72), m(5, 9), k(33), k(8), m(2, 6), k(101), m(4, 4), k(9)]).
+io_decode([], 0).
+io_decode([k(C)|Es], N) :- io_decode(Es, N1), N is N1 + C.
+io_decode([m(X, Y)|Es], N) :- io_decode(Es, N1), N is N1 + X * Y.
+% The service owns a device buffer it scans and rewrites on every
+% activation: a working set of its own that competes for the cache.
+io_buffer(B) :- iobuf(B), !.
+iobuf(none).
+io_fill(_, 0) :- !.
+io_fill(B, I) :- I1 is I - 1, J is I1 * 7 mod 512,
+    V is I * 13 mod 256, vset(B, J, V), io_fill(B, I1).
+io_scan(_, 0, S, S) :- !.
+io_scan(B, I, S0, S) :- I1 is I - 1, J is I1 * 7 mod 512,
+    vref(B, J, V), S1 is S0 + V, io_scan(B, I1, S1, S).
+io_service :- ioq(Q), io_decode(Q, N), N > 0,
+    vector(B, 512), io_fill(B, 96), io_scan(B, 96, 0, _).
+`
+
+// Window1 is the window system without process switching.
+var Window1 = Benchmark{
+	Name:      "window-1",
+	Processes: 1,
+	Source:    windowSource + "go :- new_screen(S), run1(4, S).\nrun1(0, _) :- !.\nrun1(N, S) :- session1(S), N1 is N - 1, run1(N1, S).\n",
+	Query:     "go",
+}
+
+// Window2 adds interrupt-driven I/O services (process switching).
+var Window2 = Benchmark{
+	Name:      "window-2",
+	Processes: 2,
+	Handler:   "io_service",
+	Source:    windowSource + windowHandler + "go :- new_screen(S), run2(3, S).\nrun2(0, _) :- !.\nrun2(N, S) :- session2(S), N1 is N - 1, run2(N1, S).\n",
+	Query:     "go",
+}
+
+// Window3 is the heaviest scenario with the most class crossing and
+// process switching.
+var Window3 = Benchmark{
+	Name:      "window-3",
+	Processes: 2,
+	Handler:   "io_service",
+	Source:    windowSource + windowHandler + "go :- new_screen(S), run3(2, S).\nrun3(0, _) :- !.\nrun3(N, S) :- session3(S), N1 is N - 1, run3(N1, S).\n",
+	Query:     "go",
+}

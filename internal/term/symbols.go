@@ -1,0 +1,62 @@
+package term
+
+// Symbols interns atom and functor names to dense 24-bit indices that fit
+// in the symbol field of a PSI functor word. A single table is shared by
+// the reader, the KL0 loader and the DEC-10 engine so that both engines
+// agree on constants.
+type Symbols struct {
+	names []string
+	index map[string]uint32
+}
+
+// NewSymbols returns an empty table with the handful of symbols every
+// program needs pre-interned at fixed indices.
+func NewSymbols() *Symbols {
+	s := &Symbols{index: make(map[string]uint32)}
+	// Fixed well-known symbols; keep in sync with the Sym* constants.
+	for _, n := range []string{"[]", ".", "true", "fail", ",", "-"} {
+		s.Intern(n)
+	}
+	return s
+}
+
+// Well-known symbol indices guaranteed by NewSymbols.
+const (
+	SymEmptyList uint32 = iota
+	SymDot
+	SymTrue
+	SymFail
+	SymComma
+	SymMinus
+)
+
+// Intern returns the index for name, adding it if new.
+func (s *Symbols) Intern(name string) uint32 {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	i := uint32(len(s.names))
+	if i > 0xffffff {
+		panic("term: symbol table overflow (more than 2^24 symbols)")
+	}
+	s.names = append(s.names, name)
+	s.index[name] = i
+	return i
+}
+
+// Lookup returns the index for name without interning.
+func (s *Symbols) Lookup(name string) (uint32, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Name returns the string for an interned index.
+func (s *Symbols) Name(i uint32) string {
+	if int(i) >= len(s.names) {
+		return "<sym?>"
+	}
+	return s.names[i]
+}
+
+// Len reports how many symbols are interned.
+func (s *Symbols) Len() int { return len(s.names) }

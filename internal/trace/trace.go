@@ -1,0 +1,140 @@
+// Package trace implements the COLLECT data-collection path: machine
+// execution streams microcycle records into an in-memory log that can be
+// persisted to a compact binary file and replayed offline by the MAP
+// pattern analyzer and the PMMS cache simulator — mirroring how the
+// paper's console-processor tool dumped traces for later analysis.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/micro"
+	"repro/internal/word"
+)
+
+// Rec is one traced microcycle, packed for compact storage.
+type Rec struct {
+	Module uint8
+	Src1   uint8
+	Src2   uint8
+	Dest   uint8
+	Cache  uint8
+	Branch uint8
+	Flags  uint8 // bit 0: data manipulation
+	Addr   uint32
+}
+
+// Cycle unpacks the record.
+func (r Rec) Cycle() micro.Cycle {
+	return micro.Cycle{
+		Module: micro.Module(r.Module),
+		Src1:   micro.WFMode(r.Src1),
+		Src2:   micro.WFMode(r.Src2),
+		Dest:   micro.WFMode(r.Dest),
+		Cache:  micro.CacheOp(r.Cache),
+		Branch: micro.BranchOp(r.Branch),
+		Data:   r.Flags&1 != 0,
+		Addr:   word.Addr(r.Addr),
+	}
+}
+
+// Log collects cycle records; it implements micro.Sink.
+type Log struct {
+	Recs []Rec
+}
+
+// Cycle implements micro.Sink.
+func (l *Log) Cycle(c micro.Cycle) {
+	var flags uint8
+	if c.Data {
+		flags = 1
+	}
+	l.Recs = append(l.Recs, Rec{
+		Module: uint8(c.Module),
+		Src1:   uint8(c.Src1),
+		Src2:   uint8(c.Src2),
+		Dest:   uint8(c.Dest),
+		Cache:  uint8(c.Cache),
+		Branch: uint8(c.Branch),
+		Flags:  flags,
+		Addr:   uint32(c.Addr),
+	})
+}
+
+// Len reports the number of traced cycles.
+func (l *Log) Len() int { return len(l.Recs) }
+
+// MemoryAccesses counts records carrying a cache command.
+func (l *Log) MemoryAccesses() int {
+	n := 0
+	for _, r := range l.Recs {
+		if micro.CacheOp(r.Cache) != micro.OpNone {
+			n++
+		}
+	}
+	return n
+}
+
+const magic = "PSITRC1\n"
+
+// Write persists the log.
+func (l *Log) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(l.Recs))); err != nil {
+		return err
+	}
+	buf := make([]byte, 12)
+	for _, r := range l.Recs {
+		buf[0] = r.Module
+		buf[1] = r.Src1
+		buf[2] = r.Src2
+		buf[3] = r.Dest
+		buf[4] = r.Cache
+		buf[5] = r.Branch
+		buf[6] = r.Flags
+		buf[7] = 0
+		binary.LittleEndian.PutUint32(buf[8:], r.Addr)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read loads a log written by Write.
+func Read(r io.Reader) (*Log, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	if n > 1<<34 {
+		return nil, fmt.Errorf("trace: implausible record count %d", n)
+	}
+	l := &Log{Recs: make([]Rec, 0, n)}
+	buf := make([]byte, 12)
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		l.Recs = append(l.Recs, Rec{
+			Module: buf[0], Src1: buf[1], Src2: buf[2], Dest: buf[3],
+			Cache: buf[4], Branch: buf[5], Flags: buf[6],
+			Addr: binary.LittleEndian.Uint32(buf[8:]),
+		})
+	}
+	return l, nil
+}

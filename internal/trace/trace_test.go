@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/micro"
+	"repro/internal/word"
+)
+
+func TestLogCollects(t *testing.T) {
+	var l Log
+	l.Cycle(micro.Cycle{Module: micro.MUnify, Cache: micro.OpRead,
+		Addr: word.MakeAddr(word.AreaHeap, 7), Branch: micro.BCaseTag, Data: true})
+	l.Cycle(micro.Cycle{Module: micro.MControl})
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if l.MemoryAccesses() != 1 {
+		t.Fatalf("mem = %d", l.MemoryAccesses())
+	}
+	c := l.Recs[0].Cycle()
+	if c.Module != micro.MUnify || c.Cache != micro.OpRead || !c.Data ||
+		c.Addr.Offset() != 7 || c.Branch != micro.BCaseTag {
+		t.Errorf("round trip: %+v", c)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	var l Log
+	for i := 0; i < 1000; i++ {
+		l.Cycle(micro.Cycle{
+			Module: micro.Module(i % int(micro.NumModules)),
+			Src1:   micro.WFMode(i % int(micro.NumWFModes)),
+			Cache:  micro.CacheOp(i % int(micro.NumCacheOps)),
+			Branch: micro.BranchOp(i % int(micro.NumBranchOps)),
+			Addr:   word.MakeAddr(word.AreaGlobal, uint32(i)),
+			Data:   i%2 == 0,
+		})
+	}
+	var buf bytes.Buffer
+	if err := l.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Recs) != len(l.Recs) {
+		t.Fatalf("count %d vs %d", len(back.Recs), len(l.Recs))
+	}
+	for i := range l.Recs {
+		if back.Recs[i] != l.Recs[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, back.Recs[i], l.Recs[i])
+		}
+	}
+}
+
+func TestFileRoundTripProperty(t *testing.T) {
+	f := func(mod, s1, s2, d, c, br, fl uint8, addr uint32) bool {
+		l := Log{Recs: []Rec{{mod, s1, s2, d, c, br, fl & 1, addr}}}
+		var buf bytes.Buffer
+		if l.Write(&buf) != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		return err == nil && len(back.Recs) == 1 && back.Recs[0] == l.Recs[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty input")
+	}
+	if _, err := Read(strings.NewReader("NOTATRACE-------")); err == nil {
+		t.Error("bad magic")
+	}
+	// Truncated body.
+	var l Log
+	l.Cycle(micro.Cycle{})
+	l.Cycle(micro.Cycle{})
+	var buf bytes.Buffer
+	if err := l.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace should fail")
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	var l Log
+	var buf bytes.Buffer
+	if err := l.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil || back.Len() != 0 {
+		t.Fatalf("empty round trip: %v %d", err, back.Len())
+	}
+}

@@ -1,0 +1,152 @@
+// Package wf models the PSI work file: a 1K-word multi-functional
+// register file readable and writable within one microinstruction cycle.
+// The layout follows the paper:
+//
+//	0x000-0x00F  dual-port machine registers (the only words reachable as
+//	             ALU source 2): PDR, CDR, stack-top registers, temporaries
+//	0x010-0x03F  directly addressable interpreter state
+//	0x040-0x07F  local frame buffer A (64 words)
+//	0x080-0x0BF  local frame buffer B (64 words)
+//	0x0C0-0x0FF  trail buffer
+//	0x3C0-0x3FF  constant storage (directly addressable)
+//
+// The frame buffers cache the local variables of the current execution
+// for the tail-recursion-optimizing interpreter; two buffers alternate so
+// that a determinate call never touches the local stack. WFAR1/WFAR2 are
+// indirect address registers with automatic increment and decrement.
+package wf
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// Size is the work-file capacity in words.
+const Size = 1024
+
+// Register file regions.
+const (
+	DualPortBase = 0x000
+	DualPortSize = 16
+	StateBase    = 0x010
+	StateSize    = 48
+	FrameABase   = 0x040
+	FrameBBase   = 0x080
+	FrameSize    = 64
+	TrailBufBase = 0x0C0
+	TrailBufSize = 64
+	ConstBase    = 0x3C0
+	ConstSize    = 64
+)
+
+// Dual-port register assignments (word indices within 0x00-0x0F).
+const (
+	RegPDR      = 0  // parent data register (head argument under inspection)
+	RegCDR      = 1  // child data register (goal argument under inspection)
+	RegLocalTop = 2  // local stack top
+	RegGlobTop  = 3  // global stack top
+	RegCtrlTop  = 4  // control stack top
+	RegTrailTop = 5  // trail stack top
+	RegCP       = 6  // current choice point
+	RegEnv      = 7  // current environment
+	RegT0       = 8  // scratch
+	RegT1       = 9  // scratch
+	RegT2       = 10 // scratch
+	RegT3       = 11 // scratch
+)
+
+// File is one work file instance.
+type File struct {
+	regs  [Size]word.Word
+	WFAR1 uint16 // indirect address register 1 (frame buffers)
+	WFAR2 uint16 // indirect address register 2 (trail buffer)
+	WFCBR uint16 // general-purpose base register
+}
+
+// New returns a zeroed work file.
+func New() *File { return &File{} }
+
+// Get reads word i.
+func (f *File) Get(i int) word.Word {
+	if i < 0 || i >= Size {
+		panic(fmt.Sprintf("wf: index %d out of range", i))
+	}
+	return f.regs[i]
+}
+
+// Set writes word i.
+func (f *File) Set(i int, w word.Word) {
+	if i < 0 || i >= Size {
+		panic(fmt.Sprintf("wf: index %d out of range", i))
+	}
+	f.regs[i] = w
+}
+
+// GetWFAR1 reads through WFAR1, optionally post-incrementing or
+// post-decrementing (delta of +1, 0 or -1).
+func (f *File) GetWFAR1(delta int) word.Word {
+	w := f.regs[f.WFAR1]
+	f.WFAR1 = uint16(int(f.WFAR1) + delta)
+	return w
+}
+
+// SetWFAR1 writes through WFAR1 with post-adjust.
+func (f *File) SetWFAR1(w word.Word, delta int) {
+	f.regs[f.WFAR1] = w
+	f.WFAR1 = uint16(int(f.WFAR1) + delta)
+}
+
+// GetWFAR2 reads through WFAR2 with post-adjust.
+func (f *File) GetWFAR2(delta int) word.Word {
+	w := f.regs[f.WFAR2]
+	f.WFAR2 = uint16(int(f.WFAR2) + delta)
+	return w
+}
+
+// SetWFAR2 writes through WFAR2 with post-adjust.
+func (f *File) SetWFAR2(w word.Word, delta int) {
+	f.regs[f.WFAR2] = w
+	f.WFAR2 = uint16(int(f.WFAR2) + delta)
+}
+
+// FrameBase returns the base index of frame buffer b (0 or 1).
+func FrameBase(b int) int {
+	if b == 0 {
+		return FrameABase
+	}
+	return FrameBBase
+}
+
+// GetFrame reads local variable slot i of frame buffer b (base-relative
+// addressing through PDR/CDR or WFAR1 on the machine).
+func (f *File) GetFrame(b, i int) word.Word {
+	if i < 0 || i >= FrameSize {
+		panic(fmt.Sprintf("wf: frame slot %d out of range", i))
+	}
+	return f.regs[FrameBase(b)+i]
+}
+
+// SetFrame writes local variable slot i of frame buffer b.
+func (f *File) SetFrame(b, i int, w word.Word) {
+	if i < 0 || i >= FrameSize {
+		panic(fmt.Sprintf("wf: frame slot %d out of range", i))
+	}
+	f.regs[FrameBase(b)+i] = w
+}
+
+// Const reads constant storage slot i.
+func (f *File) Const(i int) word.Word {
+	if i < 0 || i >= ConstSize {
+		panic(fmt.Sprintf("wf: constant slot %d out of range", i))
+	}
+	return f.regs[ConstBase+i]
+}
+
+// SetConst initializes constant storage slot i (done at firmware load).
+func (f *File) SetConst(i int, w word.Word) {
+	if i < 0 || i >= ConstSize {
+		panic(fmt.Sprintf("wf: constant slot %d out of range", i))
+	}
+	f.regs[ConstBase+i] = w
+}

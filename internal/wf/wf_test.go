@@ -1,0 +1,113 @@
+package wf
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestGetSet(t *testing.T) {
+	f := New()
+	f.Set(RegPDR, word.Int32(5))
+	if f.Get(RegPDR).Int() != 5 {
+		t.Error("register round trip")
+	}
+}
+
+func TestBoundsPanic(t *testing.T) {
+	f := New()
+	for _, fn := range []func(){
+		func() { f.Get(-1) },
+		func() { f.Set(Size, 0) },
+		func() { f.GetFrame(0, FrameSize) },
+		func() { f.SetFrame(1, -1, 0) },
+		func() { f.Const(ConstSize) },
+		func() { f.SetConst(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWFAR1AutoIncDec(t *testing.T) {
+	f := New()
+	f.WFAR1 = FrameABase
+	f.SetWFAR1(word.Int32(1), +1)
+	f.SetWFAR1(word.Int32(2), +1)
+	if f.WFAR1 != FrameABase+2 {
+		t.Errorf("WFAR1 = %#x", f.WFAR1)
+	}
+	f.WFAR1 = FrameABase
+	if f.GetWFAR1(+1).Int() != 1 || f.GetWFAR1(-1).Int() != 2 {
+		t.Error("indirect read with post-adjust")
+	}
+	if f.WFAR1 != FrameABase {
+		t.Errorf("WFAR1 after dec = %#x", f.WFAR1)
+	}
+}
+
+func TestWFAR2(t *testing.T) {
+	f := New()
+	f.WFAR2 = TrailBufBase
+	f.SetWFAR2(word.Int32(7), +1)
+	f.WFAR2 = TrailBufBase
+	if f.GetWFAR2(0).Int() != 7 {
+		t.Error("WFAR2 round trip")
+	}
+}
+
+func TestFrameBuffers(t *testing.T) {
+	f := New()
+	f.SetFrame(0, 3, word.Int32(30))
+	f.SetFrame(1, 3, word.Int32(31))
+	if f.GetFrame(0, 3).Int() != 30 || f.GetFrame(1, 3).Int() != 31 {
+		t.Error("frame buffers alias")
+	}
+	if FrameBase(0) != FrameABase || FrameBase(1) != FrameBBase {
+		t.Error("frame bases")
+	}
+	// Frame buffer B must be reachable through direct Get as well.
+	if f.Get(FrameBBase+3).Int() != 31 {
+		t.Error("frame buffer not in register file")
+	}
+}
+
+func TestConstants(t *testing.T) {
+	f := New()
+	f.SetConst(0, word.Nil)
+	if f.Const(0) != word.Nil {
+		t.Error("constant storage")
+	}
+	if f.Get(ConstBase) != word.Nil {
+		t.Error("constants not in register file")
+	}
+}
+
+func TestRegionsDisjoint(t *testing.T) {
+	regions := [][2]int{
+		{DualPortBase, DualPortSize},
+		{StateBase, StateSize},
+		{FrameABase, FrameSize},
+		{FrameBBase, FrameSize},
+		{TrailBufBase, TrailBufSize},
+		{ConstBase, ConstSize},
+	}
+	used := map[int][2]int{}
+	for _, r := range regions {
+		for i := r[0]; i < r[0]+r[1]; i++ {
+			if prev, clash := used[i]; clash {
+				t.Fatalf("regions %v and %v overlap at %#x", prev, r, i)
+			}
+			used[i] = r
+			if i >= Size {
+				t.Fatalf("region %v exceeds work file", r)
+			}
+		}
+	}
+}

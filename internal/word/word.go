@@ -1,0 +1,288 @@
+// Package word defines the PSI machine word and address formats.
+//
+// A PSI word is an 8-bit tag plus a 32-bit data part. Instruction code,
+// stack cells and register-file contents are all words. Addresses carry a
+// 4-bit area identifier selecting one of the independent logical address
+// spaces (heap, global/local/control/trail stacks) and a 28-bit word
+// offset within the area.
+package word
+
+import "fmt"
+
+// Tag is the 8-bit tag part of a PSI word. Tags classify both runtime
+// values (constants, references, molecules) and instruction-code words
+// (variable slots, skeletons, goal headers).
+type Tag uint8
+
+// Runtime value tags.
+const (
+	// TagUndef marks an unbound variable cell.
+	TagUndef Tag = iota
+	// TagRef is a bound variable: data is the Addr of the referenced cell.
+	TagRef
+	// TagAtom is an atomic constant: data is a symbol index.
+	TagAtom
+	// TagInt is a 32-bit signed integer constant.
+	TagInt
+	// TagNil is the empty list constant.
+	TagNil
+	// TagMol is a molecule: data is the global-stack Addr of a two-word
+	// (skeleton address, frame address) pair representing a compound term
+	// under structure sharing.
+	TagMol
+	// TagVec is a heap vector reference: data is the heap Addr of a length
+	// word followed by the vector elements. Heap vectors are the rewritable
+	// data structures used by the WINDOW system.
+	TagVec
+
+	// Instruction-code tags.
+
+	// TagLocal is a local variable slot in instruction code: data is the
+	// variable index within the clause's local frame.
+	TagLocal
+	// TagGlobal is a global variable slot: data indexes the global frame.
+	TagGlobal
+	// TagVoid is an anonymous variable slot in instruction code.
+	TagVoid
+	// TagSkel points at a compound-term skeleton in the heap area.
+	TagSkel
+	// TagFunc is a functor descriptor: data packs symbol<<8 | arity.
+	TagFunc
+	// TagInfo is the clause header word: data packs
+	// nlocals<<16 | nglobals<<8 | arity.
+	TagInfo
+	// TagGoal heads a user-predicate call in a clause body: data packs
+	// symbol<<8 | arity; arity argument words follow.
+	TagGoal
+	// TagBuiltin heads a built-in call: data packs builtin<<8 | arity.
+	TagBuiltin
+	// TagCut is the cut (!) goal.
+	TagCut
+	// TagEnd terminates a clause's code.
+	TagEnd
+	// TagFrame is the second word of a molecule: data is the global frame
+	// base address (or 0 for ground skeletons).
+	TagFrame
+
+	numTags
+)
+
+var tagNames = [...]string{
+	TagUndef:   "undef",
+	TagRef:     "ref",
+	TagAtom:    "atom",
+	TagInt:     "int",
+	TagNil:     "nil",
+	TagMol:     "mol",
+	TagVec:     "vec",
+	TagLocal:   "local",
+	TagGlobal:  "global",
+	TagVoid:    "void",
+	TagSkel:    "skel",
+	TagFunc:    "func",
+	TagInfo:    "info",
+	TagGoal:    "goal",
+	TagBuiltin: "builtin",
+	TagCut:     "cut",
+	TagEnd:     "end",
+	TagFrame:   "frame",
+}
+
+// String returns the mnemonic for the tag.
+func (t Tag) String() string {
+	if int(t) < len(tagNames) {
+		return tagNames[t]
+	}
+	return fmt.Sprintf("tag(%d)", uint8(t))
+}
+
+// NumTags reports how many tag values are defined; useful for dispatch
+// tables and property tests.
+const NumTags = int(numTags)
+
+// Word is one PSI machine word: tag in bits 32..39, data in bits 0..31.
+type Word uint64
+
+// New assembles a word from a tag and 32 data bits.
+func New(t Tag, data uint32) Word { return Word(uint64(t)<<32 | uint64(data)) }
+
+// Tag extracts the tag part.
+func (w Word) Tag() Tag { return Tag(w >> 32) }
+
+// Data extracts the 32-bit data part.
+func (w Word) Data() uint32 { return uint32(w) }
+
+// Addr interprets the data part as an address.
+func (w Word) Addr() Addr { return Addr(uint32(w)) }
+
+// Int interprets the data part as a signed 32-bit integer.
+func (w Word) Int() int32 { return int32(uint32(w)) }
+
+// Atom builds an atom constant word for symbol index sym.
+func Atom(sym uint32) Word { return New(TagAtom, sym) }
+
+// Int32 builds an integer constant word.
+func Int32(v int32) Word { return New(TagInt, uint32(v)) }
+
+// Nil is the empty-list constant word.
+var Nil = New(TagNil, 0)
+
+// Undef is the unbound-cell word.
+var Undef = New(TagUndef, 0)
+
+// Ref builds a reference word to the cell at a.
+func Ref(a Addr) Word { return New(TagRef, uint32(a)) }
+
+// Mol builds a molecule value word pointing at the pair at a.
+func Mol(a Addr) Word { return New(TagMol, uint32(a)) }
+
+// Skel builds a skeleton pointer word.
+func Skel(a Addr) Word { return New(TagSkel, uint32(a)) }
+
+// Functor builds a functor descriptor word.
+func Functor(sym uint32, arity int) Word {
+	return New(TagFunc, sym<<8|uint32(arity)&0xff)
+}
+
+// FuncSym extracts the symbol index from a functor, goal or builtin word.
+func (w Word) FuncSym() uint32 { return w.Data() >> 8 }
+
+// FuncArity extracts the arity from a functor, goal or builtin word.
+func (w Word) FuncArity() int { return int(w.Data() & 0xff) }
+
+// Info builds a clause header word. ginit is the number of global cells
+// that must be initialized eagerly at frame allocation (variables whose
+// first occurrence is inside a skeleton); the remaining cells materialize
+// lazily at their first top-level occurrence.
+func Info(nlocals, nglobals, ginit, arity int) Word {
+	return New(TagInfo, uint32(nlocals)<<24|uint32(nglobals)<<16|uint32(ginit)<<8|uint32(arity))
+}
+
+// InfoLocals extracts the local-frame size from a clause header.
+func (w Word) InfoLocals() int { return int(w.Data() >> 24 & 0xff) }
+
+// InfoGlobals extracts the global-frame size from a clause header.
+func (w Word) InfoGlobals() int { return int(w.Data() >> 16 & 0xff) }
+
+// InfoGInit extracts the eager-initialization count from a clause header.
+func (w Word) InfoGInit() int { return int(w.Data() >> 8 & 0xff) }
+
+// InfoArity extracts the head arity from a clause header.
+func (w Word) InfoArity() int { return int(w.Data() & 0xff) }
+
+// FreshBit marks a TagLocal/TagGlobal code word as the variable's first
+// executed occurrence: the cell is known unbound, so the firmware writes
+// it instead of reading it.
+const FreshBit = 1 << 16
+
+// VarIndex extracts the frame slot from a TagLocal/TagGlobal word.
+func (w Word) VarIndex() int { return int(w.Data() & 0xffff) }
+
+// IsFresh reports the first-occurrence flag.
+func (w Word) IsFresh() bool { return w.Data()&FreshBit != 0 }
+
+// IsConst reports whether the word is an atomic runtime constant.
+func (w Word) IsConst() bool {
+	switch w.Tag() {
+	case TagAtom, TagInt, TagNil:
+		return true
+	}
+	return false
+}
+
+// String renders the word for diagnostics.
+func (w Word) String() string {
+	switch w.Tag() {
+	case TagInt:
+		return fmt.Sprintf("int:%d", w.Int())
+	case TagNil:
+		return "nil"
+	case TagUndef:
+		return "undef"
+	case TagFunc, TagGoal, TagBuiltin:
+		return fmt.Sprintf("%s:%d/%d", w.Tag(), w.FuncSym(), w.FuncArity())
+	case TagInfo:
+		return fmt.Sprintf("info:l%d.g%d.a%d", w.InfoLocals(), w.InfoGlobals(), w.InfoArity())
+	default:
+		return fmt.Sprintf("%s:%#x", w.Tag(), w.Data())
+	}
+}
+
+// AreaID identifies one independent logical address space.
+type AreaID uint8
+
+// The five area kinds. For multi-process configurations each process gets
+// its own four stack areas; the heap is shared. StackAreas returns the
+// per-process area ids.
+const (
+	AreaHeap AreaID = iota
+	AreaGlobal
+	AreaLocal
+	AreaControl
+	AreaTrail
+	numBaseAreas
+)
+
+var areaNames = [...]string{"heap", "global", "local", "control", "trail"}
+
+// String names the area kind (process-independent).
+func (a AreaID) String() string {
+	if a == AreaHeap {
+		return "heap"
+	}
+	k := (a-1)%4 + 1
+	return areaNames[k]
+}
+
+// Kind reduces a per-process area id to its base kind (heap, global,
+// local, control or trail).
+func (a AreaID) Kind() AreaID {
+	if a == AreaHeap {
+		return AreaHeap
+	}
+	return (a-1)%4 + 1
+}
+
+// Process reports which process a stack area belongs to (heap returns 0).
+func (a AreaID) Process() int {
+	if a == AreaHeap {
+		return 0
+	}
+	return int(a-1) / 4
+}
+
+// StackArea returns the area id for the given stack kind of a process.
+// kind must be one of AreaGlobal..AreaTrail.
+func StackArea(process int, kind AreaID) AreaID {
+	return AreaID(process*4) + kind
+}
+
+// NumAreas reports the number of areas for n processes (heap + 4n stacks).
+func NumAreas(processes int) int { return 1 + 4*processes }
+
+// Addr is a logical word address: area id in bits 28..31, offset below.
+type Addr uint32
+
+// MaxOffset is the largest word offset representable within an area.
+const MaxOffset = 1<<28 - 1
+
+// MakeAddr assembles an address from an area id and a word offset.
+func MakeAddr(area AreaID, offset uint32) Addr {
+	return Addr(uint32(area)<<28 | offset&MaxOffset)
+}
+
+// Area extracts the area id.
+func (a Addr) Area() AreaID { return AreaID(a >> 28) }
+
+// Offset extracts the word offset within the area.
+func (a Addr) Offset() uint32 { return uint32(a) & MaxOffset }
+
+// Add returns the address displaced by d words within the same area.
+func (a Addr) Add(d int) Addr {
+	return MakeAddr(a.Area(), uint32(int64(a.Offset())+int64(d)))
+}
+
+// String renders the address as area:offset.
+func (a Addr) String() string {
+	return fmt.Sprintf("%s@%d", a.Area(), a.Offset())
+}

@@ -1,0 +1,194 @@
+package word
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWordRoundTrip(t *testing.T) {
+	cases := []struct {
+		tag  Tag
+		data uint32
+	}{
+		{TagUndef, 0},
+		{TagRef, 0x0fffffff},
+		{TagAtom, 7},
+		{TagInt, 0xffffffff},
+		{TagMol, 12345},
+		{TagEnd, 0},
+	}
+	for _, c := range cases {
+		w := New(c.tag, c.data)
+		if w.Tag() != c.tag || w.Data() != c.data {
+			t.Errorf("New(%v,%#x) round-trip got (%v,%#x)", c.tag, c.data, w.Tag(), w.Data())
+		}
+	}
+}
+
+func TestWordRoundTripProperty(t *testing.T) {
+	f := func(tag uint8, data uint32) bool {
+		w := New(Tag(tag), data)
+		return w.Tag() == Tag(tag) && w.Data() == data
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntWord(t *testing.T) {
+	for _, v := range []int32{0, 1, -1, 1 << 30, -(1 << 30), 2147483647, -2147483648} {
+		if got := Int32(v).Int(); got != v {
+			t.Errorf("Int32(%d).Int() = %d", v, got)
+		}
+	}
+}
+
+func TestIntWordProperty(t *testing.T) {
+	f := func(v int32) bool { return Int32(v).Int() == v && Int32(v).Tag() == TagInt }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFunctorPacking(t *testing.T) {
+	w := Functor(0xabcdef, 17)
+	if w.FuncSym() != 0xabcdef {
+		t.Errorf("FuncSym = %#x", w.FuncSym())
+	}
+	if w.FuncArity() != 17 {
+		t.Errorf("FuncArity = %d", w.FuncArity())
+	}
+	if w.Tag() != TagFunc {
+		t.Errorf("Tag = %v", w.Tag())
+	}
+}
+
+func TestFunctorPackingProperty(t *testing.T) {
+	f := func(sym uint32, arity uint8) bool {
+		sym &= 0xffffff
+		w := Functor(sym, int(arity))
+		return w.FuncSym() == sym && w.FuncArity() == int(arity)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInfoPacking(t *testing.T) {
+	w := Info(200, 25, 7, 8)
+	if w.InfoLocals() != 200 || w.InfoGlobals() != 25 || w.InfoGInit() != 7 || w.InfoArity() != 8 {
+		t.Errorf("Info round-trip got l%d g%d i%d a%d",
+			w.InfoLocals(), w.InfoGlobals(), w.InfoGInit(), w.InfoArity())
+	}
+}
+
+func TestFreshBit(t *testing.T) {
+	w := New(TagLocal, uint32(5)|FreshBit)
+	if !w.IsFresh() || w.VarIndex() != 5 {
+		t.Errorf("fresh word: fresh=%v idx=%d", w.IsFresh(), w.VarIndex())
+	}
+	if New(TagGlobal, 5).IsFresh() {
+		t.Error("non-fresh word reported fresh")
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	a := MakeAddr(AreaControl, 123456)
+	if a.Area() != AreaControl || a.Offset() != 123456 {
+		t.Errorf("addr round-trip got %v:%d", a.Area(), a.Offset())
+	}
+}
+
+func TestAddrRoundTripProperty(t *testing.T) {
+	f := func(area uint8, off uint32) bool {
+		area &= 0xf
+		off &= MaxOffset
+		a := MakeAddr(AreaID(area), off)
+		return a.Area() == AreaID(area) && a.Offset() == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrAdd(t *testing.T) {
+	a := MakeAddr(AreaGlobal, 100)
+	if b := a.Add(5); b.Offset() != 105 || b.Area() != AreaGlobal {
+		t.Errorf("Add(5) = %v", b)
+	}
+	if b := a.Add(-100); b.Offset() != 0 {
+		t.Errorf("Add(-100) = %v", b)
+	}
+}
+
+func TestStackAreas(t *testing.T) {
+	for p := 0; p < 3; p++ {
+		for _, k := range []AreaID{AreaGlobal, AreaLocal, AreaControl, AreaTrail} {
+			a := StackArea(p, k)
+			if a.Kind() != k {
+				t.Errorf("StackArea(%d,%v).Kind() = %v", p, k, a.Kind())
+			}
+			if a.Process() != p {
+				t.Errorf("StackArea(%d,%v).Process() = %d", p, k, a.Process())
+			}
+		}
+	}
+	if AreaHeap.Kind() != AreaHeap || AreaHeap.Process() != 0 {
+		t.Error("heap kind/process wrong")
+	}
+	if NumAreas(2) != 9 {
+		t.Errorf("NumAreas(2) = %d", NumAreas(2))
+	}
+}
+
+func TestStackAreaDistinct(t *testing.T) {
+	seen := map[AreaID]bool{AreaHeap: true}
+	for p := 0; p < 3; p++ {
+		for _, k := range []AreaID{AreaGlobal, AreaLocal, AreaControl, AreaTrail} {
+			a := StackArea(p, k)
+			if seen[a] {
+				t.Errorf("duplicate area id %d for process %d kind %v", a, p, k)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestTagString(t *testing.T) {
+	if TagMol.String() != "mol" {
+		t.Errorf("TagMol.String() = %q", TagMol.String())
+	}
+	if Tag(200).String() == "" {
+		t.Error("unknown tag should still render")
+	}
+}
+
+func TestWordString(t *testing.T) {
+	if s := Int32(-5).String(); s != "int:-5" {
+		t.Errorf("Int32(-5).String() = %q", s)
+	}
+	if s := Nil.String(); s != "nil" {
+		t.Errorf("Nil.String() = %q", s)
+	}
+	if s := Functor(3, 2).String(); s != "func:3/2" {
+		t.Errorf("functor string = %q", s)
+	}
+}
+
+func TestIsConst(t *testing.T) {
+	if !Atom(1).IsConst() || !Int32(0).IsConst() || !Nil.IsConst() {
+		t.Error("constants misclassified")
+	}
+	if Ref(0).IsConst() || Mol(0).IsConst() || Undef.IsConst() {
+		t.Error("non-constants misclassified")
+	}
+}
+
+func TestAreaString(t *testing.T) {
+	if AreaHeap.String() != "heap" {
+		t.Errorf("heap name %q", AreaHeap.String())
+	}
+	if StackArea(2, AreaTrail).String() != "trail" {
+		t.Errorf("trail name %q", StackArea(2, AreaTrail).String())
+	}
+}

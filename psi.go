@@ -1,0 +1,296 @@
+// Package psi is the public API of the PSI machine reproduction: a
+// cycle-accounted simulator of ICOT's Personal Sequential Inference
+// machine (the microprogrammed KL0/Prolog interpreter evaluated in
+// "Performance and Architectural Evaluation of the PSI Machine",
+// ASPLOS 1987), together with the paper's DEC-10 Prolog baseline and
+// measurement tooling.
+//
+// Quick start:
+//
+//	m, err := psi.LoadProgram(`
+//	    app([], L, L).
+//	    app([H|T], L, [H|R]) :- app(T, L, R).
+//	`, psi.Options{})
+//	sols, err := m.Solve("app(X, Y, [1,2,3])")
+//	for {
+//	    ans, ok := sols.Next()
+//	    if !ok { break }
+//	    fmt.Println(ans["X"], ans["Y"])
+//	}
+//	fmt.Println(m.Report())
+//
+// Every run produces the paper's dynamic measurements: microcycle counts
+// per firmware module, cache commands and hit ratios per memory area,
+// work-file access modes, branch-operation frequencies, and the simulated
+// execution time (200 ns per microcycle plus memory stalls).
+package psi
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dec10"
+	"repro/internal/kl0"
+	"repro/internal/micro"
+	"repro/internal/parse"
+	"repro/internal/term"
+	"repro/internal/trace"
+	"repro/internal/word"
+)
+
+// Options configures a PSI machine.
+type Options struct {
+	// CacheWords selects the cache capacity (0 = the PSI's 8K words).
+	CacheWords int
+	// CacheSets selects the associativity (0 = the PSI's 2 sets).
+	CacheSets int
+	// StoreThrough switches the write policy from the PSI's store-in.
+	StoreThrough bool
+	// NoCache disables the cache entirely.
+	NoCache bool
+	// Processes allocates stack areas for this many processes (0 = 1).
+	Processes int
+	// Out receives write/1 output (nil = discarded).
+	Out io.Writer
+	// Collect attaches a COLLECT trace to the run.
+	Collect bool
+	// MaxSteps bounds the simulation (0 = 4e9 steps).
+	MaxSteps int64
+	// Features ablates individual hardware features or enables the
+	// PSI-II extensions (see core.Features).
+	Features Features
+}
+
+// Features re-exports the machine feature switches.
+type Features = core.Features
+
+// Machine is a loaded PSI machine.
+type Machine struct {
+	m    *core.Machine
+	prog *kl0.Program
+	log  *trace.Log
+}
+
+// Solutions enumerates query answers; see (*Machine).Solve.
+type Solutions = core.Solutions
+
+// LoadProgram parses and compiles Prolog source and loads it into a
+// fresh PSI machine.
+func LoadProgram(source string, opts Options) (*Machine, error) {
+	prog := kl0.NewProgram(nil)
+	cs, err := parse.Clauses("<program>", source)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.AddClauses(cs); err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Processes: opts.Processes,
+		Out:       opts.Out,
+		MaxSteps:  opts.MaxSteps,
+		NoCache:   opts.NoCache,
+		Features:  opts.Features,
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 4_000_000_000
+	}
+	if opts.CacheWords != 0 || opts.CacheSets != 0 || opts.StoreThrough {
+		cc := cache.PSI
+		if opts.CacheWords != 0 {
+			cc.Words = opts.CacheWords
+		}
+		if opts.CacheSets != 0 {
+			cc.Assoc = opts.CacheSets
+		}
+		if opts.StoreThrough {
+			cc.Policy = cache.StoreThrough
+		}
+		cfg.Cache = cc
+	}
+	mm := &Machine{prog: prog}
+	if opts.Collect {
+		mm.log = &trace.Log{}
+		cfg.Trace = mm.log
+	}
+	mm.m = core.New(prog, cfg)
+	return mm, nil
+}
+
+// AddClauses compiles additional clauses into the loaded program.
+func (m *Machine) AddClauses(source string) error {
+	cs, err := parse.Clauses("<added>", source)
+	if err != nil {
+		return err
+	}
+	return m.prog.AddClauses(cs)
+}
+
+// Solve runs a query; iterate the returned Solutions for the answers.
+func (m *Machine) Solve(goal string) (*Solutions, error) {
+	return m.m.Solve(goal)
+}
+
+// SetInterruptHandler installs a goal run on another process context
+// whenever the program executes the interrupt/0 built-in (the machine
+// must have been loaded with Options.Processes >= 2).
+func (m *Machine) SetInterruptHandler(process int, goal string) error {
+	g, err := parse.Term(goal)
+	if err != nil {
+		return err
+	}
+	q, err := m.prog.CompileQuery(g)
+	if err != nil {
+		return err
+	}
+	return m.m.SetInterruptHandler(process, q)
+}
+
+// TimeNS reports the simulated execution time in nanoseconds.
+func (m *Machine) TimeNS() int64 { return m.m.TimeNS() }
+
+// Inferences reports the logical inference count (for LIPS).
+func (m *Machine) Inferences() int64 { return m.m.Inferences() }
+
+// Steps reports the executed microcycle count.
+func (m *Machine) Steps() int64 { return m.m.Stats().Steps }
+
+// Stats exposes the full microcycle statistics.
+func (m *Machine) Stats() *micro.Stats { return m.m.Stats() }
+
+// CacheHitRatio reports the overall cache hit ratio (1 when the cache is
+// disabled or untouched).
+func (m *Machine) CacheHitRatio() float64 {
+	if c := m.m.Cache(); c != nil {
+		return c.HitRatio()
+	}
+	return 1
+}
+
+// Cache exposes the cache model (nil when disabled).
+func (m *Machine) Cache() *cache.Cache { return m.m.Cache() }
+
+// Trace returns the COLLECT trace (nil unless Options.Collect was set).
+func (m *Machine) Trace() *trace.Log { return m.log }
+
+// KLIPS reports the achieved logical inferences per second (in
+// thousands) over the simulated time.
+func (m *Machine) KLIPS() float64 {
+	t := m.TimeNS()
+	if t == 0 {
+		return 0
+	}
+	return float64(m.Inferences()) / (float64(t) / 1e9) / 1000
+}
+
+// Report renders a human-readable summary of the run's dynamic
+// characteristics, in the spirit of the paper's tables.
+func (m *Machine) Report() string {
+	s := m.m.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "steps %d, inferences %d, time %.3f ms, %.1f KLIPS\n",
+		s.Steps, m.Inferences(), float64(m.TimeNS())/1e6, m.KLIPS())
+	fmt.Fprintf(&b, "modules:")
+	for mod := micro.Module(0); mod < micro.NumModules; mod++ {
+		fmt.Fprintf(&b, " %s %.1f%%", mod, s.ModuleRatio(mod)*100)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "memory: %.1f%% of steps (read %.1f%%, write-stack %.1f%%, write %.1f%%)\n",
+		(s.CacheOpRatio(micro.OpRead)+s.CacheOpRatio(micro.OpWrite)+s.CacheOpRatio(micro.OpWriteStack))*100,
+		s.CacheOpRatio(micro.OpRead)*100, s.CacheOpRatio(micro.OpWriteStack)*100, s.CacheOpRatio(micro.OpWrite)*100)
+	fmt.Fprintf(&b, "areas:")
+	for k := word.AreaID(0); k < 5; k++ {
+		fmt.Fprintf(&b, " %s %.1f%%", k, s.AreaAccessRatio(k)*100)
+	}
+	fmt.Fprintln(&b)
+	if c := m.m.Cache(); c != nil {
+		fmt.Fprintf(&b, "cache: %s, hit ratio %.2f%%\n", c.Config(), c.HitRatio()*100)
+	}
+	return b.String()
+}
+
+// ---- the DEC-10 baseline ------------------------------------------------
+
+// Baseline is the compiled-code DEC-10 Prolog comparator of Table 1.
+type Baseline struct {
+	m    *dec10.Machine
+	prog *dec10.Program
+}
+
+// BaselineSolutions enumerates baseline answers.
+type BaselineSolutions = dec10.Solutions
+
+// LoadBaseline compiles a program for the DEC-10 baseline engine.
+func LoadBaseline(source string, out io.Writer) (*Baseline, error) {
+	prog := dec10.NewProgram(nil)
+	cs, err := parse.Clauses("<program>", source)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.AddClauses(cs); err != nil {
+		return nil, err
+	}
+	return &Baseline{
+		m:    dec10.New(prog, dec10.Config{Out: out, MaxUnits: 4_000_000_000}),
+		prog: prog,
+	}, nil
+}
+
+// Solve runs a query on the baseline.
+func (b *Baseline) Solve(goal string) (*BaselineSolutions, error) {
+	return b.m.Solve(goal)
+}
+
+// TimeNS reports the modelled DEC-2060 execution time.
+func (b *Baseline) TimeNS() int64 { return b.m.TimeNS() }
+
+// Calls reports the call/execute count.
+func (b *Baseline) Calls() int64 { return b.m.Calls() }
+
+// ---- term helpers ---------------------------------------------------------
+
+// Term is the shared source-level term representation returned in answer
+// bindings.
+type Term = term.Term
+
+// ParseTerm parses one Prolog term.
+func ParseTerm(src string) (*Term, error) { return parse.Term(src) }
+
+// DisasmPSI compiles source and renders the KL0 instruction code of one
+// predicate.
+func DisasmPSI(source, name string, arity int) (string, error) {
+	prog := kl0.NewProgram(nil)
+	cs, err := parse.Clauses("<program>", source)
+	if err != nil {
+		return "", err
+	}
+	if err := prog.AddClauses(cs); err != nil {
+		return "", err
+	}
+	idx, ok := prog.LookupProc(name, arity)
+	if !ok {
+		return "", fmt.Errorf("psi: no predicate %s/%d", name, arity)
+	}
+	return prog.Disasm(idx), nil
+}
+
+// DisasmBaseline compiles source for the DEC-10 engine and renders one
+// predicate's compiled code, including its indexing blocks.
+func DisasmBaseline(source, name string, arity int) (string, error) {
+	prog := dec10.NewProgram(nil)
+	cs, err := parse.Clauses("<program>", source)
+	if err != nil {
+		return "", err
+	}
+	if err := prog.AddClauses(cs); err != nil {
+		return "", err
+	}
+	idx, ok := prog.LookupProc(name, arity)
+	if !ok {
+		return "", fmt.Errorf("psi: no predicate %s/%d", name, arity)
+	}
+	return prog.Disasm(idx), nil
+}

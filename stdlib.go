@@ -1,0 +1,99 @@
+package psi
+
+// StdLib is a small library of the standard list and control predicates
+// most Prolog programs expect, written in the KL0 subset so it runs on
+// both engines. Load it with Options or prepend it to program source.
+const StdLib = `
+% ---- lists ----------------------------------------------------------------
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+memberchk(X, L) :- member(X, L), !.
+
+length([], 0).
+length([_|T], N) :- length(T, M), N is M + 1.
+
+reverse(L, R) :- reverse_(L, [], R).
+reverse_([], A, A).
+reverse_([H|T], A, R) :- reverse_(T, [H|A], R).
+
+nth0(0, [X|_], X) :- !.
+nth0(N, [_|T], X) :- N > 0, M is N - 1, nth0(M, T, X).
+
+nth1(N, L, X) :- M is N - 1, nth0(M, L, X).
+
+last([X], X) :- !.
+last([_|T], X) :- last(T, X).
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+permutation([], []).
+permutation(L, [H|T]) :- select(H, L, R), permutation(R, T).
+
+delete([], _, []).
+delete([X|T], X, R) :- !, delete(T, X, R).
+delete([H|T], X, [H|R]) :- delete(T, X, R).
+
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, S1), S is S1 + H.
+
+max_list([X], X) :- !.
+max_list([H|T], M) :- max_list(T, M1), M is max(H, M1).
+
+min_list([X], X) :- !.
+min_list([H|T], M) :- min_list(T, M1), M is min(H, M1).
+
+% msort/2: merge sort by the standard order of terms (duplicates kept).
+msort([], []) :- !.
+msort([X], [X]) :- !.
+msort(L, S) :-
+    split_(L, A, B),
+    msort(A, SA), msort(B, SB),
+    merge_(SA, SB, S).
+split_([], [], []).
+split_([X], [X], []) :- !.
+split_([X, Y|T], [X|A], [Y|B]) :- split_(T, A, B).
+merge_([], L, L) :- !.
+merge_(L, [], L) :- !.
+merge_([X|Xs], [Y|Ys], [X|R]) :- X @=< Y, !, merge_(Xs, [Y|Ys], R).
+merge_(Xs, [Y|Ys], [Y|R]) :- merge_(Xs, Ys, R).
+
+% sort/2: msort with duplicate removal.
+sort(L, S) :- msort(L, M), dedup_(M, S).
+dedup_([], []).
+dedup_([X], [X]) :- !.
+dedup_([X, Y|T], R) :- X == Y, !, dedup_([Y|T], R).
+dedup_([X|T], [X|R]) :- dedup_(T, R).
+
+% ---- control ---------------------------------------------------------------
+between(L, H, L) :- L =< H.
+between(L, H, X) :- L < H, L1 is L + 1, between(L1, H, X).
+
+succ_or_zero(0).
+
+once(G) :- call(G), !.
+
+ignore(G) :- call(G), !.
+ignore(_).
+
+forall_fail_(G) :- call(G), fail.
+forall_fail_(_).
+
+forall(Cond, Action) :- \+ (Cond, \+ Action).
+
+aggregate_count(G, N) :- findall(x, G, L), length(L, N).
+
+% bagof-lite: findall that fails on an empty result, as bagof does when
+% no solution exists.
+bagof_simple(T, G, L) :- findall(T, G, L), L = [_|_].
+`
+
+// LoadProgramWithStdLib loads the standard library ahead of the program
+// source.
+func LoadProgramWithStdLib(source string, opts Options) (*Machine, error) {
+	return LoadProgram(StdLib+"\n"+source, opts)
+}

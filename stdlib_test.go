@@ -1,0 +1,136 @@
+package psi
+
+import "testing"
+
+func stdQuery(t *testing.T, query, v string, want ...string) {
+	t.Helper()
+	m, err := LoadProgramWithStdLib("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols, err := m.Solve(query)
+	if err != nil {
+		t.Fatalf("%s: %v", query, err)
+	}
+	var got []string
+	for len(got) < len(want)+3 {
+		ans, ok := sols.Next()
+		if !ok {
+			break
+		}
+		got = append(got, ans[v].String())
+	}
+	if sols.Err() != nil {
+		t.Fatalf("%s: %v", query, sols.Err())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %v, want %v", query, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: answer %d = %s, want %s", query, i, got[i], want[i])
+		}
+	}
+}
+
+func TestStdLibLists(t *testing.T) {
+	stdQuery(t, "append([1,2], [3], R)", "R", "[1,2,3]")
+	stdQuery(t, "member(X, [a,b,c])", "X", "a", "b", "c")
+	stdQuery(t, "length([a,b,c,d], N)", "N", "4")
+	stdQuery(t, "reverse([1,2,3], R)", "R", "[3,2,1]")
+	stdQuery(t, "nth0(1, [a,b,c], X)", "X", "b")
+	stdQuery(t, "nth1(3, [a,b,c], X)", "X", "c")
+	stdQuery(t, "last([a,b,c], X)", "X", "c")
+	stdQuery(t, "select(X, [1,2,3], [1,3])", "X", "2")
+	stdQuery(t, "delete([a,b,a,c], a, R)", "R", "[b,c]")
+	stdQuery(t, "sum_list([1,2,3,4], S)", "S", "10")
+	stdQuery(t, "max_list([3,9,2], M)", "M", "9")
+	stdQuery(t, "min_list([3,9,2], M)", "M", "2")
+}
+
+func TestStdLibSorting(t *testing.T) {
+	stdQuery(t, "msort([3,1,2,1], S)", "S", "[1,1,2,3]")
+	stdQuery(t, "sort([3,1,2,1], S)", "S", "[1,2,3]")
+	stdQuery(t, "msort([b, f(1), a, 10, 2, f(0)], S)", "S", "[2,10,a,b,f(0),f(1)]")
+	stdQuery(t, "sort([c,a,b,a], S)", "S", "[a,b,c]")
+}
+
+func TestStdLibControl(t *testing.T) {
+	stdQuery(t, "between(1, 4, X)", "X", "1", "2", "3", "4")
+	stdQuery(t, "once(member(X, [p,q,r]))", "X", "p")
+	stdQuery(t, "ignore(member(X, [])), X = untouched", "X", "untouched")
+	stdQuery(t, "permutation([1,2], P)", "P", "[1,2]", "[2,1]")
+}
+
+func TestStdLibAggregates(t *testing.T) {
+	m, err := LoadProgramWithStdLib("n(1). n(2). n(3).", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols, err := m.Solve("aggregate_count(n(_), N)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, ok := sols.Next()
+	if !ok || ans["N"].String() != "3" {
+		t.Fatalf("count = %v", ans)
+	}
+	sols2, _ := m.Solve("forall(n(X), X < 5)")
+	if _, ok := sols2.Next(); !ok {
+		t.Error("forall should hold")
+	}
+	sols3, _ := m.Solve("forall(n(X), X < 3)")
+	if _, ok := sols3.Next(); ok {
+		t.Error("forall should fail")
+	}
+	sols4, _ := m.Solve("bagof_simple(X, n(X), L)")
+	if ans, ok := sols4.Next(); !ok || ans["L"].String() != "[1,2,3]" {
+		t.Errorf("bagof_simple: %v", ans)
+	}
+	sols5, _ := m.Solve("bagof_simple(X, (n(X), X > 9), L)")
+	if _, ok := sols5.Next(); ok {
+		t.Error("bagof_simple on empty should fail")
+	}
+}
+
+func TestStdLibCompare(t *testing.T) {
+	stdQuery(t, "compare(O, 1, 2)", "O", "<")
+	stdQuery(t, "compare(O, f(b), f(a))", "O", ">")
+	stdQuery(t, "compare(O, foo, foo)", "O", "=")
+	stdQuery(t, "compare(O, abc, 999)", "O", ">")      // integers before atoms
+	stdQuery(t, "compare(O, f(a), g(a, b))", "O", "<") // arity first
+	m, _ := LoadProgramWithStdLib("", Options{})
+	for _, q := range []string{"a @< b", "f(1) @> 99", "x @=< x", "g(2) @>= g(1)"} {
+		sols, err := m.Solve(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := sols.Next(); !ok {
+			t.Errorf("%s failed", q)
+		}
+	}
+}
+
+// TestStdLibOnBaseline runs the same library on the DEC-10 engine.
+func TestStdLibOnBaseline(t *testing.T) {
+	b, err := LoadBaseline(StdLib, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"reverse([1,2,3], R)":           "[3,2,1]",
+		"msort([3,1,2], R)":             "[1,2,3]",
+		"sort([b,a,b], R)":              "[a,b]",
+		"msort([b, f(1), a, 10, 2], R)": "[2,10,a,b,f(1)]",
+	}
+	for q, want := range cases {
+		sols, err := b.Solve(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		ans, ok := sols.Next()
+		if !ok || ans["R"].String() != want {
+			t.Errorf("%s = %v, want %s", q, ans, want)
+		}
+	}
+}
