@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test race fuzz golden bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race coverage: vet plus the race detector over the fast test set
+# (-short skips the two full-evaluation runs; the always-on concurrency
+# smoke tests still sweep the shared-program paths).
+race:
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+
+# Bounded fuzz passes over both native fuzz targets; seeds live in
+# testdata/fuzz and double as regression cases under plain `go test`.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s .
+	$(GO) test -run '^$$' -fuzz '^FuzzDifferentialQuery$$' -fuzztime 5s .
+
+# Rewrite the golden files under docs/ from the current output (only
+# after an intended simulator change).
+golden:
+	$(GO) test ./internal/harness -run 'TestGolden|TestWorkerCountDeterminism' -update
+
+bench:
+	$(GO) test -run '^$$' -bench 'TablesParallel' -benchtime 1x .
+
+verify: build race test fuzz

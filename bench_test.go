@@ -248,6 +248,34 @@ func itoa(v int) string {
 	return string(buf[i:])
 }
 
+// BenchmarkTablesParallel measures the wall-clock time of the complete
+// evaluation (Tables 1-7, Figure 1 and the ablations) across worker-pool
+// widths. Every width produces byte-identical output; only the
+// wall-clock changes. j1 is the serial baseline.
+func BenchmarkTablesParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("j"+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.All(harness.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileCache measures a cached benchmark run (compile skipped,
+// machine pooled) — the per-cell cost the parallel tables actually pay.
+func BenchmarkCompileCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunPSI(progs.QuickSort, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Release()
+	}
+}
+
 // BenchmarkAblations regenerates the design-choice ablation study:
 // simulated-time deltas for each hardware feature removed (and for the
 // PSI-II indexing extension added).

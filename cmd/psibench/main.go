@@ -1,9 +1,12 @@
 // Command psibench regenerates the paper's evaluation: Tables 1-7 and
 // Figure 1, plus the cache ablations. Run with a table selector
-// ("1".."7", "fig1", "all") or "calib" for the Table 1 calibration view.
+// ("1".."7", "fig1", "ablate", "all") or "calib" for the Table 1
+// calibration view. The -j flag bounds the number of concurrently
+// simulated machines; the output is byte-identical for any -j.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -12,57 +15,69 @@ import (
 )
 
 func main() {
+	jFlag := flag.Int("j", 0, "parallel simulation workers (0 = one per CPU, 1 = serial)")
+	flag.Parse()
+	o := harness.Options{Workers: *jFlag}
 	which := "all"
-	if len(os.Args) > 1 {
-		which = os.Args[1]
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
 	}
-	if which == "calib" {
+	switch which {
+	case "calib":
 		calib()
 		return
+	case "all":
+		s, err := harness.All(o)
+		check(err)
+		fmt.Print(s)
+		return
+	case "1", "2", "3", "4", "5", "6", "7", "fig1", "ablate":
+	default:
+		fmt.Fprintf(os.Stderr, "psibench: unknown selector %q (want 1..7, fig1, ablate, all or calib)\n", which)
+		os.Exit(2)
 	}
-	run := func(name string) bool { return which == "all" || which == name }
-	if run("1") {
-		rows, err := harness.Table1()
+	if which == "1" {
+		rows, err := harness.Table1With(o)
 		check(err)
 		fmt.Println(harness.FormatTable1(rows))
 	}
-	if run("2") {
-		rows, err := harness.Table2()
+	if which == "2" {
+		rows, err := harness.Table2With(o)
 		check(err)
 		fmt.Println(harness.FormatTable2(rows))
 	}
-	if run("3") {
-		rows, err := harness.Table3()
+	if which == "3" {
+		rows, err := harness.Table3With(o)
 		check(err)
 		fmt.Println(harness.FormatTable3(rows))
 	}
-	if run("4") {
-		rows, err := harness.Table4()
+	if which == "4" {
+		rows, err := harness.Table4With(o)
 		check(err)
 		fmt.Println(harness.FormatTable4(rows))
 	}
-	if run("5") {
-		rows, err := harness.Table5()
+	if which == "5" {
+		rows, err := harness.Table5With(o)
 		check(err)
 		fmt.Println(harness.FormatTable5(rows))
 	}
-	if run("6") {
-		t6, err := harness.Table6()
+	if which == "6" {
+		t6, err := harness.Table6With(o)
 		check(err)
 		fmt.Println(harness.FormatTable6(t6))
 	}
-	if run("7") {
-		t7, err := harness.Table7()
+	if which == "7" {
+		t7, err := harness.Table7With(o)
 		check(err)
 		fmt.Println(harness.FormatTable7(t7))
 	}
-	if run("fig1") {
-		f, err := harness.Figure1()
+	if which == "fig1" {
+		f, err := harness.Figure1With(o)
 		check(err)
 		fmt.Println(harness.FormatFigure1(f))
 	}
-	if run("ablate") {
-		rows, err := harness.Ablations()
+	if which == "ablate" {
+		rows, err := harness.AblationsWith(o)
 		check(err)
 		fmt.Println(harness.FormatAblations(rows))
 	}
@@ -96,6 +111,7 @@ func calib() {
 		d, err := harness.RunDEC(b)
 		check(err)
 		rows = append(rows, row{b.Name, r.Machine.TimeNS(), d.Units(), b.PaperPSIMS, b.PaperDECMS})
+		r.Release()
 	}
 	var scale float64
 	for _, r := range rows {

@@ -208,6 +208,81 @@ func New(prog *kl0.Program, cfg Config) *Machine {
 	return m
 }
 
+// Reset returns the machine to its post-New state for a (possibly
+// different) program and configuration, reusing the memory areas, work
+// file and cache storage already allocated. It reports false when the
+// machine cannot be reused (the process count differs, so the memory
+// areas are shaped wrong) — the caller should allocate a fresh machine.
+//
+// A reset machine behaves bit-identically to a freshly built one: the
+// memory translation table, cache contents and all statistics are
+// cleared, so simulated times and cache hit patterns do not depend on
+// what the machine ran before. This is what makes sync.Pool reuse safe
+// for regenerating published numbers.
+func (m *Machine) Reset(prog *kl0.Program, cfg Config) bool {
+	if cfg.Processes <= 0 {
+		cfg.Processes = 1
+	}
+	if len(m.ctxs) != cfg.Processes {
+		return false
+	}
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	if cfg.NoCache {
+		m.cache = nil
+	} else {
+		cc := cfg.Cache
+		if cc.Words == 0 {
+			cc = cache.PSI
+		}
+		if m.cache != nil && m.cache.Config() == cc {
+			m.cache.Reset()
+		} else {
+			m.cache = cache.New(cc)
+		}
+	}
+	m.mem.Reset()
+	m.wf.Reset()
+	m.prog = prog
+	m.loaded = 0
+	m.out = cfg.Out
+	m.stats.Reset()
+	if cfg.Trace != nil {
+		m.sink = micro.Tee{&m.stats, cfg.Trace}
+	} else {
+		m.sink = &m.stats
+	}
+	m.noCacheStall = 0
+	m.heapTop = 0
+	m.inferences = 0
+	m.maxSteps = cfg.MaxSteps
+	m.failed = false
+	m.redoBarrier = 0
+	m.forceTrail = false
+	m.baseLMark, m.baseGMark = 0, 0
+	m.feat = cfg.Features
+	m.intrQuery = nil
+	m.intrProcess = 0
+	m.halted = false
+	for p := range m.ctxs {
+		m.ctxs[p] = context{
+			global:     word.StackArea(p, word.AreaGlobal),
+			local:      word.StackArea(p, word.AreaLocal),
+			control:    word.StackArea(p, word.AreaControl),
+			trail:      word.StackArea(p, word.AreaTrail),
+			localTop:   stackBase,
+			globalTop:  stackBase,
+			controlTop: stackBase,
+			trailTop:   stackBase,
+		}
+	}
+	m.cur = 0
+	m.ctx = &m.ctxs[0]
+	m.load()
+	return true
+}
+
 // load copies newly compiled program code into the heap area.
 func (m *Machine) load() {
 	for ; m.loaded < len(m.prog.Code); m.loaded++ {
@@ -220,6 +295,10 @@ func (m *Machine) load() {
 
 // Stats returns the accumulated microcycle statistics.
 func (m *Machine) Stats() *micro.Stats { return &m.stats }
+
+// Processes reports the number of process contexts the machine was built
+// with (the shape of its memory areas, fixed for the machine's lifetime).
+func (m *Machine) Processes() int { return len(m.ctxs) }
 
 // Cache returns the cache model (nil when disabled).
 func (m *Machine) Cache() *cache.Cache { return m.cache }

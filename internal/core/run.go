@@ -74,8 +74,16 @@ func (m *Machine) SolveTerm(goal *term.Term) (*Solutions, error) {
 	if err != nil {
 		return nil, err
 	}
+	return m.SolveQuery(q), nil
+}
+
+// SolveQuery returns the solutions of a query compiled earlier with
+// Program.CompileQuery. Because nothing is compiled here, many machines
+// sharing one read-only program image can each run the same precompiled
+// query concurrently — the path the evaluation harness uses.
+func (m *Machine) SolveQuery(q *kl0.Query) *Solutions {
 	m.load()
-	return &Solutions{m: m, q: q}, nil
+	return &Solutions{m: m, q: q}
 }
 
 // Next produces the next answer as a variable binding map. ok is false

@@ -913,3 +913,48 @@ func (p *Program) CompileQuery(goal *term.Term) (procIdx int, vars []string, err
 	idx, _ := p.LookupProc(name, len(vars))
 	return idx, vars, nil
 }
+
+// Query is a top-level goal compiled once: the entry point of its $query
+// predicate plus the halt stub terminating the run. It can be executed on
+// any machine loaded with this program (or a Snapshot of it).
+type Query struct {
+	Entry  int
+	Vars   []string
+	HaltPC int
+}
+
+// CompileQueryHandle compiles a goal and its halt stub into the program
+// once and returns a reusable handle, so repeated runs skip compilation
+// entirely (Machine.SolveTerm compiles a fresh pseudo-predicate per
+// call).
+func (p *Program) CompileQueryHandle(goal *term.Term) (*Query, error) {
+	idx, vars, err := p.CompileQuery(goal)
+	if err != nil {
+		return nil, err
+	}
+	haltPC := len(p.Code)
+	p.Code = append(p.Code, instr{op: opHaltSuccess})
+	return &Query{Entry: p.Procs[idx].Entry, Vars: vars, HaltPC: haltPC}, nil
+}
+
+// Snapshot returns a program that shares this program's compiled code
+// image read-only but grows privately: the code and procedure slices are
+// capped at their current length, so appends (the machine's lazy metacall
+// stubs, further query compiles) reallocate instead of scribbling on the
+// shared image. Concurrent machines each run on their own Snapshot of one
+// compiled baseline program.
+func (p *Program) Snapshot() *Program {
+	procIndex := make(map[uint64]int, len(p.procIndex))
+	for k, v := range p.procIndex {
+		procIndex[k] = v
+	}
+	return &Program{
+		Syms:      p.Syms,
+		Code:      p.Code[:len(p.Code):len(p.Code)],
+		Procs:     p.Procs[:len(p.Procs):len(p.Procs)],
+		procIndex: procIndex,
+		MaxReg:    p.MaxReg,
+		auxCount:  p.auxCount,
+		queryN:    p.queryN,
+	}
+}

@@ -228,6 +228,12 @@ func (m *Machine) SolveTerm(goal *term.Term) (*Solutions, error) {
 	return &Solutions{m: m, vars: vars, haltPC: haltPC, entry: m.prog.Procs[idx].Entry}, nil
 }
 
+// SolveQuery runs a query precompiled with Program.CompileQueryHandle;
+// nothing is parsed or compiled on this path.
+func (m *Machine) SolveQuery(q *Query) *Solutions {
+	return &Solutions{m: m, vars: q.Vars, haltPC: q.HaltPC, entry: q.Entry}
+}
+
 // Next returns the next answer.
 func (s *Solutions) Next() (map[string]*term.Term, bool) {
 	if s.done || s.err != nil {

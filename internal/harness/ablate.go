@@ -5,8 +5,6 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/kl0"
-	"repro/internal/parse"
 	"repro/internal/progs"
 )
 
@@ -43,70 +41,64 @@ func ablationWorkloads() []progs.Benchmark {
 	return []progs.Benchmark{progs.NReverse, progs.QueensFirst, progs.BUP2, progs.Window1}
 }
 
-// runFeat executes a benchmark under a feature configuration.
-func runFeat(b progs.Benchmark, feat core.Features) (*core.Machine, error) {
-	prog := kl0.NewProgram(nil)
-	cs, err := parse.Clauses(b.Name, b.Source)
+// timeFeatMS executes a benchmark under a feature configuration and
+// reports the simulated time. The program comes from the compile cache
+// (features change the machine, never the code image) and the machine
+// goes back to the pool.
+func timeFeatMS(b progs.Benchmark, feat core.Features) (float64, error) {
+	c, err := Compile(b)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	if err := prog.AddClauses(cs); err != nil {
-		return nil, err
-	}
-	procs := b.Processes
-	if procs == 0 {
-		procs = 1
-	}
-	m := core.New(prog, core.Config{Processes: procs, MaxSteps: maxSteps, Features: feat})
-	if b.Handler != "" {
-		hg, err := parse.Term(b.Handler)
-		if err != nil {
-			return nil, err
-		}
-		hq, err := prog.CompileQuery(hg)
-		if err != nil {
-			return nil, err
-		}
-		if err := m.SetInterruptHandler(1, hq); err != nil {
-			return nil, err
-		}
-	}
-	sols, err := m.Solve(b.Query)
+	r, err := c.Run(false, feat)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	if _, ok := sols.Next(); !ok {
-		if sols.Err() != nil {
-			return nil, sols.Err()
-		}
-		return nil, fmt.Errorf("%s: query failed under %+v", b.Name, feat)
-	}
-	return m, nil
+	ms := float64(r.Machine.TimeNS()) / 1e6
+	r.Release()
+	return ms, nil
 }
 
 // Ablations measures every feature variant on every ablation workload.
-func Ablations() ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, b := range ablationWorkloads() {
-		base, err := runFeat(b, core.Features{})
+func Ablations() ([]AblationRow, error) { return AblationsWith(Options{}) }
+
+// AblationsWith is Ablations under explicit worker options: the base
+// runs fan out first, then every (workload, variant) cell.
+func AblationsWith(o Options) ([]AblationRow, error) {
+	ws := ablationWorkloads()
+	vs := ablationVariants()
+	baseMS, err := parMap(o.workers(), ws, func(b progs.Benchmark) (float64, error) {
+		return timeFeatMS(b, core.Features{})
+	})
+	if err != nil {
+		return nil, err
+	}
+	type cell struct{ w, v int }
+	cells := make([]cell, 0, len(ws)*len(vs))
+	for wi := range ws { // workload-major, the serial row order
+		for vi := range vs {
+			cells = append(cells, cell{wi, vi})
+		}
+	}
+	varMS, err := parMap(o.workers(), cells, func(c cell) (float64, error) {
+		ms, err := timeFeatMS(ws[c.w], vs[c.v].feat)
 		if err != nil {
-			return nil, err
+			return 0, fmt.Errorf("%s / %s: %w", ws[c.w].Name, vs[c.v].name, err)
 		}
-		baseMS := float64(base.TimeNS()) / 1e6
-		for _, v := range ablationVariants() {
-			m, err := runFeat(b, v.feat)
-			if err != nil {
-				return nil, fmt.Errorf("%s / %s: %w", b.Name, v.name, err)
-			}
-			varMS := float64(m.TimeNS()) / 1e6
-			rows = append(rows, AblationRow{
-				Feature:  v.name,
-				Workload: b.Name,
-				BaseMS:   baseMS,
-				VarMS:    varMS,
-				DeltaPct: (varMS/baseMS - 1) * 100,
-			})
-		}
+		return ms, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, 0, len(cells))
+	for i, c := range cells {
+		rows = append(rows, AblationRow{
+			Feature:  vs[c.v].name,
+			Workload: ws[c.w].Name,
+			BaseMS:   baseMS[c.w],
+			VarMS:    varMS[i],
+			DeltaPct: (varMS[i]/baseMS[c.w] - 1) * 100,
+		})
 	}
 	return rows, nil
 }

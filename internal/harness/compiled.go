@@ -1,0 +1,213 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dec10"
+	"repro/internal/kl0"
+	"repro/internal/parse"
+	"repro/internal/progs"
+	"repro/internal/trace"
+)
+
+// Compiled holds the shared artifacts of one benchmark: the compiled KL0
+// program with its queries, and (lazily) the compiled DEC-10 baseline.
+// The KL0 image is read-only after Compile returns — every machine of
+// every table cell runs the same code image at the same heap addresses,
+// which is what makes the parallel harness byte-identical to the serial
+// one. The DEC-10 image is compiled once too, but machines receive
+// private Snapshots because that engine appends stub code at run time.
+type Compiled struct {
+	Prog    *kl0.Program
+	Query   *kl0.Query
+	Handler *kl0.Query // interrupt-handler goal for process 1, or nil
+	Procs   int
+
+	name string
+	qsrc string
+
+	decOnce sync.Once
+	decProg *dec10.Program
+	decQ    *dec10.Query
+	decErr  error
+	src     string // kept for the lazy DEC-10 compile
+}
+
+type cacheEntry struct {
+	once sync.Once
+	c    *Compiled
+	err  error
+}
+
+// progCache maps benchmark name -> *cacheEntry. Benchmarks are compiled
+// at most once per process no matter how many tables (or workers) need
+// them.
+var progCache sync.Map
+
+// Compile parses and compiles a benchmark exactly once, returning the
+// shared artifacts. Concurrent callers for the same benchmark block on
+// one compile.
+func Compile(b progs.Benchmark) (*Compiled, error) {
+	v, _ := progCache.LoadOrStore(b.Name, &cacheEntry{})
+	e := v.(*cacheEntry)
+	e.once.Do(func() { e.c, e.err = compileBenchmark(b) })
+	return e.c, e.err
+}
+
+func compileBenchmark(b progs.Benchmark) (*Compiled, error) {
+	prog := kl0.NewProgram(nil)
+	cs, err := parse.Clauses(b.Name, b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	if err := prog.AddClauses(cs); err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	procs := b.Processes
+	if procs == 0 {
+		procs = 1
+	}
+	c := &Compiled{Prog: prog, Procs: procs, name: b.Name, qsrc: b.Query, src: b.Source}
+	// The handler query is compiled before the main query, the order the
+	// serial harness used. Code offsets decide heap addresses and hence
+	// cache behaviour, so this order is part of the published numbers.
+	if b.Handler != "" {
+		hg, err := parse.Term(b.Handler)
+		if err != nil {
+			return nil, err
+		}
+		if c.Handler, err = prog.CompileQuery(hg); err != nil {
+			return nil, fmt.Errorf("%s handler: %w", b.Name, err)
+		}
+	}
+	g, err := parse.Term(b.Query)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	if c.Query, err = prog.CompileQuery(g); err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	return c, nil
+}
+
+// DEC returns a private snapshot of the compiled DEC-10 baseline and its
+// precompiled query. The base image is compiled on first use (most
+// tables never touch the DEC side).
+func (c *Compiled) DEC() (*dec10.Program, *dec10.Query, error) {
+	c.decOnce.Do(func() {
+		prog := dec10.NewProgram(nil)
+		cs, err := parse.Clauses(c.name, c.src)
+		if err != nil {
+			c.decErr = fmt.Errorf("%s: %w", c.name, err)
+			return
+		}
+		if err := prog.AddClauses(cs); err != nil {
+			c.decErr = fmt.Errorf("%s: %w", c.name, err)
+			return
+		}
+		g, err := parse.Term(c.qsrc)
+		if err != nil {
+			c.decErr = fmt.Errorf("%s: %w", c.name, err)
+			return
+		}
+		q, err := prog.CompileQueryHandle(g)
+		if err != nil {
+			c.decErr = fmt.Errorf("%s: %w", c.name, err)
+			return
+		}
+		c.decProg, c.decQ = prog, q
+	})
+	if c.decErr != nil {
+		return nil, nil, c.decErr
+	}
+	return c.decProg.Snapshot(), c.decQ, nil
+}
+
+// Run executes the compiled benchmark on a machine from the pool and
+// demands the first solution, like RunPSI. The caller owns the returned
+// run and should Release it once done with the machine.
+func (c *Compiled) Run(collect bool, feat core.Features) (*PSIRun, error) {
+	cfg := core.Config{Processes: c.Procs, MaxSteps: maxSteps, Features: feat}
+	var log *trace.Log
+	if collect {
+		log = &trace.Log{}
+		cfg.Trace = log
+	}
+	m := acquireMachine(c.Prog, cfg)
+	if c.Handler != nil {
+		if err := m.SetInterruptHandler(1, c.Handler); err != nil {
+			releaseMachine(m)
+			return nil, err
+		}
+	}
+	sols := m.SolveQuery(c.Query)
+	if _, ok := sols.Next(); !ok {
+		err := sols.Err()
+		releaseMachine(m)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		return nil, fmt.Errorf("%s: query %q failed", c.name, c.qsrc)
+	}
+	return &PSIRun{Machine: m, Trace: log}, nil
+}
+
+// ---- machine pool --------------------------------------------------------
+
+// Machines are pooled by process count (the only shape parameter fixed
+// at construction); Reset re-dresses a pooled machine for any program
+// and configuration. Resetting reuses the machine's memory areas and
+// cache arrays, so a pooled machine behaves bit-identically to a fresh
+// one while skipping the large allocations.
+var (
+	poolMu       sync.Mutex
+	machinePools = map[int]*sync.Pool{}
+)
+
+func poolFor(procs int) *sync.Pool {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	p := machinePools[procs]
+	if p == nil {
+		p = &sync.Pool{}
+		machinePools[procs] = p
+	}
+	return p
+}
+
+func acquireMachine(prog *kl0.Program, cfg core.Config) *core.Machine {
+	procs := cfg.Processes
+	if procs <= 0 {
+		procs = 1
+	}
+	p := poolFor(procs)
+	for {
+		v := p.Get()
+		if v == nil {
+			return core.New(prog, cfg)
+		}
+		if m := v.(*core.Machine); m.Reset(prog, cfg) {
+			return m
+		}
+	}
+}
+
+func releaseMachine(m *core.Machine) {
+	if m == nil {
+		return
+	}
+	poolFor(m.Processes()).Put(m)
+}
+
+// Release returns the run's machine to the machine pool. The machine
+// (and anything reached through it, like its cache model) must not be
+// used afterwards; the trace, if any, stays valid.
+func (r *PSIRun) Release() {
+	if r == nil || r.Machine == nil {
+		return
+	}
+	releaseMachine(r.Machine)
+	r.Machine = nil
+}

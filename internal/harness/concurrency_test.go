@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/progs"
+)
+
+// TestSharedProgramConcurrentRuns executes one compiled program on N
+// machines from N goroutines at once. Every run must report the same
+// simulated time and step count — the shared code image is read-only and
+// each machine's state is private. Under `go test -race` this also
+// sweeps the interning, clause-index and pool paths for data races.
+func TestSharedProgramConcurrentRuns(t *testing.T) {
+	c, err := Compile(progs.NReverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	times := make([]int64, n)
+	steps := make([]int64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := c.Run(false, core.Features{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			times[i] = r.Machine.TimeNS()
+			steps[i] = r.Machine.Stats().Steps
+			r.Release()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if times[i] != times[0] || steps[i] != steps[0] {
+			t.Fatalf("run %d diverged: time %d steps %d, want time %d steps %d",
+				i, times[i], steps[i], times[0], steps[0])
+		}
+	}
+}
+
+// TestPooledMachineDeterminism re-runs a benchmark back to back: the
+// second run executes on a machine recycled through the pool and must be
+// bit-identical to the first (fresh) one — Reset clears the translation
+// table, so even first-touch page allocation repeats exactly.
+func TestPooledMachineDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		r, err := RunPSI(progs.NReverse, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns, st := r.Machine.TimeNS(), r.Machine.Stats().Steps
+		r.Release()
+		return ns, st
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 || s1 != s2 {
+		t.Fatalf("pooled rerun diverged: time %d->%d, steps %d->%d", t1, t2, s1, s2)
+	}
+}
+
+// TestMixedBenchmarksSharePool interleaves two different benchmarks so
+// pooled machines are re-dressed for a different program between runs,
+// then checks both still match their fresh-run numbers.
+func TestMixedBenchmarksSharePool(t *testing.T) {
+	time := func(b progs.Benchmark) int64 {
+		r, err := RunPSI(b, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns := r.Machine.TimeNS()
+		r.Release()
+		return ns
+	}
+	qs1 := time(progs.QuickSort)
+	nr1 := time(progs.NReverse)
+	qs2 := time(progs.QuickSort) // likely on the machine nreverse just used
+	nr2 := time(progs.NReverse)
+	if qs1 != qs2 {
+		t.Fatalf("quicksort diverged after pool reuse: %d vs %d", qs1, qs2)
+	}
+	if nr1 != nr2 {
+		t.Fatalf("nreverse diverged after pool reuse: %d vs %d", nr1, nr2)
+	}
+}

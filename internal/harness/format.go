@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/micro"
@@ -101,8 +102,15 @@ func FormatFigure1(f *Fig1) string {
 	fmt.Fprintf(&b, "  one-set store-in     %8.1f%%\n", f.OneSet8K)
 	fmt.Fprintf(&b, "  two-set store-through%8.1f%%\n", f.StoreThrough)
 	fmt.Fprintf(&b, "One-set penalty (improvement-ratio points):\n")
-	for name, v := range f.OneSetPenalty {
-		fmt.Fprintf(&b, "  %-14s %6.1f\n", name, v)
+	names := f.PenaltyOrder
+	if len(names) == 0 { // hand-built Fig1 without an order: sort for stability
+		for name := range f.OneSetPenalty {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-14s %6.1f\n", name, f.OneSetPenalty[name])
 	}
 	return b.String()
 }

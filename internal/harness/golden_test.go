@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under docs/ from the current output")
+
+// evalOnce computes the complete evaluation once per test binary, both
+// strictly serially and with 8 workers, so the determinism and golden
+// tests share the (expensive) runs.
+var evalOnce struct {
+	sync.Once
+	serial   string
+	parallel string
+	err      error
+}
+
+func fullEval(t *testing.T) (serial, parallel string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full evaluation skipped in -short mode")
+	}
+	evalOnce.Do(func() {
+		evalOnce.serial, evalOnce.err = All(Options{Workers: 1})
+		if evalOnce.err == nil {
+			evalOnce.parallel, evalOnce.err = All(Options{Workers: 8})
+		}
+	})
+	if evalOnce.err != nil {
+		t.Fatal(evalOnce.err)
+	}
+	return evalOnce.serial, evalOnce.parallel
+}
+
+// TestWorkerCountDeterminism checks the tentpole guarantee: the entire
+// formatted evaluation — every table, Figure 1 and the ablations — is
+// byte-identical whether computed serially or on 8 workers.
+func TestWorkerCountDeterminism(t *testing.T) {
+	serial, parallel := fullEval(t)
+	if serial == parallel {
+		return
+	}
+	line, a, b := firstDiffLine(serial, parallel)
+	t.Fatalf("serial and 8-worker output differ at line %d:\n serial:   %q\n parallel: %q", line, a, b)
+}
+
+// TestGoldenEvaluationOutput pins the full `psibench all` output to
+// docs/evaluation-output.txt. Run with -update to rewrite the file after
+// an intended change to the simulator.
+func TestGoldenEvaluationOutput(t *testing.T) {
+	serial, _ := fullEval(t)
+	checkGolden(t, "../../docs/evaluation-output.txt", serial)
+}
+
+// TestGoldenAblationOutput pins the `psibench ablate` output to
+// docs/ablation-output.txt. The ablation study is the tail section of
+// the full evaluation, so no extra simulation is needed.
+func TestGoldenAblationOutput(t *testing.T) {
+	serial, _ := fullEval(t)
+	i := strings.Index(serial, "Ablation study:")
+	if i < 0 {
+		t.Fatal("full evaluation output has no ablation section")
+	}
+	checkGolden(t, "../../docs/ablation-output.txt", serial[i:])
+}
+
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == string(want) {
+		return
+	}
+	line, a, b := firstDiffLine(got, string(want))
+	t.Errorf("output differs from golden %s at line %d:\n got:  %q\n want: %q\n(re-run with -update after an intended simulator change)", path, line, a, b)
+}
+
+// firstDiffLine reports the 1-based line number and both lines at the
+// first difference.
+func firstDiffLine(a, b string) (int, string, string) {
+	al := strings.Split(a, "\n")
+	bl := strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return i + 1, al[i], bl[i]
+		}
+	}
+	if len(al) != len(bl) {
+		if len(al) > n {
+			return n + 1, al[n], "<missing>"
+		}
+		return n + 1, "<missing>", bl[n]
+	}
+	return 0, "", ""
+}

@@ -2,6 +2,12 @@
 // programs on the PSI machine and the DEC-10 baseline and regenerates
 // every table and figure of the paper (Tables 1-7, Figure 1, and the
 // cache ablations discussed in section 4.2).
+//
+// Benchmarks are parsed and compiled once per process (see Compile) and
+// the resulting read-only code images are shared by every machine that
+// runs them; machines themselves are pooled and reset between runs.
+// Tables can therefore compute their cells on a bounded worker pool (see
+// Options) without changing a single byte of output.
 package harness
 
 import (
@@ -9,9 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dec10"
-	"repro/internal/kl0"
 	"repro/internal/micro"
-	"repro/internal/parse"
 	"repro/internal/progs"
 	"repro/internal/trace"
 )
@@ -26,68 +30,30 @@ type PSIRun struct {
 }
 
 // RunPSI executes a benchmark on the PSI machine. When collect is true, a
-// full COLLECT trace is attached (needed for PMMS replay and MAP).
+// full COLLECT trace is attached (needed for PMMS replay and MAP). The
+// compiled program comes from the shared cache; the machine comes from
+// the pool and can be handed back with Release.
 func RunPSI(b progs.Benchmark, collect bool) (*PSIRun, error) {
-	prog := kl0.NewProgram(nil)
-	cs, err := parse.Clauses(b.Name, b.Source)
+	c, err := Compile(b)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", b.Name, err)
+		return nil, err
 	}
-	if err := prog.AddClauses(cs); err != nil {
-		return nil, fmt.Errorf("%s: %w", b.Name, err)
-	}
-	procs := b.Processes
-	if procs == 0 {
-		procs = 1
-	}
-	cfg := core.Config{Processes: procs, MaxSteps: maxSteps}
-	var log *trace.Log
-	if collect {
-		log = &trace.Log{}
-		cfg.Trace = log
-	}
-	m := core.New(prog, cfg)
-	if b.Handler != "" {
-		hg, err := parse.Term(b.Handler)
-		if err != nil {
-			return nil, err
-		}
-		hq, err := prog.CompileQuery(hg)
-		if err != nil {
-			return nil, fmt.Errorf("%s handler: %w", b.Name, err)
-		}
-		if err := m.SetInterruptHandler(1, hq); err != nil {
-			return nil, err
-		}
-	}
-	sols, err := m.Solve(b.Query)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", b.Name, err)
-	}
-	if _, ok := sols.Next(); !ok {
-		if sols.Err() != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, sols.Err())
-		}
-		return nil, fmt.Errorf("%s: query %q failed", b.Name, b.Query)
-	}
-	return &PSIRun{Machine: m, Trace: log}, nil
+	return c.Run(collect, core.Features{})
 }
 
-// RunDEC executes a benchmark on the DEC-10 baseline.
+// RunDEC executes a benchmark on the DEC-10 baseline. The baseline is
+// compiled once; the machine runs on a private snapshot of the image.
 func RunDEC(b progs.Benchmark) (*dec10.Machine, error) {
-	prog := dec10.NewProgram(nil)
-	cs, err := parse.Clauses(b.Name, b.Source)
+	c, err := Compile(b)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", b.Name, err)
+		return nil, err
 	}
-	if err := prog.AddClauses(cs); err != nil {
-		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	prog, q, err := c.DEC()
+	if err != nil {
+		return nil, err
 	}
 	m := dec10.New(prog, dec10.Config{MaxUnits: maxSteps})
-	sols, err := m.Solve(b.Query)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", b.Name, err)
-	}
+	sols := m.SolveQuery(q)
 	if _, ok := sols.Next(); !ok {
 		if sols.Err() != nil {
 			return nil, fmt.Errorf("%s: %w", b.Name, sols.Err())
@@ -98,11 +64,25 @@ func RunDEC(b progs.Benchmark) (*dec10.Machine, error) {
 }
 
 // StatsFor runs a benchmark and returns its microcycle statistics (no
-// trace).
+// trace). The machine is not pooled afterwards — the caller may keep
+// using it (e.g. to inspect the cache).
 func StatsFor(b progs.Benchmark) (*micro.Stats, *core.Machine, error) {
 	r, err := RunPSI(b, false)
 	if err != nil {
 		return nil, nil, err
 	}
 	return r.Machine.Stats(), r.Machine, nil
+}
+
+// statsValueFor runs a benchmark, copies the statistics by value and
+// returns the machine to the pool. Stats is a pure value type, so the
+// copy is safe to read after the machine is reused.
+func statsValueFor(b progs.Benchmark) (micro.Stats, error) {
+	r, err := RunPSI(b, false)
+	if err != nil {
+		return micro.Stats{}, err
+	}
+	s := *r.Machine.Stats()
+	r.Release()
+	return s, nil
 }

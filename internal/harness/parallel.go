@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures how the evaluation is computed. The zero value
+// (Workers == 0) uses one worker per available CPU.
+type Options struct {
+	// Workers bounds the number of concurrently simulated machines.
+	// 0 means runtime.GOMAXPROCS(0); 1 runs strictly serially. The
+	// results are byte-identical either way — parallelism only changes
+	// wall-clock time.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parMap applies fn to every item on up to workers goroutines and
+// returns the results in item order, so callers observe the same result
+// sequence a serial loop would produce. On error the first failure by
+// item index wins — again matching the serial loop.
+func parMap[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	if workers <= 1 || len(items) <= 1 {
+		for i, it := range items {
+			r, err := fn(it)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	errs := make([]error, len(items))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				out[i], errs[i] = fn(items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

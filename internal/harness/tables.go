@@ -25,20 +25,24 @@ type T1Row struct {
 }
 
 // Table1 measures every benchmark on both engines.
-func Table1() ([]T1Row, error) {
-	var rows []T1Row
-	for _, b := range progs.Table1() {
+func Table1() ([]T1Row, error) { return Table1With(Options{}) }
+
+// Table1With is Table1 under explicit worker options.
+func Table1With(o Options) ([]T1Row, error) {
+	return parMap(o.workers(), progs.Table1(), func(b progs.Benchmark) (T1Row, error) {
 		r, err := RunPSI(b, false)
 		if err != nil {
-			return nil, err
-		}
-		d, err := RunDEC(b)
-		if err != nil {
-			return nil, err
+			return T1Row{}, err
 		}
 		psi := float64(r.Machine.TimeNS()) / 1e6
+		inf := r.Machine.Inferences()
+		r.Release()
+		d, err := RunDEC(b)
+		if err != nil {
+			return T1Row{}, err
+		}
 		dec := float64(d.TimeNS()) / 1e6
-		rows = append(rows, T1Row{
+		return T1Row{
 			Name:       b.Name,
 			PSIMS:      psi,
 			DECMS:      dec,
@@ -46,10 +50,9 @@ func Table1() ([]T1Row, error) {
 			PaperPSIMS: b.PaperPSIMS,
 			PaperDECMS: b.PaperDECMS,
 			PaperRatio: b.PaperDECMS / b.PaperPSIMS,
-			Inferences: r.Machine.Inferences(),
-		})
-	}
-	return rows, nil
+			Inferences: inf,
+		}, nil
+	})
 }
 
 // ---- Table 2 -------------------------------------------------------------
@@ -61,21 +64,22 @@ type T2Row struct {
 }
 
 // Table2 measures the interpreter-module step distribution.
-func Table2() ([]T2Row, error) {
-	var rows []T2Row
-	for _, b := range progs.Table2Set() {
-		s, _, err := StatsFor(b)
+func Table2() ([]T2Row, error) { return Table2With(Options{}) }
+
+// Table2With is Table2 under explicit worker options.
+func Table2With(o Options) ([]T2Row, error) {
+	return parMap(o.workers(), progs.Table2Set(), func(b progs.Benchmark) (T2Row, error) {
+		s, err := statsValueFor(b)
 		if err != nil {
-			return nil, err
+			return T2Row{}, err
 		}
 		var row T2Row
 		row.Name = b.Name
 		for m := micro.Module(0); m < micro.NumModules; m++ {
 			row.Modules[m] = s.ModuleRatio(m) * 100
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // ---- Table 3 -------------------------------------------------------------
@@ -91,22 +95,23 @@ type T3Row struct {
 }
 
 // Table3 measures the cache command frequency of each workload.
-func Table3() ([]T3Row, error) {
-	var rows []T3Row
-	for _, b := range progs.HardwareSet() {
-		s, _, err := StatsFor(b)
+func Table3() ([]T3Row, error) { return Table3With(Options{}) }
+
+// Table3With is Table3 under explicit worker options.
+func Table3With(o Options) ([]T3Row, error) {
+	return parMap(o.workers(), progs.HardwareSet(), func(b progs.Benchmark) (T3Row, error) {
+		s, err := statsValueFor(b)
 		if err != nil {
-			return nil, err
+			return T3Row{}, err
 		}
 		read := s.CacheOpRatio(micro.OpRead) * 100
 		ws := s.CacheOpRatio(micro.OpWriteStack) * 100
 		wr := s.CacheOpRatio(micro.OpWrite) * 100
-		rows = append(rows, T3Row{
+		return T3Row{
 			Name: b.Name, Read: read, WriteStack: ws, Write: wr,
 			WriteTotal: ws + wr, Total: read + ws + wr,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // ---- Table 4 -------------------------------------------------------------
@@ -118,21 +123,22 @@ type T4Row struct {
 }
 
 // Table4 measures the per-area access distribution.
-func Table4() ([]T4Row, error) {
-	var rows []T4Row
-	for _, b := range progs.HardwareSet() {
-		s, _, err := StatsFor(b)
+func Table4() ([]T4Row, error) { return Table4With(Options{}) }
+
+// Table4With is Table4 under explicit worker options.
+func Table4With(o Options) ([]T4Row, error) {
+	return parMap(o.workers(), progs.HardwareSet(), func(b progs.Benchmark) (T4Row, error) {
+		s, err := statsValueFor(b)
 		if err != nil {
-			return nil, err
+			return T4Row{}, err
 		}
 		var row T4Row
 		row.Name = b.Name
 		for k := 0; k < 5; k++ {
 			row.Areas[k] = s.AreaAccessRatio(word.AreaID(k)) * 100
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // ---- Table 5 -------------------------------------------------------------
@@ -145,12 +151,14 @@ type T5Row struct {
 }
 
 // Table5 measures per-area cache hit ratios with the PSI cache.
-func Table5() ([]T5Row, error) {
-	var rows []T5Row
-	for _, b := range progs.HardwareSet() {
+func Table5() ([]T5Row, error) { return Table5With(Options{}) }
+
+// Table5With is Table5 under explicit worker options.
+func Table5With(o Options) ([]T5Row, error) {
+	return parMap(o.workers(), progs.HardwareSet(), func(b progs.Benchmark) (T5Row, error) {
 		r, err := RunPSI(b, false)
 		if err != nil {
-			return nil, err
+			return T5Row{}, err
 		}
 		c := r.Machine.Cache()
 		var row T5Row
@@ -159,9 +167,9 @@ func Table5() ([]T5Row, error) {
 			row.Areas[k] = c.Area[k].HitRatio() * 100
 		}
 		row.Total = c.HitRatio() * 100
-		rows = append(rows, row)
-	}
-	return rows, nil
+		r.Release()
+		return row, nil
+	})
 }
 
 // ---- Figure 1 and the cache ablations -------------------------------------
@@ -177,33 +185,67 @@ type Fig1 struct {
 	StoreThrough float64 // store-through instead of store-in
 	// Per-workload one-set penalty for the programs the paper names.
 	OneSetPenalty map[string]float64
+	// PenaltyOrder lists OneSetPenalty's keys in benchmark order, so
+	// formatting never depends on map iteration order.
+	PenaltyOrder []string
 }
 
 // Figure1 replays the WINDOW trace over cache sizes from 8 words to 8K
 // words (the paper's sweep) and computes the ablations.
-func Figure1() (*Fig1, error) {
+func Figure1() (*Fig1, error) { return Figure1With(Options{}) }
+
+// Figure1With is Figure1 under explicit worker options. Sweep sizes and
+// penalty workloads are independent replays, so they fan out across the
+// workers.
+func Figure1With(o Options) (*Fig1, error) {
 	r, err := RunPSI(progs.Window1, true)
 	if err != nil {
 		return nil, err
 	}
 	log := r.Trace
+	r.Release()
 	f := &Fig1{Workload: progs.Window1.Name}
-	f.Points = pmms.Sweep(log, pmms.DefaultSizes())
+
+	var sizes []int
+	for _, w := range pmms.DefaultSizes() {
+		if w >= 8 {
+			sizes = append(sizes, w)
+		}
+	}
+	f.Points, err = parMap(o.workers(), sizes, func(w int) (pmms.Point, error) {
+		return pmms.PointAt(log, w), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	f.TwoSet8K = pmms.Improvement(log, cache.Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreIn})
 	// The paper compares "two 4K-word sets" (the machine) against "one
 	// 4K-word set": half the capacity, direct-mapped.
 	f.OneSet8K = pmms.Improvement(log, cache.Config{Words: 4096, Assoc: 1, BlockWords: 4, Policy: cache.StoreIn})
 	f.StoreThrough = pmms.Improvement(log, cache.Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreThrough})
 
-	f.OneSetPenalty = map[string]float64{}
-	for _, b := range []progs.Benchmark{progs.Window1, progs.Puzzle8, progs.BUP3} {
-		br, err := RunPSI(b, true)
-		if err != nil {
-			return nil, err
+	penaltyBenchmarks := []progs.Benchmark{progs.Window1, progs.Puzzle8, progs.BUP3}
+	penalties, err := parMap(o.workers(), penaltyBenchmarks, func(b progs.Benchmark) (float64, error) {
+		t := log // WINDOW was already traced above; reuse it
+		if b.Name != progs.Window1.Name {
+			br, err := RunPSI(b, true)
+			if err != nil {
+				return 0, err
+			}
+			t = br.Trace
+			br.Release()
 		}
-		two := pmms.Improvement(br.Trace, cache.Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreIn})
-		one := pmms.Improvement(br.Trace, cache.Config{Words: 4096, Assoc: 1, BlockWords: 4, Policy: cache.StoreIn})
-		f.OneSetPenalty[b.Name] = two - one
+		two := pmms.Improvement(t, cache.Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreIn})
+		one := pmms.Improvement(t, cache.Config{Words: 4096, Assoc: 1, BlockWords: 4, Policy: cache.StoreIn})
+		return two - one, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.OneSetPenalty = map[string]float64{}
+	for i, b := range penaltyBenchmarks {
+		f.OneSetPenalty[b.Name] = penalties[i]
+		f.PenaltyOrder = append(f.PenaltyOrder, b.Name)
 	}
 	return f, nil
 }
@@ -218,12 +260,17 @@ type T6 struct {
 
 // Table6 measures the dynamic work-file access modes (the paper shows
 // BUP; other programs give close results).
-func Table6() (*T6, error) {
+func Table6() (*T6, error) { return Table6With(Options{}) }
+
+// Table6With is Table6 under explicit worker options.
+func Table6With(o Options) (*T6, error) {
 	r, err := RunPSI(progs.BUP3, true)
 	if err != nil {
 		return nil, err
 	}
-	return &T6{Workload: progs.BUP3.Name, Usage: mapper.Analyze(r.Trace)}, nil
+	t := &T6{Workload: progs.BUP3.Name, Usage: mapper.Analyze(r.Trace)}
+	r.Release()
+	return t, nil
 }
 
 // ---- Table 7 -------------------------------------------------------------
@@ -238,12 +285,15 @@ type T7Col struct {
 
 // Table7 measures the dynamic branch-field operations for the paper's
 // three programs.
-func Table7() ([]T7Col, error) {
-	var cols []T7Col
-	for _, b := range []progs.Benchmark{progs.BUP3, progs.Window1, progs.Puzzle8} {
-		s, _, err := StatsFor(b)
+func Table7() ([]T7Col, error) { return Table7With(Options{}) }
+
+// Table7With is Table7 under explicit worker options.
+func Table7With(o Options) ([]T7Col, error) {
+	set := []progs.Benchmark{progs.BUP3, progs.Window1, progs.Puzzle8}
+	return parMap(o.workers(), set, func(b progs.Benchmark) (T7Col, error) {
+		s, err := statsValueFor(b)
 		if err != nil {
-			return nil, err
+			return T7Col{}, err
 		}
 		var c T7Col
 		c.Name = b.Name
@@ -258,9 +308,8 @@ func Table7() ([]T7Col, error) {
 		if s.Steps > 0 {
 			c.Data = float64(s.BranchData) / float64(s.Steps) * 100
 		}
-		cols = append(cols, c)
-	}
-	return cols, nil
+		return c, nil
+	})
 }
 
 // TraceFor produces a COLLECT trace of a benchmark (for the CLI tools).
@@ -269,5 +318,7 @@ func TraceFor(b progs.Benchmark) (*trace.Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.Trace, nil
+	t := r.Trace
+	r.Release()
+	return t, nil
 }

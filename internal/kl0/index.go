@@ -32,11 +32,19 @@ func constKey(w word.Word) uint64 {
 }
 
 // Index returns the first-argument index for a procedure, building or
-// rebuilding it when the clause list changed.
+// rebuilding it when the clause list changed. Machines sharing one
+// program may race to the first build: the construction runs under the
+// program lock and is published atomically, so every caller sees a fully
+// built index and the build happens once.
 func (p *Program) Index(procIdx int) *ClauseIndex {
 	proc := p.Procs[procIdx]
-	if proc.index != nil && proc.index.built == len(proc.Clauses) {
-		return proc.index
+	if ix := proc.index.Load(); ix != nil && ix.built == len(proc.Clauses) {
+		return ix
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ix := proc.index.Load(); ix != nil && ix.built == len(proc.Clauses) {
+		return ix
 	}
 	ix := &ClauseIndex{
 		Const:  make(map[uint64][]int),
@@ -96,7 +104,7 @@ func (p *Program) Index(procIdx int) *ClauseIndex {
 			ix.Struct[k.f] = append(ix.Struct[k.f], i)
 		}
 	}
-	proc.index = ix
+	proc.index.Store(ix)
 	return ix
 }
 

@@ -24,6 +24,8 @@ package kl0
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/term"
 	"repro/internal/word"
@@ -43,8 +45,12 @@ type ClauseInfo struct {
 	Dead bool
 }
 
-// RetractClause marks clause number k of a procedure dead.
+// RetractClause marks clause number k of a procedure dead. Like every
+// program mutation it is meant for a program driven by one machine; see
+// the sharing contract on Program.
 func (p *Program) RetractClause(procIdx, k int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.Procs[procIdx].Clauses[k].Dead = true
 }
 
@@ -54,7 +60,7 @@ type Proc struct {
 	Sym     uint32
 	Arity   int
 	Clauses []ClauseInfo
-	index   *ClauseIndex
+	index   atomic.Pointer[ClauseIndex]
 }
 
 // Indicator returns name/arity.
@@ -71,10 +77,19 @@ type Query struct {
 // Program is a compiled KL0 code image plus its procedure table. The
 // image is relocatable: TagSkel words and clause starts are offsets into
 // Code; the machine loader adds its heap base.
+//
+// Compilation (AddClauses, CompileQuery) is serialized by an internal
+// mutex, so concurrent compiles are safe. Once compiled, the image may be
+// shared read-only by any number of machines running concurrently; the
+// only runtime mutations a shared program tolerates are symbol interning
+// (guarded in term.Symbols) and first-argument index builds (guarded
+// here). Dynamic predicates (assertz/retract) mutate the clause lists and
+// are only safe on a program owned by a single machine.
 type Program struct {
 	Syms      *term.Symbols
 	Code      []word.Word
 	Procs     []*Proc
+	mu        sync.Mutex
 	procIndex map[uint64]int
 	auxCount  int
 }
@@ -116,14 +131,18 @@ func (p *Program) LookupProc(name string, arity int) (int, bool) {
 	if !ok {
 		return 0, false
 	}
+	p.mu.Lock()
 	idx, ok := p.procIndex[procKey(sym, arity)]
+	p.mu.Unlock()
 	return idx, ok
 }
 
 // LookupProcSym finds the procedure index for an interned symbol/arity,
 // used by the machine's metacall.
 func (p *Program) LookupProcSym(sym uint32, arity int) (int, bool) {
+	p.mu.Lock()
 	idx, ok := p.procIndex[procKey(sym, arity)]
+	p.mu.Unlock()
 	return idx, ok
 }
 
@@ -155,6 +174,14 @@ type goal struct {
 // anything else a fact. Directives (:- G) are rejected — run goals
 // through a Query instead.
 func (p *Program) AddClauses(clauses []*term.Term) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.addClauses(clauses)
+}
+
+// addClauses is AddClauses without the lock, for the recursive
+// compilation of lifted auxiliary predicates.
+func (p *Program) addClauses(clauses []*term.Term) error {
 	type pending struct {
 		src   *term.Term
 		head  *term.Term
@@ -200,6 +227,8 @@ func (p *Program) AddClauses(clauses []*term.Term) error {
 // CompileQuery compiles a top-level goal into a pseudo-clause with arity
 // 0 whose variables are all global.
 func (p *Program) CompileQuery(body *term.Term) (*Query, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	goals, lifted, err := p.normalizeBody(body, body)
 	if err != nil {
 		return nil, err
@@ -261,7 +290,7 @@ func (p *Program) compileLifted(lifted []*term.Term) error {
 	if len(lifted) == 0 {
 		return nil
 	}
-	return p.AddClauses(lifted)
+	return p.addClauses(lifted)
 }
 
 // normalizeBody flattens a clause body into a goal sequence, lifting

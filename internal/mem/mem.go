@@ -77,6 +77,22 @@ func (m *Memory) Translate(a word.Addr) uint32 {
 	return phys*PageWords + a.Offset()%PageWords
 }
 
+// Reset returns the memory to its post-New state while keeping the area
+// storage allocated for reuse. The translation table is cleared too, so a
+// reset memory allocates physical pages in exactly the first-touch order
+// of a fresh run — cache behaviour after a Reset is bit-identical to a
+// fresh machine's.
+func (m *Memory) Reset() {
+	for i, a := range m.areas {
+		if a != nil {
+			clear(a)
+			m.areas[i] = a
+		}
+	}
+	clear(m.pageTable)
+	m.nextPhys = 0
+}
+
 // AreaSize reports the high-water storage size of an area in words.
 func (m *Memory) AreaSize(area word.AreaID) int {
 	if int(area) >= len(m.areas) {

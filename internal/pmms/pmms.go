@@ -65,27 +65,31 @@ type Point struct {
 	HitRatio    float64
 }
 
+// PointAt replays the trace against one cache capacity (same
+// associativity, block size and policy as the PSI cache) and returns the
+// Figure 1 sample. Replays are pure functions of the (read-only) trace,
+// so samples for different sizes can be computed concurrently.
+func PointAt(l *trace.Log, w int) Point {
+	cfg := cache.Config{Words: w, Assoc: 2, BlockWords: 4, Policy: cache.StoreIn}
+	c := Replay(l, cfg)
+	tc := TimeNS(l, c)
+	tnc := TimeNoCacheNS(l)
+	return Point{
+		Words:       w,
+		Improvement: (float64(tnc)/float64(tc) - 1) * 100,
+		HitRatio:    c.HitRatio(),
+	}
+}
+
 // Sweep replays the trace over a range of cache capacities (same
 // associativity, block size and policy as the PSI cache).
 func Sweep(l *trace.Log, sizes []int) []Point {
 	out := make([]Point, 0, len(sizes))
 	for _, w := range sizes {
-		cfg := cache.Config{Words: w, Assoc: 2, BlockWords: 4, Policy: cache.StoreIn}
 		if w < 8 {
 			continue
 		}
-		if w == 8 {
-			// The smallest configuration is a single row of two blocks.
-			cfg.Assoc = 2
-		}
-		c := Replay(l, cfg)
-		tc := TimeNS(l, c)
-		tnc := TimeNoCacheNS(l)
-		out = append(out, Point{
-			Words:       w,
-			Improvement: (float64(tnc)/float64(tc) - 1) * 100,
-			HitRatio:    c.HitRatio(),
-		})
+		out = append(out, PointAt(l, w))
 	}
 	return out
 }

@@ -1,10 +1,19 @@
 package term
 
+import "sync"
+
 // Symbols interns atom and functor names to dense 24-bit indices that fit
 // in the symbol field of a PSI functor word. A single table is shared by
 // the reader, the KL0 loader and the DEC-10 engine so that both engines
 // agree on constants.
+//
+// The table is safe for concurrent use: machines sharing one compiled
+// program image may intern new symbols at run time (number/atom
+// conversion built-ins, findall copies), so the map is guarded. Indices
+// are handed out in interning order; they carry no meaning beyond
+// identity, so concurrent interleavings never change observable results.
 type Symbols struct {
+	mu    sync.RWMutex
 	names []string
 	index map[string]uint32
 }
@@ -32,10 +41,18 @@ const (
 
 // Intern returns the index for name, adding it if new.
 func (s *Symbols) Intern(name string) uint32 {
+	s.mu.RLock()
+	i, ok := s.index[name]
+	s.mu.RUnlock()
+	if ok {
+		return i
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if i, ok := s.index[name]; ok {
 		return i
 	}
-	i := uint32(len(s.names))
+	i = uint32(len(s.names))
 	if i > 0xffffff {
 		panic("term: symbol table overflow (more than 2^24 symbols)")
 	}
@@ -46,12 +63,16 @@ func (s *Symbols) Intern(name string) uint32 {
 
 // Lookup returns the index for name without interning.
 func (s *Symbols) Lookup(name string) (uint32, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	i, ok := s.index[name]
 	return i, ok
 }
 
 // Name returns the string for an interned index.
 func (s *Symbols) Name(i uint32) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if int(i) >= len(s.names) {
 		return "<sym?>"
 	}
@@ -59,4 +80,8 @@ func (s *Symbols) Name(i uint32) string {
 }
 
 // Len reports how many symbols are interned.
-func (s *Symbols) Len() int { return len(s.names) }
+func (s *Symbols) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.names)
+}

@@ -67,6 +67,10 @@ type File struct {
 // New returns a zeroed work file.
 func New() *File { return &File{} }
 
+// Reset zeroes the register file and the address registers, returning the
+// work file to its post-New state for machine reuse.
+func (f *File) Reset() { *f = File{} }
+
 // Get reads word i.
 func (f *File) Get(i int) word.Word {
 	if i < 0 || i >= Size {
