@@ -1,9 +1,12 @@
 GO ?= go
 
-.PHONY: build test race fuzz golden bench verify
+.PHONY: build vet test race fuzz golden bench profile verify
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
@@ -28,5 +31,12 @@ golden:
 
 bench:
 	$(GO) test -run '^$$' -bench 'TablesParallel' -benchtime 1x .
+
+# Produce a sample host CPU profile of the simulator regenerating
+# Table 1 (the table output goes to /dev/null; the profile to
+# psibench.pprof for `go tool pprof`).
+profile:
+	$(GO) run ./cmd/psibench -cpuprofile psibench.pprof 1 > /dev/null
+	@echo "wrote psibench.pprof; inspect with: $(GO) tool pprof psibench.pprof"
 
 verify: build race test fuzz

@@ -12,6 +12,7 @@ package psi
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/harness"
@@ -273,6 +274,77 @@ func BenchmarkCompileCache(b *testing.B) {
 			b.Fatal(err)
 		}
 		r.Release()
+	}
+}
+
+// BenchmarkProfilerOverhead compares a plain run (stats sink only)
+// against the same run with the per-predicate profiler attached — the
+// instrumentation overhead of the observability layer.
+func BenchmarkProfilerOverhead(b *testing.B) {
+	b.Run("stats-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := harness.RunPSI(progs.NReverse, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.Release()
+		}
+	})
+	b.Run("profiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.Profile(progs.NReverse); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestProfilerOverheadGuard keeps the profiler affordable: attaching it
+// must not slow a simulated run by more than 4x. The real overhead is
+// far smaller (one extra sink dispatch and a bucket update per cycle);
+// the generous bound keeps the guard robust on noisy shared hosts.
+func TestProfilerOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead guard skipped in -short mode")
+	}
+	// Warm the compile cache and machine pool so neither side pays
+	// one-time costs.
+	if _, err := harness.Profile(progs.NReverse); err != nil {
+		t.Fatal(err)
+	}
+	r, err := harness.RunPSI(progs.NReverse, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Release()
+
+	best := func(profiled bool) time.Duration {
+		min := time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			if profiled {
+				if _, err := harness.Profile(progs.NReverse); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				r, err := harness.RunPSI(progs.NReverse, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r.Release()
+			}
+			if d := time.Since(start); d < min {
+				min = d
+			}
+		}
+		return min
+	}
+	base := best(false)
+	prof := best(true)
+	t.Logf("stats-only %v, profiled %v (%.2fx)", base, prof, float64(prof)/float64(base))
+	if prof > 4*base {
+		t.Errorf("profiler overhead %.2fx exceeds the 4x budget (stats-only %v, profiled %v)",
+			float64(prof)/float64(base), base, prof)
 	}
 }
 

@@ -21,8 +21,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -37,7 +39,24 @@ func main() {
 	interactive := flag.Bool("i", false, "interactive query loop")
 	stdlib := flag.Bool("stdlib", false, "preload the standard library")
 	disasm := flag.String("disasm", "", "disassemble a predicate (name/arity) instead of running")
+	profile := flag.Bool("profile", false, "print the simulated per-predicate profile after the run")
+	top := flag.Int("top", 10, "entries to show with -profile (0 = all)")
+	jsonPath := flag.String("json", "", "write the structured run report (JSON) to this `file`")
+	verbose := flag.Bool("v", false, "stream live progress (cycles, simulated ms, MLIPS) to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to this `file`")
+	memProfile := flag.String("memprofile", "", "write a host heap profile to this `file`")
+	httpAddr := flag.String("http", "", "serve /debug/pprof and /debug/vars on this `address`")
 	flag.Parse()
+
+	stopCPU, err := obs.StartCPUProfile(*cpuProfile)
+	die(err)
+	defer stopCPU()
+	defer func() { die(obs.WriteMemProfile(*memProfile)) }()
+	if addr, err := obs.ServeDebug(*httpAddr); err != nil {
+		die(err)
+	} else if addr != "" {
+		fmt.Fprintf(os.Stderr, "psi: debug listener on http://%s/debug/pprof\n", addr)
+	}
 
 	var src []byte
 	switch {
@@ -78,14 +97,25 @@ func main() {
 		return
 	}
 
-	m, err := psi.LoadProgram(source, psi.Options{
+	opts := psi.Options{
 		CacheWords:   *cacheWords,
 		CacheSets:    *sets,
 		StoreThrough: *through,
 		NoCache:      *nocache,
 		Out:          os.Stdout,
-	})
+		Profile:      *profile,
+	}
+	if *verbose {
+		opts.Progress = obs.NewProgressPrinter(os.Stderr).Event
+	}
+	m, err := psi.LoadProgram(source, opts)
 	die(err)
+	workload := "<stdin>"
+	if flag.NArg() == 1 {
+		workload = flag.Arg(0)
+	}
+	hostBefore := obs.ReadHostStats()
+	wallStart := time.Now()
 	sols, err := m.Solve(*goal)
 	die(err)
 	n := 0
@@ -106,6 +136,15 @@ func main() {
 	}
 	if *report {
 		fmt.Print(m.Report())
+	}
+	if *profile {
+		m.Profile(workload).Format(os.Stdout, *top)
+	}
+	if *jsonPath != "" {
+		host := hostBefore.Delta(obs.ReadHostStats(), time.Since(wallStart).Nanoseconds())
+		b, err := m.RunReport(workload, host).JSON()
+		die(err)
+		die(os.WriteFile(*jsonPath, b, 0o644))
 	}
 }
 

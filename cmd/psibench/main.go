@@ -2,7 +2,10 @@
 // Figure 1, plus the cache ablations. Run with a table selector
 // ("1".."7", "fig1", "ablate", "all") or "calib" for the Table 1
 // calibration view. The -j flag bounds the number of concurrently
-// simulated machines; the output is byte-identical for any -j.
+// simulated machines; the output is byte-identical for any -j. -json
+// additionally writes the whole evaluation as one structured document,
+// -v streams live progress to stderr, and -cpuprofile/-memprofile/-http
+// expose the Go host for profiling.
 package main
 
 import (
@@ -11,25 +14,79 @@ import (
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/progs"
 )
 
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(),
+		`usage: psibench [flags] [selector]
+
+Regenerates the paper's evaluation. Selectors:
+  all      every table, Figure 1 and the ablations (default)
+  1..7     one table
+  fig1     the cache-capacity sweep and its ablations
+  ablate   the feature-ablation study
+  calib    the Table 1 calibration view (for dec10.NSPerUnit)
+
+Flags:
+`)
+	flag.PrintDefaults()
+	fmt.Fprintf(flag.CommandLine.Output(),
+		`
+The output is byte-identical for any -j; parallelism only changes
+wall-clock time. -json and -v never alter stdout: the JSON document goes
+to its own file and progress goes to stderr.
+`)
+}
+
 func main() {
 	jFlag := flag.Int("j", 0, "parallel simulation workers (0 = one per CPU, 1 = serial)")
+	jsonPath := flag.String("json", "", "also write the full evaluation as JSON to this `file` (selector must be \"all\")")
+	verbose := flag.Bool("v", false, "stream live progress (cycles, simulated ms, MLIPS, current cell) to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to this `file`")
+	memProfile := flag.String("memprofile", "", "write a host heap profile to this `file`")
+	httpAddr := flag.String("http", "", "serve /debug/pprof and /debug/vars on this `address` (e.g. localhost:6060)")
+	flag.Usage = usage
 	flag.Parse()
+	if *jFlag < 0 {
+		fmt.Fprintf(os.Stderr, "psibench: -j must be >= 0 (0 = one worker per CPU, 1 = serial), got %d\n", *jFlag)
+		os.Exit(2)
+	}
+	stopCPU, err := obs.StartCPUProfile(*cpuProfile)
+	check(err)
+	defer stopCPU()
+	if addr, err := obs.ServeDebug(*httpAddr); err != nil {
+		check(err)
+	} else if addr != "" {
+		fmt.Fprintf(os.Stderr, "psibench: debug listener on http://%s/debug/pprof\n", addr)
+	}
 	o := harness.Options{Workers: *jFlag}
+	if *verbose {
+		o.Progress = obs.NewProgressPrinter(os.Stderr).Event
+	}
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
 	}
+	if *jsonPath != "" && which != "all" {
+		fmt.Fprintf(os.Stderr, "psibench: -json covers the full evaluation; use it with the %q selector (got %q)\n", "all", which)
+		os.Exit(2)
+	}
+	defer func() { check(obs.WriteMemProfile(*memProfile)) }()
 	switch which {
 	case "calib":
 		calib()
 		return
 	case "all":
-		s, err := harness.All(o)
+		e, err := harness.EvaluationWith(o)
 		check(err)
-		fmt.Print(s)
+		fmt.Print(e.Text())
+		if *jsonPath != "" {
+			b, err := e.JSON()
+			check(err)
+			check(os.WriteFile(*jsonPath, b, 0o644))
+		}
 		return
 	case "1", "2", "3", "4", "5", "6", "7", "fig1", "ablate":
 	default:

@@ -41,6 +41,17 @@ type Config struct {
 	// Trace, when non-nil, receives every executed microcycle in addition
 	// to the machine's statistics (the COLLECT hook).
 	Trace micro.Sink
+	// Profile, when non-nil, receives every executed microcycle plus
+	// predicate-context switches (EnterPredicate) and, if it implements
+	// micro.MissSink, cache-miss notifications — the simulated-workload
+	// profiler hook.
+	Profile micro.PredSink
+	// Progress, when non-nil, receives a heartbeat every ProgressEvery
+	// executed microcycles (live-progress events for long simulations).
+	Progress func(Heartbeat)
+	// ProgressEvery is the heartbeat period in microcycles
+	// (0 = DefaultProgressEvery).
+	ProgressEvery int64
 	// MaxSteps aborts runaway executions (0 = no limit).
 	MaxSteps int64
 	// Features selects machine-feature ablations and the PSI-II
@@ -124,6 +135,19 @@ type Machine struct {
 	stats micro.Stats
 	sink  micro.Sink
 
+	// Simulated-workload profiling state: the profile sink (nil unless
+	// profiling), its optional miss-notification half, and the predicate
+	// the code pointer currently executes in.
+	profile  micro.PredSink
+	missSink micro.MissSink
+	curPred  int
+
+	// Live-progress state: hb is the heartbeat callback (nil when
+	// disabled), hbEvery the period in cycles, hbLeft the countdown.
+	hb      func(Heartbeat)
+	hbEvery int64
+	hbLeft  int64
+
 	// noCacheStall accumulates memory latency when the cache is disabled.
 	noCacheStall int64
 
@@ -185,11 +209,7 @@ func New(prog *kl0.Program, cfg Config) *Machine {
 		}
 		m.cache = cache.New(cc)
 	}
-	if cfg.Trace != nil {
-		m.sink = micro.Tee{&m.stats, cfg.Trace}
-	} else {
-		m.sink = &m.stats
-	}
+	m.configureSinks(cfg)
 	m.ctxs = make([]context, cfg.Processes)
 	for p := range m.ctxs {
 		m.ctxs[p] = context{
@@ -248,11 +268,7 @@ func (m *Machine) Reset(prog *kl0.Program, cfg Config) bool {
 	m.loaded = 0
 	m.out = cfg.Out
 	m.stats.Reset()
-	if cfg.Trace != nil {
-		m.sink = micro.Tee{&m.stats, cfg.Trace}
-	} else {
-		m.sink = &m.stats
-	}
+	m.configureSinks(cfg)
 	m.noCacheStall = 0
 	m.heapTop = 0
 	m.inferences = 0
@@ -281,6 +297,49 @@ func (m *Machine) Reset(prog *kl0.Program, cfg Config) bool {
 	m.ctx = &m.ctxs[0]
 	m.load()
 	return true
+}
+
+// DefaultProgressEvery is the heartbeat period when Config.Progress is
+// set without an explicit ProgressEvery: every 5M microcycles, i.e. once
+// per simulated second.
+const DefaultProgressEvery = 5_000_000
+
+// Heartbeat is one live-progress event: a snapshot of the run's
+// accumulated work, emitted from the cycle stream every
+// Config.ProgressEvery cycles.
+type Heartbeat struct {
+	Steps      int64 // microcycles executed so far
+	SimNS      int64 // simulated time so far (cycles + memory stalls)
+	Inferences int64 // logical inferences so far
+}
+
+// configureSinks wires the cycle stream, the profiler and the heartbeat
+// state from a configuration (shared by New and Reset).
+func (m *Machine) configureSinks(cfg Config) {
+	sinks := micro.Tee{&m.stats}
+	if cfg.Trace != nil {
+		sinks = append(sinks, cfg.Trace)
+	}
+	if cfg.Profile != nil {
+		sinks = append(sinks, cfg.Profile)
+	}
+	if len(sinks) == 1 {
+		m.sink = &m.stats
+	} else {
+		m.sink = sinks
+	}
+	m.profile = cfg.Profile
+	m.missSink = nil
+	if cfg.Profile != nil {
+		m.missSink, _ = cfg.Profile.(micro.MissSink)
+	}
+	m.curPred = micro.NoPredicate
+	m.hb = cfg.Progress
+	m.hbEvery = cfg.ProgressEvery
+	if m.hbEvery <= 0 {
+		m.hbEvery = DefaultProgressEvery
+	}
+	m.hbLeft = m.hbEvery
 }
 
 // load copies newly compiled program code into the heap area.
@@ -321,6 +380,18 @@ func (m *Machine) TimeNS() int64 {
 // Program returns the loaded program.
 func (m *Machine) Program() *kl0.Program { return m.prog }
 
+// HeapHighWater reports the heap allocation high-water mark in words
+// (compiled code plus heap vectors and metacall stubs).
+func (m *Machine) HeapHighWater() int { return int(m.heapTop) }
+
+// AreaHighWater reports the high-water storage footprint of one memory
+// area in words (the stacks grow and recede; this is the peak capacity
+// ever touched, rounded up to the allocator's growth granularity).
+func (m *Machine) AreaHighWater(a word.AreaID) int { return m.mem.AreaSize(a) }
+
+// PhysicalPages reports how many translation pages the run touched.
+func (m *Machine) PhysicalPages() int { return m.mem.PhysicalPages() }
+
 // SetInterruptHandler installs a goal to be run (to completion, on the
 // given process context) each time the program executes the interrupt/0
 // built-in. This models the PSI's interrupt-handling processes: the
@@ -339,8 +410,24 @@ func (m *Machine) SetInterruptHandler(process int, q *kl0.Query) error {
 // tick emits one microcycle.
 func (m *Machine) tick(c micro.Cycle) {
 	m.sink.Cycle(c)
+	if m.hb != nil {
+		m.hbLeft--
+		if m.hbLeft <= 0 {
+			m.hbLeft = m.hbEvery
+			m.hb(Heartbeat{Steps: m.stats.Steps, SimNS: m.TimeNS(), Inferences: m.inferences})
+		}
+	}
 	if m.maxSteps > 0 && m.stats.Steps > m.maxSteps {
 		panic(&RunError{Msg: fmt.Sprintf("step limit %d exceeded", m.maxSteps)})
+	}
+}
+
+// enterPred records that the code pointer now executes inside predicate
+// p, notifying the profiler on changes. Called only when profiling.
+func (m *Machine) enterPred(p int) {
+	if p != m.curPred {
+		m.curPred = p
+		m.profile.EnterPredicate(p)
 	}
 }
 
@@ -348,12 +435,18 @@ func (m *Machine) tick(c micro.Cycle) {
 // latency model.
 func (m *Machine) memAccess(op micro.CacheOp, a word.Addr) {
 	if m.cache != nil {
-		m.cache.Access(op, m.mem.Translate(a), a.Area())
+		hit, _ := m.cache.Access(op, m.mem.Translate(a), a.Area())
+		if !hit && m.missSink != nil {
+			m.missSink.CacheMiss()
+		}
 		return
 	}
 	// No cache: every access pays the full 800 ns main-memory time, i.e.
 	// 600 ns beyond the cycle.
 	m.noCacheStall += cache.MissExtraNS
+	if m.missSink != nil {
+		m.missSink.CacheMiss()
+	}
 }
 
 // read performs a memory read microcycle and returns the word.

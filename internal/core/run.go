@@ -172,6 +172,12 @@ func (m *Machine) runLoop() bool {
 			continue
 		}
 		ctx := m.ctx
+		if m.profile != nil {
+			// Attribute the upcoming cycles to the predicate owning the
+			// code pointer (clause bodies, continuations after returns,
+			// redone goals); -1 covers query pseudo-clauses and stubs.
+			m.enterPred(m.prog.ProcAt(int(ctx.code.Offset())))
+		}
 		// Instruction fetch, decode, then opcode dispatch.
 		w := m.read(micro.MControl, ctx.code, micro.Cycle{Branch: micro.BNop2})
 		m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF00, Branch: micro.BCaseOp, Data: true})
@@ -232,6 +238,11 @@ func (m *Machine) dispatchCall(procIdx int, gAddr, after word.Addr, args []val, 
 	if remaining <= 0 {
 		m.failed = true
 		return
+	}
+	if m.profile != nil {
+		// From here on the firmware works on the callee's behalf: choice
+		// point, frame allocation and head unification charge to it.
+		m.enterPred(procIdx)
 	}
 	barrier := ctx.b
 	if cpExists {

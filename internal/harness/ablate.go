@@ -10,11 +10,11 @@ import (
 
 // AblationRow reports one machine variant's cost on one workload.
 type AblationRow struct {
-	Feature  string
-	Workload string
-	BaseMS   float64 // the full PSI configuration
-	VarMS    float64 // with the feature ablated (or PSI-II enabled)
-	DeltaPct float64 // (VarMS/BaseMS - 1) * 100; negative = variant faster
+	Feature  string  `json:"feature"`
+	Workload string  `json:"workload"`
+	BaseMS   float64 `json:"base_ms"`   // the full PSI configuration
+	VarMS    float64 `json:"var_ms"`    // with the feature ablated (or PSI-II enabled)
+	DeltaPct float64 `json:"delta_pct"` // (VarMS/BaseMS - 1) * 100; negative = variant faster
 }
 
 // ablationVariants lists the design choices the paper's data speaks to.
@@ -45,12 +45,12 @@ func ablationWorkloads() []progs.Benchmark {
 // reports the simulated time. The program comes from the compile cache
 // (features change the machine, never the code image) and the machine
 // goes back to the pool.
-func timeFeatMS(b progs.Benchmark, feat core.Features) (float64, error) {
+func timeFeatMS(o Options, cell string, b progs.Benchmark, feat core.Features) (float64, error) {
 	c, err := Compile(b)
 	if err != nil {
 		return 0, err
 	}
-	r, err := c.Run(false, feat)
+	r, err := c.run(runOpts{feat: feat, cell: cell, progress: o.Progress, every: o.ProgressEvery})
 	if err != nil {
 		return 0, err
 	}
@@ -68,7 +68,7 @@ func AblationsWith(o Options) ([]AblationRow, error) {
 	ws := ablationWorkloads()
 	vs := ablationVariants()
 	baseMS, err := parMap(o.workers(), ws, func(b progs.Benchmark) (float64, error) {
-		return timeFeatMS(b, core.Features{})
+		return timeFeatMS(o, "ablate/base/"+b.Name, b, core.Features{})
 	})
 	if err != nil {
 		return nil, err
@@ -81,7 +81,7 @@ func AblationsWith(o Options) ([]AblationRow, error) {
 		}
 	}
 	varMS, err := parMap(o.workers(), cells, func(c cell) (float64, error) {
-		ms, err := timeFeatMS(ws[c.w], vs[c.v].feat)
+		ms, err := timeFeatMS(o, "ablate/"+vs[c.v].name+"/"+ws[c.w].Name, ws[c.w], vs[c.v].feat)
 		if err != nil {
 			return 0, fmt.Errorf("%s / %s: %w", ws[c.w].Name, vs[c.v].name, err)
 		}

@@ -1,85 +1,14 @@
 package harness
 
-import "strings"
-
 // All renders the complete evaluation — Tables 1-7, Figure 1 and the
 // ablation study — exactly as `psibench all` prints it: each formatted
 // section followed by a blank line. The output is byte-identical for any
-// worker count.
+// worker count. It is a thin wrapper over EvaluationWith; use that to
+// also get the structured (JSON) form of the same computation.
 func All(o Options) (string, error) {
-	var b strings.Builder
-	sections := []func() (string, error){
-		func() (string, error) {
-			rows, err := Table1With(o)
-			if err != nil {
-				return "", err
-			}
-			return FormatTable1(rows), nil
-		},
-		func() (string, error) {
-			rows, err := Table2With(o)
-			if err != nil {
-				return "", err
-			}
-			return FormatTable2(rows), nil
-		},
-		func() (string, error) {
-			rows, err := Table3With(o)
-			if err != nil {
-				return "", err
-			}
-			return FormatTable3(rows), nil
-		},
-		func() (string, error) {
-			rows, err := Table4With(o)
-			if err != nil {
-				return "", err
-			}
-			return FormatTable4(rows), nil
-		},
-		func() (string, error) {
-			rows, err := Table5With(o)
-			if err != nil {
-				return "", err
-			}
-			return FormatTable5(rows), nil
-		},
-		func() (string, error) {
-			t6, err := Table6With(o)
-			if err != nil {
-				return "", err
-			}
-			return FormatTable6(t6), nil
-		},
-		func() (string, error) {
-			t7, err := Table7With(o)
-			if err != nil {
-				return "", err
-			}
-			return FormatTable7(t7), nil
-		},
-		func() (string, error) {
-			f, err := Figure1With(o)
-			if err != nil {
-				return "", err
-			}
-			return FormatFigure1(f), nil
-		},
-		func() (string, error) {
-			rows, err := AblationsWith(o)
-			if err != nil {
-				return "", err
-			}
-			return FormatAblations(rows), nil
-		},
+	e, err := EvaluationWith(o)
+	if err != nil {
+		return "", err
 	}
-	for _, s := range sections {
-		t, err := s()
-		if err != nil {
-			return "", err
-		}
-		b.WriteString(t)
-		b.WriteString("\n") // fmt.Println's newline after each section
-	}
-	return b.String(), nil
+	return e.Text(), nil
 }

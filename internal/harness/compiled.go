@@ -7,6 +7,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dec10"
 	"repro/internal/kl0"
+	"repro/internal/micro"
+	"repro/internal/obs"
 	"repro/internal/parse"
 	"repro/internal/progs"
 	"repro/internal/trace"
@@ -129,11 +131,35 @@ func (c *Compiled) DEC() (*dec10.Program, *dec10.Query, error) {
 // demands the first solution, like RunPSI. The caller owns the returned
 // run and should Release it once done with the machine.
 func (c *Compiled) Run(collect bool, feat core.Features) (*PSIRun, error) {
-	cfg := core.Config{Processes: c.Procs, MaxSteps: maxSteps, Features: feat}
+	return c.run(runOpts{collect: collect, feat: feat})
+}
+
+// runOpts carries the observability extras of one run alongside the
+// classic (collect, features) pair. The zero value reproduces Run.
+type runOpts struct {
+	collect  bool
+	feat     core.Features
+	cell     string             // evaluation cell label for heartbeats
+	progress func(obs.Progress) // nil = no heartbeats
+	every    int64              // heartbeat period in cycles (0 = default)
+	profile  micro.PredSink     // per-predicate attribution sink
+}
+
+func (c *Compiled) run(ro runOpts) (*PSIRun, error) {
+	cfg := core.Config{Processes: c.Procs, MaxSteps: maxSteps, Features: ro.feat}
 	var log *trace.Log
-	if collect {
+	if ro.collect {
 		log = &trace.Log{}
 		cfg.Trace = log
+	}
+	cfg.Profile = ro.profile
+	if ro.progress != nil {
+		cell := ro.cell
+		fn := ro.progress
+		cfg.Progress = func(hb core.Heartbeat) {
+			fn(obs.Progress{Cell: cell, Cycles: hb.Steps, SimNS: hb.SimNS, Inferences: hb.Inferences})
+		}
+		cfg.ProgressEvery = ro.every
 	}
 	m := acquireMachine(c.Prog, cfg)
 	if c.Handler != nil {
@@ -151,6 +177,7 @@ func (c *Compiled) Run(collect bool, feat core.Features) (*PSIRun, error) {
 		}
 		return nil, fmt.Errorf("%s: query %q failed", c.name, c.qsrc)
 	}
+	obs.RecordRun(m.Stats().Steps)
 	return &PSIRun{Machine: m, Trace: log}, nil
 }
 

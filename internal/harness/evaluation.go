@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+)
+
+// EvaluationSchema identifies the Evaluation JSON schema. Bump the
+// suffix on any incompatible change.
+const EvaluationSchema = "psi-evaluation/v1"
+
+// Evaluation is the complete structured result of the paper's
+// evaluation: every table, the Figure 1 sweep and the ablation study in
+// one document. Text() renders the classic report (what `psibench all`
+// prints); JSON() serializes the same data with a stable schema for
+// downstream tooling. Both views come from one computation, so they can
+// never disagree.
+type Evaluation struct {
+	Schema    string        `json:"schema"`
+	Table1    []T1Row       `json:"table1"`
+	Table2    []T2Row       `json:"table2"`
+	Table3    []T3Row       `json:"table3"`
+	Table4    []T4Row       `json:"table4"`
+	Table5    []T5Row       `json:"table5"`
+	Table6    *T6           `json:"table6"`
+	Table7    []T7Col       `json:"table7"`
+	Figure1   *Fig1         `json:"figure1"`
+	Ablations []AblationRow `json:"ablations"`
+}
+
+// Evaluate computes the full evaluation with default options.
+func Evaluate() (*Evaluation, error) { return EvaluationWith(Options{}) }
+
+// EvaluationWith computes the full evaluation: the sections run in the
+// classic order, each fanning its cells out over the option's workers.
+// The result is identical for any worker count.
+func EvaluationWith(o Options) (*Evaluation, error) {
+	e := &Evaluation{Schema: EvaluationSchema}
+	var err error
+	if e.Table1, err = Table1With(o); err != nil {
+		return nil, err
+	}
+	if e.Table2, err = Table2With(o); err != nil {
+		return nil, err
+	}
+	if e.Table3, err = Table3With(o); err != nil {
+		return nil, err
+	}
+	if e.Table4, err = Table4With(o); err != nil {
+		return nil, err
+	}
+	if e.Table5, err = Table5With(o); err != nil {
+		return nil, err
+	}
+	if e.Table6, err = Table6With(o); err != nil {
+		return nil, err
+	}
+	if e.Table7, err = Table7With(o); err != nil {
+		return nil, err
+	}
+	if e.Figure1, err = Figure1With(o); err != nil {
+		return nil, err
+	}
+	if e.Ablations, err = AblationsWith(o); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Text renders the evaluation exactly as `psibench all` prints it: each
+// formatted section followed by a blank line.
+func (e *Evaluation) Text() string {
+	var b strings.Builder
+	for _, s := range []string{
+		FormatTable1(e.Table1),
+		FormatTable2(e.Table2),
+		FormatTable3(e.Table3),
+		FormatTable4(e.Table4),
+		FormatTable5(e.Table5),
+		FormatTable6(e.Table6),
+		FormatTable7(e.Table7),
+		FormatFigure1(e.Figure1),
+		FormatAblations(e.Ablations),
+	} {
+		b.WriteString(s)
+		b.WriteString("\n") // fmt.Println's newline after each section
+	}
+	return b.String()
+}
+
+// JSON serializes the evaluation (indented, trailing newline), the exact
+// bytes `psibench -json` writes. Go's encoder sorts map keys and emits
+// shortest-round-trip floats, so equal evaluations give equal bytes.
+func (e *Evaluation) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"strings"
@@ -15,26 +16,32 @@ var update = flag.Bool("update", false, "rewrite the golden files under docs/ fr
 // tests share the (expensive) runs.
 var evalOnce struct {
 	sync.Once
-	serial   string
-	parallel string
+	serial   *Evaluation
+	parallel *Evaluation
 	err      error
 }
 
-func fullEval(t *testing.T) (serial, parallel string) {
+func fullEvalStructs(t *testing.T) (serial, parallel *Evaluation) {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("full evaluation skipped in -short mode")
 	}
 	evalOnce.Do(func() {
-		evalOnce.serial, evalOnce.err = All(Options{Workers: 1})
+		evalOnce.serial, evalOnce.err = EvaluationWith(Options{Workers: 1})
 		if evalOnce.err == nil {
-			evalOnce.parallel, evalOnce.err = All(Options{Workers: 8})
+			evalOnce.parallel, evalOnce.err = EvaluationWith(Options{Workers: 8})
 		}
 	})
 	if evalOnce.err != nil {
 		t.Fatal(evalOnce.err)
 	}
 	return evalOnce.serial, evalOnce.parallel
+}
+
+func fullEval(t *testing.T) (serial, parallel string) {
+	t.Helper()
+	e1, e2 := fullEvalStructs(t)
+	return e1.Text(), e2.Text()
 }
 
 // TestWorkerCountDeterminism checks the tentpole guarantee: the entire
@@ -55,6 +62,55 @@ func TestWorkerCountDeterminism(t *testing.T) {
 func TestGoldenEvaluationOutput(t *testing.T) {
 	serial, _ := fullEval(t)
 	checkGolden(t, "../../docs/evaluation-output.txt", serial)
+}
+
+// TestGoldenEvaluationJSON pins the structured `psibench -json` document
+// to docs/evaluation-output.json. Run with -update to rewrite the file
+// after an intended change to the simulator or the report schema.
+func TestGoldenEvaluationJSON(t *testing.T) {
+	serial, parallel := fullEvalStructs(t)
+	b, err := serial.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := parallel.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(pb) {
+		line, x, y := firstDiffLine(string(b), string(pb))
+		t.Errorf("serial and 8-worker JSON differ at line %d:\n serial:   %q\n parallel: %q", line, x, y)
+	}
+	checkGolden(t, "../../docs/evaluation-output.json", string(b))
+}
+
+// TestEvaluationJSONRoundTrip unmarshals the golden JSON document back
+// into the report structs and re-serializes it: the bytes must agree,
+// proving the schema loses nothing. Pure (de)serialization, so it runs
+// even in -short mode.
+func TestEvaluationJSONRoundTrip(t *testing.T) {
+	want, err := os.ReadFile("../../docs/evaluation-output.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Evaluation
+	if err := json.Unmarshal(want, &e); err != nil {
+		t.Fatalf("golden evaluation JSON does not unmarshal: %v", err)
+	}
+	if e.Schema != EvaluationSchema {
+		t.Errorf("schema = %q, want %q", e.Schema, EvaluationSchema)
+	}
+	if e.Table6 == nil || e.Figure1 == nil || len(e.Table1) == 0 || len(e.Ablations) == 0 {
+		t.Fatal("golden evaluation JSON is missing sections")
+	}
+	got, err := e.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		line, a, b := firstDiffLine(string(got), string(want))
+		t.Errorf("round trip differs from golden at line %d:\n got:  %q\n want: %q", line, a, b)
+	}
 }
 
 // TestGoldenAblationOutput pins the `psibench ablate` output to

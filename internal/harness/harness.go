@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dec10"
 	"repro/internal/micro"
+	"repro/internal/obs"
 	"repro/internal/progs"
 	"repro/internal/trace"
 )
@@ -39,6 +40,41 @@ func RunPSI(b progs.Benchmark, collect bool) (*PSIRun, error) {
 		return nil, err
 	}
 	return c.Run(collect, core.Features{})
+}
+
+// runPSIWith is RunPSI with the observability extras of Options threaded
+// through: heartbeats are tagged with the evaluation cell (e.g.
+// "table5/window-1") so `psibench -v` can show where the run is.
+func runPSIWith(o Options, cell string, b progs.Benchmark, collect bool) (*PSIRun, error) {
+	c, err := Compile(b)
+	if err != nil {
+		return nil, err
+	}
+	return c.run(runOpts{
+		collect:  collect,
+		cell:     cell,
+		progress: o.Progress,
+		every:    o.ProgressEvery,
+	})
+}
+
+// Profile executes a benchmark with the simulated-workload profiler
+// attached and returns the per-predicate flat profile. The profile's
+// TotalCycles equals the run's micro.Stats.Steps exactly: every cycle is
+// attributed to precisely one predicate (or to "<main>" for query glue).
+func Profile(b progs.Benchmark) (*obs.RunProfile, error) {
+	c, err := Compile(b)
+	if err != nil {
+		return nil, err
+	}
+	p := obs.NewProfiler()
+	r, err := c.run(runOpts{profile: p})
+	if err != nil {
+		return nil, err
+	}
+	rp := p.Profile(c.Prog, b.Name)
+	r.Release()
+	return rp, nil
 }
 
 // RunDEC executes a benchmark on the DEC-10 baseline. The baseline is
@@ -77,8 +113,8 @@ func StatsFor(b progs.Benchmark) (*micro.Stats, *core.Machine, error) {
 // statsValueFor runs a benchmark, copies the statistics by value and
 // returns the machine to the pool. Stats is a pure value type, so the
 // copy is safe to read after the machine is reused.
-func statsValueFor(b progs.Benchmark) (micro.Stats, error) {
-	r, err := RunPSI(b, false)
+func statsValueFor(o Options, cell string, b progs.Benchmark) (micro.Stats, error) {
+	r, err := runPSIWith(o, cell, b, false)
 	if err != nil {
 		return micro.Stats{}, err
 	}

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Options configures how the evaluation is computed. The zero value
@@ -14,6 +16,18 @@ type Options struct {
 	// results are byte-identical either way — parallelism only changes
 	// wall-clock time.
 	Workers int
+
+	// Progress, when non-nil, receives periodic heartbeats from every
+	// simulated run, labelled with the evaluation cell being computed.
+	// The callback must be safe for concurrent use (parallel workers
+	// share it) and must not block: it runs on the simulation path.
+	// Heartbeats never touch the evaluation output, which stays
+	// byte-identical whether or not they are enabled.
+	Progress func(obs.Progress)
+
+	// ProgressEvery sets the heartbeat period in simulated micro-cycles
+	// (0 = core.DefaultProgressEvery).
+	ProgressEvery int64
 }
 
 func (o Options) workers() int {

@@ -14,14 +14,14 @@ import (
 
 // T1Row is one Table 1 row: execution times on both machines.
 type T1Row struct {
-	Name       string
-	PSIMS      float64
-	DECMS      float64
-	Ratio      float64 // DEC/PSI
-	PaperPSIMS float64
-	PaperDECMS float64
-	PaperRatio float64
-	Inferences int64
+	Name       string  `json:"name"`
+	PSIMS      float64 `json:"psi_ms"`
+	DECMS      float64 `json:"dec_ms"`
+	Ratio      float64 `json:"ratio"` // DEC/PSI
+	PaperPSIMS float64 `json:"paper_psi_ms"`
+	PaperDECMS float64 `json:"paper_dec_ms"`
+	PaperRatio float64 `json:"paper_ratio"`
+	Inferences int64   `json:"inferences"`
 }
 
 // Table1 measures every benchmark on both engines.
@@ -30,7 +30,7 @@ func Table1() ([]T1Row, error) { return Table1With(Options{}) }
 // Table1With is Table1 under explicit worker options.
 func Table1With(o Options) ([]T1Row, error) {
 	return parMap(o.workers(), progs.Table1(), func(b progs.Benchmark) (T1Row, error) {
-		r, err := RunPSI(b, false)
+		r, err := runPSIWith(o, "table1/"+b.Name, b, false)
 		if err != nil {
 			return T1Row{}, err
 		}
@@ -59,8 +59,10 @@ func Table1With(o Options) ([]T1Row, error) {
 
 // T2Row is one Table 2 row: firmware module step ratios (percent).
 type T2Row struct {
-	Name    string
-	Modules [micro.NumModules]float64
+	Name string `json:"name"`
+	// Modules is ordered as micro.Module: control, unify, trail,
+	// get_arg, cut, built.
+	Modules [micro.NumModules]float64 `json:"modules"`
 }
 
 // Table2 measures the interpreter-module step distribution.
@@ -69,7 +71,7 @@ func Table2() ([]T2Row, error) { return Table2With(Options{}) }
 // Table2With is Table2 under explicit worker options.
 func Table2With(o Options) ([]T2Row, error) {
 	return parMap(o.workers(), progs.Table2Set(), func(b progs.Benchmark) (T2Row, error) {
-		s, err := statsValueFor(b)
+		s, err := statsValueFor(o, "table2/"+b.Name, b)
 		if err != nil {
 			return T2Row{}, err
 		}
@@ -86,12 +88,12 @@ func Table2With(o Options) ([]T2Row, error) {
 
 // T3Row is one Table 3 row: cache command rates per microstep (percent).
 type T3Row struct {
-	Name       string
-	Read       float64
-	WriteStack float64
-	Write      float64
-	WriteTotal float64
-	Total      float64
+	Name       string  `json:"name"`
+	Read       float64 `json:"read"`
+	WriteStack float64 `json:"write_stack"`
+	Write      float64 `json:"write"`
+	WriteTotal float64 `json:"write_total"`
+	Total      float64 `json:"total"`
 }
 
 // Table3 measures the cache command frequency of each workload.
@@ -100,7 +102,7 @@ func Table3() ([]T3Row, error) { return Table3With(Options{}) }
 // Table3With is Table3 under explicit worker options.
 func Table3With(o Options) ([]T3Row, error) {
 	return parMap(o.workers(), progs.HardwareSet(), func(b progs.Benchmark) (T3Row, error) {
-		s, err := statsValueFor(b)
+		s, err := statsValueFor(o, "table3/"+b.Name, b)
 		if err != nil {
 			return T3Row{}, err
 		}
@@ -118,8 +120,8 @@ func Table3With(o Options) ([]T3Row, error) {
 
 // T4Row is one Table 4 row: access share per memory area (percent).
 type T4Row struct {
-	Name  string
-	Areas [5]float64 // heap, global, local, control, trail
+	Name  string     `json:"name"`
+	Areas [5]float64 `json:"areas"` // heap, global, local, control, trail
 }
 
 // Table4 measures the per-area access distribution.
@@ -128,7 +130,7 @@ func Table4() ([]T4Row, error) { return Table4With(Options{}) }
 // Table4With is Table4 under explicit worker options.
 func Table4With(o Options) ([]T4Row, error) {
 	return parMap(o.workers(), progs.HardwareSet(), func(b progs.Benchmark) (T4Row, error) {
-		s, err := statsValueFor(b)
+		s, err := statsValueFor(o, "table4/"+b.Name, b)
 		if err != nil {
 			return T4Row{}, err
 		}
@@ -145,9 +147,9 @@ func Table4With(o Options) ([]T4Row, error) {
 
 // T5Row is one Table 5 row: cache hit ratios per area (percent).
 type T5Row struct {
-	Name  string
-	Areas [5]float64
-	Total float64
+	Name  string     `json:"name"`
+	Areas [5]float64 `json:"areas"` // heap, global, local, control, trail
+	Total float64    `json:"total"`
 }
 
 // Table5 measures per-area cache hit ratios with the PSI cache.
@@ -156,7 +158,7 @@ func Table5() ([]T5Row, error) { return Table5With(Options{}) }
 // Table5With is Table5 under explicit worker options.
 func Table5With(o Options) ([]T5Row, error) {
 	return parMap(o.workers(), progs.HardwareSet(), func(b progs.Benchmark) (T5Row, error) {
-		r, err := RunPSI(b, false)
+		r, err := runPSIWith(o, "table5/"+b.Name, b, false)
 		if err != nil {
 			return T5Row{}, err
 		}
@@ -177,17 +179,17 @@ func Table5With(o Options) ([]T5Row, error) {
 // Fig1 holds the Figure 1 sweep plus the one-set and store-through
 // ablations discussed alongside it.
 type Fig1 struct {
-	Workload string
-	Points   []pmms.Point
+	Workload string       `json:"workload"`
+	Points   []pmms.Point `json:"points"`
 	// Ablations at 8K words on the same trace:
-	TwoSet8K     float64 // paper configuration
-	OneSet8K     float64 // direct-mapped, same capacity
-	StoreThrough float64 // store-through instead of store-in
+	TwoSet8K     float64 `json:"two_set_8k"`    // paper configuration
+	OneSet8K     float64 `json:"one_set_8k"`    // direct-mapped, same capacity
+	StoreThrough float64 `json:"store_through"` // store-through instead of store-in
 	// Per-workload one-set penalty for the programs the paper names.
-	OneSetPenalty map[string]float64
+	OneSetPenalty map[string]float64 `json:"one_set_penalty"`
 	// PenaltyOrder lists OneSetPenalty's keys in benchmark order, so
 	// formatting never depends on map iteration order.
-	PenaltyOrder []string
+	PenaltyOrder []string `json:"penalty_order"`
 }
 
 // Figure1 replays the WINDOW trace over cache sizes from 8 words to 8K
@@ -198,7 +200,7 @@ func Figure1() (*Fig1, error) { return Figure1With(Options{}) }
 // penalty workloads are independent replays, so they fan out across the
 // workers.
 func Figure1With(o Options) (*Fig1, error) {
-	r, err := RunPSI(progs.Window1, true)
+	r, err := runPSIWith(o, "fig1/"+progs.Window1.Name, progs.Window1, true)
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +230,7 @@ func Figure1With(o Options) (*Fig1, error) {
 	penalties, err := parMap(o.workers(), penaltyBenchmarks, func(b progs.Benchmark) (float64, error) {
 		t := log // WINDOW was already traced above; reuse it
 		if b.Name != progs.Window1.Name {
-			br, err := RunPSI(b, true)
+			br, err := runPSIWith(o, "fig1/"+b.Name, b, true)
 			if err != nil {
 				return 0, err
 			}
@@ -254,8 +256,8 @@ func Figure1With(o Options) (*Fig1, error) {
 
 // T6 is the work-file access-mode measurement for one workload.
 type T6 struct {
-	Workload string
-	Usage    mapper.WFUsage
+	Workload string         `json:"workload"`
+	Usage    mapper.WFUsage `json:"usage"`
 }
 
 // Table6 measures the dynamic work-file access modes (the paper shows
@@ -264,7 +266,7 @@ func Table6() (*T6, error) { return Table6With(Options{}) }
 
 // Table6With is Table6 under explicit worker options.
 func Table6With(o Options) (*T6, error) {
-	r, err := RunPSI(progs.BUP3, true)
+	r, err := runPSIWith(o, "table6/"+progs.BUP3.Name, progs.BUP3, true)
 	if err != nil {
 		return nil, err
 	}
@@ -277,10 +279,10 @@ func Table6With(o Options) (*T6, error) {
 
 // T7Col is the branch-operation distribution for one workload.
 type T7Col struct {
-	Name   string
-	Rates  [micro.NumBranchOps]float64 // percent of steps
-	Branch float64                     // total non-nop percent
-	Data   float64                     // branch steps with data manipulation (percent of steps)
+	Name   string                      `json:"name"`
+	Rates  [micro.NumBranchOps]float64 `json:"rates"`  // percent of steps, Table 7 row order
+	Branch float64                     `json:"branch"` // total non-nop percent
+	Data   float64                     `json:"data"`   // branch steps with data manipulation (percent of steps)
 }
 
 // Table7 measures the dynamic branch-field operations for the paper's
@@ -291,7 +293,7 @@ func Table7() ([]T7Col, error) { return Table7With(Options{}) }
 func Table7With(o Options) ([]T7Col, error) {
 	set := []progs.Benchmark{progs.BUP3, progs.Window1, progs.Puzzle8}
 	return parMap(o.workers(), set, func(b progs.Benchmark) (T7Col, error) {
-		s, err := statsValueFor(b)
+		s, err := statsValueFor(o, "table7/"+b.Name, b)
 		if err != nil {
 			return T7Col{}, err
 		}

@@ -92,6 +92,18 @@ type Program struct {
 	mu        sync.Mutex
 	procIndex map[uint64]int
 	auxCount  int
+	// ranges maps compiled code intervals back to the owning procedure,
+	// for the predicate profiler. Appended in ascending start order as
+	// code is emitted; read without the lock by running machines (the
+	// sharing contract: compilation happens before concurrent runs).
+	ranges []codeRange
+}
+
+// codeRange attributes the code words [start, end) to procedure proc
+// (-1 for query pseudo-clauses).
+type codeRange struct {
+	start, end int
+	proc       int
 }
 
 // NewProgram returns an empty program sharing the given symbol table.
@@ -144,6 +156,38 @@ func (p *Program) LookupProcSym(sym uint32, arity int) (int, bool) {
 	idx, ok := p.procIndex[procKey(sym, arity)]
 	p.mu.Unlock()
 	return idx, ok
+}
+
+// ProcAt returns the index of the procedure whose compiled clause code
+// contains the heap code offset, or -1 when the offset belongs to a
+// query pseudo-clause, a runtime metacall stub beyond the compiled
+// image, or skeleton data. The predicate profiler uses it to attribute
+// execution to the predicate owning the current code pointer.
+func (p *Program) ProcAt(off int) int {
+	rs := p.ranges
+	lo, hi := 0, len(rs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rs[mid].start <= off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// rs[lo-1] is the last range starting at or before off.
+	if lo > 0 && off < rs[lo-1].end {
+		return rs[lo-1].proc
+	}
+	return -1
+}
+
+// ProcName names a ProcAt result: the predicate indicator, or "<main>"
+// for code outside every compiled predicate (queries, metacall stubs).
+func (p *Program) ProcName(id int) string {
+	if id < 0 || id >= len(p.Procs) {
+		return "<main>"
+	}
+	return p.Procs[id].Indicator()
 }
 
 func (p *Program) ensureProc(name string, arity int) int {
@@ -248,6 +292,7 @@ func (p *Program) CompileQuery(body *term.Term) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.ranges = append(p.ranges, codeRange{start: start, end: len(p.Code), proc: -1})
 	return &Query{Start: start, Vars: vars.globalNames, NGlobals: len(vars.globalNames)}, nil
 }
 
@@ -282,6 +327,7 @@ func (p *Program) compileClause(src, head, body *term.Term, owner int) error {
 		NLocals:  len(vars.localNames),
 		NGlobals: len(vars.globalNames),
 	})
+	p.ranges = append(p.ranges, codeRange{start: start, end: len(p.Code), proc: owner})
 	// Compile any predicates lifted out of control constructs.
 	return p.compileLifted(lifted)
 }

@@ -64,9 +64,10 @@ func Stats(l *trace.Log) *micro.Stats {
 // WFUsage is the Table 6 measurement: for each of the three
 // work-file-addressing fields, the distribution over access modes.
 type WFUsage struct {
-	Steps int64
-	// Counts[field][mode], field 0=src1 1=src2 2=dest.
-	Counts [3][micro.NumWFModes]int64
+	Steps int64 `json:"steps"`
+	// Counts[field][mode], field 0=src1 1=src2 2=dest; modes ordered as
+	// micro.WFMode (index 0 is ModeNone).
+	Counts [3][micro.NumWFModes]int64 `json:"counts"`
 }
 
 // Analyze computes the work-file usage of a trace.

@@ -164,6 +164,30 @@ type Sink interface {
 	Cycle(c Cycle)
 }
 
+// NoPredicate is the predicate id reported for cycles executed outside
+// any user predicate: query pseudo-clauses, metacall stubs and the
+// firmware's top-level glue.
+const NoPredicate = -1
+
+// PredSink is a Sink that additionally receives predicate-context
+// switches: the interpreter core calls EnterPredicate whenever the
+// microengine starts executing on behalf of a different predicate, and
+// every subsequent Cycle belongs to that predicate until the next switch.
+// The id is an index into the program's procedure table, or NoPredicate.
+// The simulated-workload profiler implements it.
+type PredSink interface {
+	Sink
+	EnterPredicate(id int)
+}
+
+// MissSink optionally receives cache-miss notifications alongside the
+// cycle stream (one call per missing cache command, including every
+// access of a cache-disabled run). Sinks that want per-predicate miss
+// attribution implement it in addition to PredSink.
+type MissSink interface {
+	CacheMiss()
+}
+
 // Stats aggregates cycle records into the dynamic counts behind
 // Tables 2, 3, 4, 6 and 7.
 type Stats struct {

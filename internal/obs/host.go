@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Host profiling hooks: the simulator is itself a program worth
+// profiling, so the CLIs expose the standard Go toolchain entry points —
+// CPU/heap profiles written to files and an optional debug HTTP listener
+// with /debug/pprof and expvar counters about the simulation.
+
+var (
+	expOnce sync.Once
+	// expCycles / expRuns are published lazily so binaries that never
+	// enable -http do not pay for expvar registration.
+	expCycles *expvar.Int
+	expRuns   *expvar.Int
+)
+
+func exported() (*expvar.Int, *expvar.Int) {
+	expOnce.Do(func() {
+		expCycles = expvar.NewInt("psi_cycles_simulated")
+		expRuns = expvar.NewInt("psi_runs_completed")
+	})
+	return expCycles, expRuns
+}
+
+// RecordRun accumulates one finished run into the process-wide expvar
+// counters (visible at /debug/vars when the debug listener is enabled).
+func RecordRun(cycles int64) {
+	c, r := exported()
+	c.Add(cycles)
+	r.Add(1)
+}
+
+// StartCPUProfile begins a CPU profile written to path and returns a
+// stop function to defer. With an empty path it is a no-op.
+func StartCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("start cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteMemProfile writes an allocs/heap profile to path after forcing a
+// GC so the numbers reflect live data. With an empty path it is a no-op.
+func WriteMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}
+
+// ServeDebug starts an HTTP listener on addr exposing /debug/pprof (via
+// net/http/pprof) and /debug/vars (expvar, including the psi_* counters).
+// It returns the bound address — pass ":0" for an ephemeral port — and
+// serves until the process exits. With an empty addr it is a no-op.
+func ServeDebug(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	exported() // make sure the psi_* counters exist before first scrape
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, nil) //nolint:errcheck // best-effort debug endpoint
+	return ln.Addr().String(), nil
+}
+
+// HostStats snapshots the Go runtime counters that NewRunReport's
+// HostReport wants. Call once before the run and once after; Delta turns
+// the pair into a HostReport.
+type HostStats struct {
+	Allocs     uint64
+	AllocBytes uint64
+}
+
+// ReadHostStats reads the current cumulative allocation counters.
+func ReadHostStats() HostStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return HostStats{Allocs: ms.Mallocs, AllocBytes: ms.TotalAlloc}
+}
+
+// Delta builds a HostReport covering the interval between two snapshots.
+func (before HostStats) Delta(after HostStats, wallNS int64) *HostReport {
+	return &HostReport{
+		WallNS:     wallNS,
+		Allocs:     after.Allocs - before.Allocs,
+		AllocBytes: after.AllocBytes - before.AllocBytes,
+	}
+}

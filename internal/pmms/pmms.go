@@ -60,9 +60,9 @@ func Improvement(l *trace.Log, cfg cache.Config) float64 {
 
 // Point is one Figure 1 sample.
 type Point struct {
-	Words       int
-	Improvement float64
-	HitRatio    float64
+	Words       int     `json:"words"`
+	Improvement float64 `json:"improvement"`
+	HitRatio    float64 `json:"hit_ratio"`
 }
 
 // PointAt replays the trace against one cache capacity (same

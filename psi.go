@@ -35,6 +35,7 @@ import (
 	"repro/internal/dec10"
 	"repro/internal/kl0"
 	"repro/internal/micro"
+	"repro/internal/obs"
 	"repro/internal/parse"
 	"repro/internal/term"
 	"repro/internal/trace"
@@ -62,6 +63,16 @@ type Options struct {
 	// Features ablates individual hardware features or enables the
 	// PSI-II extensions (see core.Features).
 	Features Features
+	// Profile attaches the simulated-workload profiler: every
+	// micro-cycle is attributed to the predicate executing it (see
+	// Machine.Profile).
+	Profile bool
+	// Progress, when non-nil, receives periodic heartbeats while a
+	// query runs. The callback runs on the simulation path and must be
+	// cheap. ProgressEvery sets the period in micro-cycles (0 = the
+	// core default, 5M cycles = one simulated second).
+	Progress      func(obs.Progress)
+	ProgressEvery int64
 }
 
 // Features re-exports the machine feature switches.
@@ -72,6 +83,7 @@ type Machine struct {
 	m    *core.Machine
 	prog *kl0.Program
 	log  *trace.Log
+	prof *obs.Profiler
 }
 
 // Solutions enumerates query answers; see (*Machine).Solve.
@@ -115,6 +127,17 @@ func LoadProgram(source string, opts Options) (*Machine, error) {
 	if opts.Collect {
 		mm.log = &trace.Log{}
 		cfg.Trace = mm.log
+	}
+	if opts.Profile {
+		mm.prof = obs.NewProfiler()
+		cfg.Profile = mm.prof
+	}
+	if opts.Progress != nil {
+		fn := opts.Progress
+		cfg.Progress = func(hb core.Heartbeat) {
+			fn(obs.Progress{Cycles: hb.Steps, SimNS: hb.SimNS, Inferences: hb.Inferences})
+		}
+		cfg.ProgressEvery = opts.ProgressEvery
 	}
 	mm.m = core.New(prog, cfg)
 	return mm, nil
@@ -175,6 +198,23 @@ func (m *Machine) Cache() *cache.Cache { return m.m.Cache() }
 
 // Trace returns the COLLECT trace (nil unless Options.Collect was set).
 func (m *Machine) Trace() *trace.Log { return m.log }
+
+// Profile resolves the simulated-workload profile collected so far (nil
+// unless Options.Profile was set). The profile's TotalCycles equals
+// Stats().Steps exactly: every micro-cycle is attributed to precisely
+// one predicate, with query glue and runtime stubs under "<main>".
+func (m *Machine) Profile(workload string) *obs.RunProfile {
+	if m.prof == nil {
+		return nil
+	}
+	return m.prof.Profile(m.prog, workload)
+}
+
+// RunReport assembles the structured, stable-schema report of the run so
+// far. host may be nil for fully deterministic output.
+func (m *Machine) RunReport(workload string, host *obs.HostReport) *obs.RunReport {
+	return obs.NewRunReport(m.m, workload, host)
+}
 
 // KLIPS reports the achieved logical inferences per second (in
 // thousands) over the simulated time.
