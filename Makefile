@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz golden bench profile verify
+.PHONY: build vet test race fuzz golden bench bench-pmms profile verify
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,8 @@ race:
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s .
 	$(GO) test -run '^$$' -fuzz '^FuzzDifferentialQuery$$' -fuzztime 5s .
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceRead$$' -fuzztime 5s ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 5s ./internal/trace
 
 # Rewrite the golden files under docs/ from the current output (only
 # after an intended simulator change).
@@ -31,6 +33,11 @@ golden:
 
 bench:
 	$(GO) test -run '^$$' -bench 'TablesParallel' -benchtime 1x .
+
+# Refresh BENCH_pmms.json: measure the single-pass streaming cache sweep
+# against the legacy one-replay-per-configuration loop on a real trace.
+bench-pmms:
+	$(GO) run ./cmd/benchpmms
 
 # Produce a sample host CPU profile of the simulator regenerating
 # Table 1 (the table output goes to /dev/null; the profile to

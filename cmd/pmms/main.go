@@ -1,10 +1,13 @@
 // Command pmms is the cache memory simulator: it replays a COLLECT trace
 // through arbitrary cache configurations, reporting hit ratios and the
-// Figure 1 performance improvement ratio.
+// Figure 1 performance improvement ratio. Sweeps and ablations replay
+// every configuration in one pass over the trace, and -stream feeds the
+// pass straight from the file without materializing the records.
 //
 // Usage:
 //
 //	pmms trace.bin                 # the Figure 1 capacity sweep
+//	pmms -stream trace.bin         # same, in O(1) memory
 //	pmms -words 4096 -sets 1 trace.bin
 //	pmms -ablate trace.bin         # the paper's set/policy ablations
 package main
@@ -24,44 +27,66 @@ func main() {
 	sets := flag.Int("sets", 2, "associativity")
 	through := flag.Bool("store-through", false, "store-through write policy")
 	ablate := flag.Bool("ablate", false, "run the one-set and store-through ablations")
+	stream := flag.Bool("stream", false, "replay straight from the file without loading the trace into memory")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pmms [flags] trace.bin")
 		os.Exit(2)
 	}
+
+	var cfgs []cache.Config
+	switch {
+	case *ablate:
+		cfgs = []cache.Config{cache.PSI, pmms.OneSetConfig, pmms.StoreThroughConfig}
+	case *words == 0:
+		for _, w := range pmms.DefaultSizes() {
+			cfgs = append(cfgs, pmms.SweepConfig(w))
+		}
+	default:
+		cfg := cache.Config{Words: *words, Assoc: *sets, BlockWords: 4, Policy: cache.StoreIn}
+		if *through {
+			cfg.Policy = cache.StoreThrough
+		}
+		die(cfg.Validate())
+		cfgs = []cache.Config{cfg}
+	}
+
+	s := pmms.NewSweeper(cfgs)
 	f, err := os.Open(flag.Arg(0))
 	die(err)
-	log, err := trace.Read(f)
-	f.Close()
-	die(err)
-	fmt.Printf("trace: %d cycles, %d memory accesses\n", log.Len(), log.MemoryAccesses())
-
-	if *ablate {
-		two := pmms.Improvement(log, cache.Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreIn})
-		one := pmms.Improvement(log, cache.Config{Words: 4096, Assoc: 1, BlockWords: 4, Policy: cache.StoreIn})
-		thr := pmms.Improvement(log, cache.Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreThrough})
-		fmt.Printf("two 4K-word sets, store-in:    %6.1f%%\n", two)
-		fmt.Printf("one 4K-word set,  store-in:    %6.1f%%\n", one)
-		fmt.Printf("two 4K-word sets, store-thru:  %6.1f%%\n", thr)
-		return
+	if *stream {
+		// Single pass over the file: every configuration replays as the
+		// records decode; the trace is never held in memory.
+		die(trace.ReadStream(f, func(r trace.Rec) bool {
+			s.Record(r)
+			return true
+		}))
+	} else {
+		log, err := trace.Read(f)
+		die(err)
+		s.ReplayLog(log)
 	}
-	if *words == 0 {
+	f.Close()
+	fmt.Printf("trace: %d cycles, %d memory accesses\n", s.Cycles(), s.MemoryAccesses())
+
+	switch {
+	case *ablate:
+		fmt.Printf("two 4K-word sets, store-in:    %6.1f%%\n", s.Improvement(0))
+		fmt.Printf("one 4K-word set,  store-in:    %6.1f%%\n", s.Improvement(1))
+		fmt.Printf("two 4K-word sets, store-thru:  %6.1f%%\n", s.Improvement(2))
+	case *words == 0:
 		fmt.Printf("%10s %14s %10s\n", "words", "improvement(%)", "hit-ratio")
-		for _, p := range pmms.Sweep(log, pmms.DefaultSizes()) {
+		for i := range cfgs {
+			p := s.PointAt(i)
 			fmt.Printf("%10d %14.1f %10.4f\n", p.Words, p.Improvement, p.HitRatio)
 		}
-		return
-	}
-	cfg := cache.Config{Words: *words, Assoc: *sets, BlockWords: 4, Policy: cache.StoreIn}
-	if *through {
-		cfg.Policy = cache.StoreThrough
-	}
-	die(cfg.Validate())
-	c := pmms.Replay(log, cfg)
-	fmt.Printf("config %s: hit ratio %.4f, improvement %.1f%%\n",
-		cfg, c.HitRatio(), pmms.Improvement(log, cfg))
-	for k := 0; k < 5; k++ {
-		fmt.Printf("  area %d hit ratio %.4f (%d accesses)\n", k, c.Area[k].HitRatio(), c.Area[k].Accesses)
+	default:
+		c := s.Cache(0)
+		fmt.Printf("config %s: hit ratio %.4f, improvement %.1f%%\n",
+			cfgs[0], c.HitRatio(), s.Improvement(0))
+		for k := 0; k < 5; k++ {
+			fmt.Printf("  area %d hit ratio %.4f (%d accesses)\n", k, c.Area[k].HitRatio(), c.Area[k].Accesses)
+		}
 	}
 }
 

@@ -34,18 +34,26 @@ func main() {
 		fmt.Printf("tree sum = %s (%d microcycles traced)\n\n", ans["S"], m.Trace().Len())
 	}
 
+	// One streaming pass replays the trace through every capacity and
+	// ablation configuration at once.
+	var cfgs []cache.Config
+	for _, w := range pmms.DefaultSizes() {
+		cfgs = append(cfgs, pmms.SweepConfig(w))
+	}
+	nSweep := len(cfgs)
+	cfgs = append(cfgs, cache.PSI, pmms.OneSetConfig, pmms.StoreThroughConfig)
+	s := pmms.NewSweeper(cfgs)
+	s.ReplayLog(m.Trace())
+
 	fmt.Println("capacity sweep (performance improvement ratio, Figure 1 style):")
 	fmt.Printf("%10s %14s %10s\n", "words", "improvement(%)", "hit-ratio")
-	for _, p := range pmms.Sweep(m.Trace(), pmms.DefaultSizes()) {
+	for i := 0; i < nSweep; i++ {
+		p := s.PointAt(i)
 		fmt.Printf("%10d %14.1f %10.4f\n", p.Words, p.Improvement, p.HitRatio)
 	}
 
 	fmt.Println("\npolicy and associativity ablations at the PSI's geometry:")
-	for _, cfg := range []cache.Config{
-		{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreIn},
-		{Words: 4096, Assoc: 1, BlockWords: 4, Policy: cache.StoreIn},
-		{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreThrough},
-	} {
-		fmt.Printf("  %-32s improvement %6.1f%%\n", cfg, pmms.Improvement(m.Trace(), cfg))
+	for i := nSweep; i < len(cfgs); i++ {
+		fmt.Printf("  %-32s improvement %6.1f%%\n", cfgs[i], s.Improvement(i))
 	}
 }

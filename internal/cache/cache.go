@@ -143,19 +143,44 @@ func New(cfg Config) *Cache {
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// BlockShift reports log2(BlockWords): physical address >> BlockShift is
+// the block number AccessBlock takes. Fan-out replay groups caches of
+// equal block size so the shift is computed once per access.
+func (c *Cache) BlockShift() uint32 { return c.rowShift }
+
+// Clone returns a fresh, empty cache of the same geometry and policy,
+// skipping re-validation — the cheap way to stamp out the N instances of
+// a multi-configuration sweep from one validated prototype.
+func (c *Cache) Clone() *Cache {
+	return &Cache{
+		cfg:      c.cfg,
+		rows:     c.rows,
+		rowShift: c.rowShift,
+		lines:    make([]line, len(c.lines)),
+		lru:      make([]uint8, len(c.lru)),
+	}
+}
+
 // Access performs one cache command against physical word address phys;
 // kind attributes the access to an area for the statistics. It returns
 // whether the access hit and the stall time in nanoseconds beyond the
 // issuing microcycle.
 func (c *Cache) Access(op micro.CacheOp, phys uint32, kind word.AreaID) (hit bool, stallNS int64) {
-	block := phys >> c.rowShift
+	return c.AccessBlock(op, phys>>c.rowShift, kind.Kind())
+}
+
+// AccessBlock is Access with the per-access address math hoisted out:
+// block is the physical block number (phys >> BlockShift) and kind an
+// already-reduced area kind (word.AreaID.Kind). Multi-configuration
+// replay computes both once per trace record and shares them across
+// every cache of equal block size.
+func (c *Cache) AccessBlock(op micro.CacheOp, block uint32, kind word.AreaID) (hit bool, stallNS int64) {
 	row := block & (c.rows - 1)
 	hit, stallNS = c.access(op, block, row)
-	k := kind.Kind()
-	c.Area[k].Accesses++
+	c.Area[kind].Accesses++
 	c.Total.Accesses++
 	if hit {
-		c.Area[k].Hits++
+		c.Area[kind].Hits++
 		c.Total.Hits++
 	}
 	c.StallNS += stallNS

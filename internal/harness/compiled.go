@@ -138,11 +138,20 @@ func (c *Compiled) Run(collect bool, feat core.Features) (*PSIRun, error) {
 // classic (collect, features) pair. The zero value reproduces Run.
 type runOpts struct {
 	collect  bool
+	tap      micro.Sink         // extra cycle sink, e.g. a pmms.Sweeper
 	feat     core.Features
 	cell     string             // evaluation cell label for heartbeats
 	progress func(obs.Progress) // nil = no heartbeats
 	every    int64              // heartbeat period in cycles (0 = default)
 	profile  micro.PredSink     // per-predicate attribution sink
+}
+
+// sinkPair duplicates the cycle stream to two sinks (collect + tap runs).
+type sinkPair struct{ a, b micro.Sink }
+
+func (p sinkPair) Cycle(c micro.Cycle) {
+	p.a.Cycle(c)
+	p.b.Cycle(c)
 }
 
 func (c *Compiled) run(ro runOpts) (*PSIRun, error) {
@@ -151,6 +160,16 @@ func (c *Compiled) run(ro runOpts) (*PSIRun, error) {
 	if ro.collect {
 		log = &trace.Log{}
 		cfg.Trace = log
+	}
+	if ro.tap != nil {
+		// The tap sees the identical cycle stream COLLECT would log — a
+		// sweep fed through it computes exactly what a replay of the
+		// materialized trace computes, without the O(trace) allocation.
+		if cfg.Trace != nil {
+			cfg.Trace = sinkPair{cfg.Trace, ro.tap}
+		} else {
+			cfg.Trace = ro.tap
+		}
 	}
 	cfg.Profile = ro.profile
 	if ro.progress != nil {

@@ -58,6 +58,28 @@ func runPSIWith(o Options, cell string, b progs.Benchmark, collect bool) (*PSIRu
 	})
 }
 
+// runPSIInto executes a benchmark with sink tapping the machine's cycle
+// stream — COLLECT without the log. The sink sees exactly the records a
+// collected trace would hold, in order; no trace is materialized. The
+// machine goes straight back to the pool.
+func runPSIInto(o Options, cell string, b progs.Benchmark, sink micro.Sink) error {
+	c, err := Compile(b)
+	if err != nil {
+		return err
+	}
+	r, err := c.run(runOpts{
+		tap:      sink,
+		cell:     cell,
+		progress: o.Progress,
+		every:    o.ProgressEvery,
+	})
+	if err != nil {
+		return err
+	}
+	r.Release()
+	return nil
+}
+
 // Profile executes a benchmark with the simulated-workload profiler
 // attached and returns the per-predicate flat profile. The profile's
 // TotalCycles equals the run's micro.Stats.Steps exactly: every cycle is

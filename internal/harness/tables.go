@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"time"
+
 	"repro/internal/cache"
 	"repro/internal/mapper"
 	"repro/internal/micro"
+	"repro/internal/obs"
 	"repro/internal/pmms"
 	"repro/internal/progs"
 	"repro/internal/trace"
@@ -192,61 +195,69 @@ type Fig1 struct {
 	PenaltyOrder []string `json:"penalty_order"`
 }
 
-// Figure1 replays the WINDOW trace over cache sizes from 8 words to 8K
-// words (the paper's sweep) and computes the ablations.
+// Figure1 replays the WINDOW cache-command stream over cache sizes from
+// 8 words to 8K words (the paper's sweep) and computes the ablations.
 func Figure1() (*Fig1, error) { return Figure1With(Options{}) }
 
-// Figure1With is Figure1 under explicit worker options. Sweep sizes and
-// penalty workloads are independent replays, so they fan out across the
-// workers.
+// Figure1With is Figure1 under explicit worker options. Each workload's
+// cycle stream is fanned out to every cache configuration it feeds in a
+// single pass — WINDOW to the whole capacity sweep plus the ablations,
+// the penalty workloads to their two configurations — with the sweep
+// tapping the machine's cycle stream directly, so no trace is ever
+// materialized. Workloads fan out across the workers as before.
 func Figure1With(o Options) (*Fig1, error) {
-	r, err := runPSIWith(o, "fig1/"+progs.Window1.Name, progs.Window1, true)
-	if err != nil {
-		return nil, err
-	}
-	log := r.Trace
-	r.Release()
-	f := &Fig1{Workload: progs.Window1.Name}
-
 	var sizes []int
 	for _, w := range pmms.DefaultSizes() {
 		if w >= 8 {
 			sizes = append(sizes, w)
 		}
 	}
-	f.Points, err = parMap(o.workers(), sizes, func(w int) (pmms.Point, error) {
-		return pmms.PointAt(log, w), nil
-	})
-	if err != nil {
-		return nil, err
+	// WINDOW's lane plan: the capacity sweep, then the three ablation
+	// configurations the paper discusses alongside it.
+	fullCfgs := make([]cache.Config, 0, len(sizes)+3)
+	for _, w := range sizes {
+		fullCfgs = append(fullCfgs, pmms.SweepConfig(w))
 	}
-	f.TwoSet8K = pmms.Improvement(log, cache.Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreIn})
-	// The paper compares "two 4K-word sets" (the machine) against "one
-	// 4K-word set": half the capacity, direct-mapped.
-	f.OneSet8K = pmms.Improvement(log, cache.Config{Words: 4096, Assoc: 1, BlockWords: 4, Policy: cache.StoreIn})
-	f.StoreThrough = pmms.Improvement(log, cache.Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreThrough})
+	fullCfgs = append(fullCfgs, cache.PSI, pmms.OneSetConfig, pmms.StoreThroughConfig)
+	iTwoSet, iOneSet, iThrough := len(sizes), len(sizes)+1, len(sizes)+2
 
 	penaltyBenchmarks := []progs.Benchmark{progs.Window1, progs.Puzzle8, progs.BUP3}
-	penalties, err := parMap(o.workers(), penaltyBenchmarks, func(b progs.Benchmark) (float64, error) {
-		t := log // WINDOW was already traced above; reuse it
-		if b.Name != progs.Window1.Name {
-			br, err := runPSIWith(o, "fig1/"+b.Name, b, true)
-			if err != nil {
-				return 0, err
-			}
-			t = br.Trace
-			br.Release()
+	sweeps, err := parMap(o.workers(), penaltyBenchmarks, func(b progs.Benchmark) (*pmms.Sweeper, error) {
+		cfgs := []cache.Config{cache.PSI, pmms.OneSetConfig}
+		if b.Name == progs.Window1.Name {
+			cfgs = fullCfgs
 		}
-		two := pmms.Improvement(t, cache.Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: cache.StoreIn})
-		one := pmms.Improvement(t, cache.Config{Words: 4096, Assoc: 1, BlockWords: 4, Policy: cache.StoreIn})
-		return two - one, nil
+		s := pmms.NewSweeper(cfgs)
+		start := time.Now()
+		if err := runPSIInto(o, "fig1/"+b.Name, b, s); err != nil {
+			return nil, err
+		}
+		obs.RecordSweep(s.Lanes(), s.Cycles(), time.Since(start).Nanoseconds())
+		return s, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+
+	win := sweeps[0]
+	f := &Fig1{Workload: progs.Window1.Name}
+	for i := range sizes {
+		f.Points = append(f.Points, win.PointAt(i))
+	}
+	f.TwoSet8K = win.Improvement(iTwoSet)
+	// The paper compares "two 4K-word sets" (the machine) against "one
+	// 4K-word set": half the capacity, direct-mapped.
+	f.OneSet8K = win.Improvement(iOneSet)
+	f.StoreThrough = win.Improvement(iThrough)
+
 	f.OneSetPenalty = map[string]float64{}
 	for i, b := range penaltyBenchmarks {
-		f.OneSetPenalty[b.Name] = penalties[i]
+		s := sweeps[i]
+		two, one := s.Improvement(0), s.Improvement(1)
+		if i == 0 {
+			two, one = s.Improvement(iTwoSet), s.Improvement(iOneSet)
+		}
+		f.OneSetPenalty[b.Name] = two - one
 		f.PenaltyOrder = append(f.PenaltyOrder, b.Name)
 	}
 	return f, nil

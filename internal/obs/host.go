@@ -19,16 +19,24 @@ import (
 
 var (
 	expOnce sync.Once
-	// expCycles / expRuns are published lazily so binaries that never
+	// The psi_* counters are published lazily so binaries that never
 	// enable -http do not pay for expvar registration.
-	expCycles *expvar.Int
-	expRuns   *expvar.Int
+	expCycles       *expvar.Int
+	expRuns         *expvar.Int
+	expSweeps       *expvar.Int
+	expSweepLanes   *expvar.Int
+	expSweepRecords *expvar.Int
+	expSweepWallNS  *expvar.Int
 )
 
 func exported() (*expvar.Int, *expvar.Int) {
 	expOnce.Do(func() {
 		expCycles = expvar.NewInt("psi_cycles_simulated")
 		expRuns = expvar.NewInt("psi_runs_completed")
+		expSweeps = expvar.NewInt("psi_cache_sweeps")
+		expSweepLanes = expvar.NewInt("psi_cache_sweep_lanes")
+		expSweepRecords = expvar.NewInt("psi_cache_sweep_records")
+		expSweepWallNS = expvar.NewInt("psi_cache_sweep_wall_ns")
 	})
 	return expCycles, expRuns
 }
@@ -39,6 +47,37 @@ func RecordRun(cycles int64) {
 	c, r := exported()
 	c.Add(cycles)
 	r.Add(1)
+}
+
+// RecordSweep accumulates one finished multi-configuration cache sweep:
+// how many cache configurations replayed in the single pass, how many
+// trace records fed it, and how long the pass took on the host.
+func RecordSweep(lanes int, records, wallNS int64) {
+	exported()
+	expSweeps.Add(1)
+	expSweepLanes.Add(int64(lanes))
+	expSweepRecords.Add(records)
+	expSweepWallNS.Add(wallNS)
+}
+
+// SweepStats is a snapshot of the process-wide sweep counters.
+type SweepStats struct {
+	Sweeps  int64 `json:"sweeps"`
+	Lanes   int64 `json:"lanes"`
+	Records int64 `json:"records"`
+	WallNS  int64 `json:"wall_ns"`
+}
+
+// ReadSweepStats snapshots the sweep counters RecordSweep accumulates
+// (the same numbers /debug/vars exports as psi_cache_sweep_*).
+func ReadSweepStats() SweepStats {
+	exported()
+	return SweepStats{
+		Sweeps:  expSweeps.Value(),
+		Lanes:   expSweepLanes.Value(),
+		Records: expSweepRecords.Value(),
+		WallNS:  expSweepWallNS.Value(),
+	}
 }
 
 // StartCPUProfile begins a CPU profile written to path and returns a

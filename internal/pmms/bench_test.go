@@ -1,0 +1,47 @@
+package pmms_test
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/pmms"
+	"repro/internal/progs"
+	"repro/internal/trace"
+)
+
+// benchTrace materializes one real benchmark trace for the sweep
+// benchmarks, once per test binary.
+func benchTrace(b *testing.B) *trace.Log {
+	b.Helper()
+	l, err := harness.TraceFor(progs.QuickSort)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// BenchmarkSweepStreaming measures the single-pass fan-out: one
+// traversal of the trace drives every Figure 1 capacity plus the three
+// ablation configurations at once.
+func BenchmarkSweepStreaming(b *testing.B) {
+	l := benchTrace(b)
+	cfgs := sweepAndAblationConfigs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := pmms.NewSweeper(cfgs)
+		s.ReplayLog(l)
+	}
+}
+
+// BenchmarkSweepLegacy measures the pre-streaming baseline the sweep
+// replaced: one full trace replay per configuration.
+func BenchmarkSweepLegacy(b *testing.B) {
+	l := benchTrace(b)
+	cfgs := sweepAndAblationConfigs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			pmms.Replay(l, cfg)
+		}
+	}
+}

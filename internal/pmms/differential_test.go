@@ -1,0 +1,110 @@
+package pmms_test
+
+// Differential lockdown of the streaming fan-out: for every Figure 1
+// capacity and every ablation configuration, one single-pass Sweeper
+// over a real benchmark trace must produce per-area statistics, stall
+// times, traffic counters and improvement ratios identical to a fresh
+// legacy Replay of the same trace. The traces come from actual Table 1 /
+// hardware-evaluation workloads (a small subset always, a medium subset
+// unless -short), so the comparison covers the real access patterns the
+// goldens are computed from.
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/harness"
+	"repro/internal/pmms"
+	"repro/internal/progs"
+	"repro/internal/trace"
+)
+
+// sweepAndAblationConfigs is the full Figure 1 lane plan: every sweep
+// capacity plus the three ablation configurations.
+func sweepAndAblationConfigs() []cache.Config {
+	var cfgs []cache.Config
+	for _, w := range pmms.DefaultSizes() {
+		cfgs = append(cfgs, pmms.SweepConfig(w))
+	}
+	return append(cfgs, cache.PSI, pmms.OneSetConfig, pmms.StoreThroughConfig)
+}
+
+// diffBenchmarks picks the trace sample: small benchmarks always, the
+// medium tier only without -short. All are members of the paper's
+// evaluation sets (Table 1 plus the hardware workloads).
+func diffBenchmarks(t *testing.T) []progs.Benchmark {
+	bs := []progs.Benchmark{
+		progs.NReverse, progs.QuickSort, progs.TreeTraverse,
+		progs.ReverseFunction, progs.BUP1, progs.QueensFirst,
+	}
+	if !testing.Short() {
+		bs = append(bs,
+			progs.LispFib, progs.LispNReverse, progs.SlowReverse,
+			progs.BUP2, progs.LCP1, progs.Window1, progs.Puzzle8,
+		)
+	}
+	return bs
+}
+
+func compareLane(t *testing.T, l *trace.Log, s *pmms.Sweeper, i int, cfg cache.Config) {
+	t.Helper()
+	legacy := pmms.Replay(l, cfg)
+	got := s.Cache(i)
+	if got.Total != legacy.Total {
+		t.Errorf("total stats: streaming %+v, legacy %+v", got.Total, legacy.Total)
+	}
+	if got.Area != legacy.Area {
+		t.Errorf("area stats: streaming %+v, legacy %+v", got.Area, legacy.Area)
+	}
+	if got.StallNS != legacy.StallNS {
+		t.Errorf("stall: streaming %d, legacy %d", got.StallNS, legacy.StallNS)
+	}
+	if got.Fills != legacy.Fills || got.WriteBacks != legacy.WriteBacks || got.WriteThroughs != legacy.WriteThroughs {
+		t.Errorf("traffic: streaming fills=%d wb=%d wt=%d, legacy fills=%d wb=%d wt=%d",
+			got.Fills, got.WriteBacks, got.WriteThroughs,
+			legacy.Fills, legacy.WriteBacks, legacy.WriteThroughs)
+	}
+	if got.HitRatio() != legacy.HitRatio() {
+		t.Errorf("hit ratio: streaming %v, legacy %v", got.HitRatio(), legacy.HitRatio())
+	}
+	if s.TimeNS(i) != pmms.TimeNS(l, legacy) {
+		t.Errorf("time: streaming %d, legacy %d", s.TimeNS(i), pmms.TimeNS(l, legacy))
+	}
+	if s.Improvement(i) != pmms.Improvement(l, cfg) {
+		t.Errorf("improvement: streaming %v, legacy %v", s.Improvement(i), pmms.Improvement(l, cfg))
+	}
+}
+
+// TestStreamingMatchesLegacyReplay is the core differential: one
+// single-pass fan-out over each benchmark trace versus a fresh legacy
+// replay per configuration.
+func TestStreamingMatchesLegacyReplay(t *testing.T) {
+	cfgs := sweepAndAblationConfigs()
+	for _, b := range diffBenchmarks(t) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			l, err := harness.TraceFor(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := pmms.NewSweeper(cfgs)
+			s.ReplayLog(l)
+			if s.Cycles() != int64(l.Len()) {
+				t.Errorf("cycles: streaming %d, log %d", s.Cycles(), l.Len())
+			}
+			if s.MemoryAccesses() != int64(l.MemoryAccesses()) {
+				t.Errorf("accesses: streaming %d, log %d", s.MemoryAccesses(), l.MemoryAccesses())
+			}
+			if s.TimeNoCacheNS() != pmms.TimeNoCacheNS(l) {
+				t.Errorf("no-cache time: streaming %d, legacy %d", s.TimeNoCacheNS(), pmms.TimeNoCacheNS(l))
+			}
+			for i, cfg := range cfgs {
+				i, cfg := i, cfg
+				t.Run(cfg.String(), func(t *testing.T) {
+					compareLane(t, l, s, i, cfg)
+				})
+			}
+		})
+	}
+}

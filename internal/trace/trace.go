@@ -67,6 +67,18 @@ func (l *Log) Cycle(c micro.Cycle) {
 // Len reports the number of traced cycles.
 func (l *Log) Len() int { return len(l.Recs) }
 
+// Each calls fn for every record in trace order, stopping early when fn
+// returns false. It is the streaming counterpart of ranging over Recs:
+// consumers written against Each work unchanged whether the records come
+// from a materialized log or from ReadStream's file decoder.
+func (l *Log) Each(fn func(Rec) bool) {
+	for _, r := range l.Recs {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
 // MemoryAccesses counts records carrying a cache command.
 func (l *Log) MemoryAccesses() int {
 	n := 0
@@ -107,34 +119,56 @@ func (l *Log) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read loads a log written by Write.
-func Read(r io.Reader) (*Log, error) {
+// ReadStream decodes a trace written by Write record by record, calling
+// fn for each in trace order without ever materializing a Log — sweep
+// consumers can replay arbitrarily large trace files in O(1) memory.
+// Decoding stops early (without error) when fn returns false. A header
+// with a bad magic, an implausible record count, or a body shorter than
+// the count promises all yield an error.
+func ReadStream(r io.Reader, fn func(Rec) bool) error {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+		return fmt.Errorf("trace: reading header: %w", err)
 	}
 	if string(head) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", head)
+		return fmt.Errorf("trace: bad magic %q", head)
 	}
 	var n uint64
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
+		return fmt.Errorf("trace: reading count: %w", err)
 	}
 	if n > 1<<34 {
-		return nil, fmt.Errorf("trace: implausible record count %d", n)
+		return fmt.Errorf("trace: implausible record count %d", n)
 	}
-	l := &Log{Recs: make([]Rec, 0, n)}
 	buf := make([]byte, 12)
 	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			return fmt.Errorf("trace: record %d: %w", i, err)
 		}
-		l.Recs = append(l.Recs, Rec{
+		ok := fn(Rec{
 			Module: buf[0], Src1: buf[1], Src2: buf[2], Dest: buf[3],
 			Cache: buf[4], Branch: buf[5], Flags: buf[6],
 			Addr: binary.LittleEndian.Uint32(buf[8:]),
 		})
+		if !ok {
+			return nil
+		}
 	}
-	return l, nil
+	return nil
+}
+
+// Read loads a log written by Write. The initial allocation is bounded
+// regardless of the count the header claims, so a corrupt header cannot
+// demand gigabytes before the (short) body disproves it.
+func Read(r io.Reader) (*Log, error) {
+	var recs []Rec
+	err := ReadStream(r, func(rec Rec) bool {
+		recs = append(recs, rec)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Log{Recs: recs}, nil
 }
