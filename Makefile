@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz golden bench bench-pmms profile verify
+.PHONY: build vet test race fuzz golden bench bench-pmms bench-engine cover staticcheck profile verify
 
 build:
 	$(GO) build ./...
@@ -32,12 +32,28 @@ golden:
 	$(GO) test ./internal/harness -run 'TestGolden|TestWorkerCountDeterminism' -update
 
 bench:
-	$(GO) test -run '^$$' -bench 'TablesParallel' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'TablesParallel|EngineIndirection' -benchtime 1x .
 
 # Refresh BENCH_pmms.json: measure the single-pass streaming cache sweep
 # against the legacy one-replay-per-configuration loop on a real trace.
 bench-pmms:
 	$(GO) run ./cmd/benchpmms
+
+# Refresh BENCH_engine.json: measure the engine.Session indirection
+# against direct Solutions.Next (budget: <= 2% overhead; exits nonzero
+# when the measured overhead exceeds it).
+bench-engine:
+	$(GO) run ./cmd/benchengine
+
+# Aggregate statement coverage over every package.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Static analysis beyond go vet. Not part of `make verify` because the
+# tool is an external install: `go install honnef.co/go/tools/cmd/staticcheck@latest`.
+staticcheck:
+	staticcheck ./...
 
 # Produce a sample host CPU profile of the simulator regenerating
 # Table 1 (the table output goes to /dev/null; the profile to

@@ -1,0 +1,189 @@
+package psi
+
+// Cross-machine differential suite for the shared builtin semantics
+// (internal/builtin): both engines now evaluate arithmetic, the standard
+// order of terms and the structure builtins through one table, so on
+// every edge case below their answers — and their error classes — must
+// agree exactly.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// diffBoth runs one query on both engines and returns the two
+// variable-normalized answer slices plus any run errors.
+func diffBoth(t *testing.T, query string, vars []string, limit int) (psiAns, decAns []string, psiErr, decErr error) {
+	t.Helper()
+	pm, err := LoadProgram(diffSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := pm.Solve(query)
+	if err != nil {
+		t.Fatalf("PSI Solve(%q): %v", query, err)
+	}
+	bm, err := LoadBaseline(diffSrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := bm.Solve(query)
+	if err != nil {
+		t.Fatalf("DEC Solve(%q): %v", query, err)
+	}
+	collect := func(next func() (map[string]*Term, bool), errf func() error) ([]string, error) {
+		var out []string
+		for len(out) < limit {
+			ans, ok := next()
+			if !ok {
+				break
+			}
+			var row []string
+			for _, v := range vars {
+				if tm := ans[v]; tm != nil {
+					row = append(row, v+"="+normVars(tm.String()))
+				}
+			}
+			out = append(out, strings.Join(row, ","))
+		}
+		return out, errf()
+	}
+	psiAns, psiErr = collect(ps.Next, ps.Err)
+	decAns, decErr = collect(bs.Next, bs.Err)
+	return
+}
+
+// expectAgreement demands identical (error-free) answer streams.
+func expectAgreement(t *testing.T, query string, vars []string) {
+	t.Helper()
+	psiAns, decAns, psiErr, decErr := diffBoth(t, query, vars, 8)
+	if psiErr != nil || decErr != nil {
+		t.Fatalf("query %q: PSI err %v, DEC err %v", query, psiErr, decErr)
+	}
+	if fmt.Sprint(psiAns) != fmt.Sprint(decAns) {
+		t.Fatalf("query %q: PSI %v vs DEC %v", query, psiAns, decAns)
+	}
+}
+
+// expectBothMalformed demands both engines abort with the malformed
+// error class before producing any answer.
+func expectBothMalformed(t *testing.T, query string) {
+	t.Helper()
+	psiAns, decAns, psiErr, decErr := diffBoth(t, query, nil, 1)
+	if len(psiAns) != 0 || len(decAns) != 0 {
+		t.Fatalf("query %q: expected no answers, got PSI %v, DEC %v", query, psiAns, decAns)
+	}
+	if !errors.Is(psiErr, engine.ErrMalformed) {
+		t.Fatalf("query %q: PSI error %v is not ErrMalformed", query, psiErr)
+	}
+	if !errors.Is(decErr, engine.ErrMalformed) {
+		t.Fatalf("query %q: DEC error %v is not ErrMalformed", query, decErr)
+	}
+}
+
+func TestDifferentialArithmeticEdges(t *testing.T) {
+	x := []string{"X"}
+	for _, q := range []string{
+		// Flooring division and modulo across all sign combinations.
+		"X is -7 // 3", "X is 7 // -3", "X is -7 // -3", "X is 7 // 3",
+		"X is -7 mod 3", "X is 7 mod -3", "X is -7 mod -3", "X is 7 mod 3",
+		"X is -6 mod 3", "X is 6 mod -3", // exact multiples keep sign conventions honest
+		// 32-bit wraparound.
+		"X is 2147483647 + 1",
+		"X is -2147483648 - 1",
+		"X is 65536 * 65536",
+		"X is -2147483648 // -1",
+		"X is abs(-2147483648)",
+		// Unary and binary min/max/abs.
+		"X is abs(-5)", "X is min(3, -2)", "X is max(3, -2)", "X is -(5)",
+		// Comparison operators at the wrap boundary.
+		"eq(X, yes), 2147483647 < -2147483648 + 4",
+		"eq(X, yes), -2147483648 =< 2147483647",
+	} {
+		expectAgreement(t, q, x)
+	}
+	for _, q := range []string{
+		"X is 1 // 0",
+		"X is 1 mod 0",
+		"X is foo + 1",
+		"X is Y + 1", // unbound operand
+	} {
+		expectBothMalformed(t, q)
+	}
+}
+
+func TestDifferentialStandardOrder(t *testing.T) {
+	ov := []string{"O"}
+	for _, q := range []string{
+		// Type rank: integers < atoms < compounds.
+		"compare(O, 1, foo)", "compare(O, foo, f(a))", "compare(O, 1, f(a))",
+		// Atoms order by name; [] is an atom named "[]".
+		"compare(O, abc, abd)", "compare(O, [], a)", "compare(O, [], [])",
+		// Compounds: arity before name, then args left to right.
+		"compare(O, g(a), f(a, b))", "compare(O, f(b), f(a))", "compare(O, f(a, b), f(a, c))",
+		"compare(O, f(a, b), f(a, b))",
+		// Lists are '.'/2 compounds.
+		"compare(O, [a], [b])", "compare(O, [a, b], [a])", "compare(O, [], [a])",
+		"compare(O, f(x, y), [x|y])",
+		// Deep args decide late.
+		"compare(O, f(g(1), 2), f(g(1), 3))",
+	} {
+		expectAgreement(t, q, ov)
+	}
+	for _, q := range []string{
+		"eq(X, yes), f(a) @< g(a)",
+		"eq(X, yes), [a] @> []",
+		"eq(X, yes), f(a, b) @>= f(a, b)",
+		"eq(X, yes), 7 @< foo",
+		"eq(X, yes), foo @=< foo",
+	} {
+		expectAgreement(t, q, []string{"X"})
+	}
+}
+
+func TestDifferentialStructureBuiltins(t *testing.T) {
+	vars := []string{"T", "N", "A", "X", "L"}
+	for _, q := range []string{
+		// functor/3 decomposition and construction.
+		"functor(f(a, b), N, A)",
+		"functor(foo, N, A)",
+		"functor(42, N, A)",
+		"functor([h|t], N, A)", // lists are './2'
+		"functor([], N, A)",
+		"functor(T, foo, 3)",
+		"functor(T, foo, 0)", // zero arity constructs the atom itself
+		"functor(T, 42, 0)",  // integer "functor" at arity 0
+		// arg/3 in range, out of range, and on lists.
+		"arg(1, f(a, b, c), X)", "arg(3, f(a, b, c), X)",
+		"arg(1, [h|t], X)", "arg(2, [h|t], X)",
+		"arg(0, f(a), X)", // out of range: fails silently on both
+		"arg(4, f(a), X)", // past the last arg
+		"arg(1, foo, X)",  // atoms have no args
+		// =../2 decomposition and construction, zero arity included.
+		"f(a, b) =.. L",
+		"foo =.. L",
+		"42 =.. L",
+		"[] =.. L",
+		"[h|t] =.. L",
+		"T =.. [foo]",
+		"T =.. [foo, 1, 2]",
+		"T =.. [42]",
+	} {
+		expectAgreement(t, q, vars)
+	}
+	for _, q := range []string{
+		"functor(T, foo, -1)",  // arity out of range
+		"functor(T, foo, 256)", // above MaxArity
+		"functor(T, f(a), 2)",  // name is not atomic
+		"functor(T, foo, N)",   // unbound arity
+		"T =.. [f | X]",        // partial list
+		"T =.. X",              // unbound list
+		"T =.. [f(a), 1]",      // compound functor name
+	} {
+		expectBothMalformed(t, q)
+	}
+}

@@ -1,0 +1,98 @@
+package psi
+
+// End-to-end error-path coverage of the two binaries: every abnormal
+// termination must exit with its engine error class code (3 malformed,
+// 4 step-limit, 5 deadline) and name the class on stderr. Historically
+// every failure exited 1, so scripted drivers could not tell a diverging
+// run from a typo'd flag.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLIs compiles both binaries once into a shared temp dir.
+func buildCLIs(t *testing.T) (psiBin, benchBin string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI binary builds")
+	}
+	dir := t.TempDir()
+	psiBin = filepath.Join(dir, "psi")
+	benchBin = filepath.Join(dir, "psibench")
+	for bin, pkg := range map[string]string{psiBin: "./cmd/psi", benchBin: "./cmd/psibench"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return psiBin, benchBin
+}
+
+// runCLI executes a built binary and returns its exit code and stderr.
+func runCLI(t *testing.T, bin string, args ...string) (int, string) {
+	t.Helper()
+	var stderr strings.Builder
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = nil
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0, stderr.String()
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), stderr.String()
+	}
+	t.Fatalf("%s %v: %v", bin, args, err)
+	return -1, ""
+}
+
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.pl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIErrorExitCodes(t *testing.T) {
+	psiBin, benchBin := buildCLIs(t)
+	okProg := writeProg(t, "go :- X is 1 + 2, X = 3.\n")
+	boomProg := writeProg(t, "go :- X is 1 // 0, X = X.\n")
+	loopProg := writeProg(t, "go :- go.\n")
+
+	cases := []struct {
+		name   string
+		bin    string
+		args   []string
+		code   int
+		stderr string // substring that must appear (empty = no check)
+	}{
+		{"psi ok", psiBin, []string{"-report=false", okProg}, 0, ""},
+		{"psi malformed", psiBin, []string{boomProg}, 3, "malformed"},
+		{"psi step limit", psiBin, []string{"-steps", "1000", loopProg}, 4, "step-limit"},
+		{"psi deadline", psiBin, []string{"-timeout", "100ms", loopProg}, 5, "deadline"},
+		{"psi usage", psiBin, []string{"one.pl", "two.pl"}, 2, "usage"},
+		{"psi dec malformed", psiBin, []string{"-dec", boomProg}, 3, "malformed"},
+		{"psi dec step limit", psiBin, []string{"-dec", "-steps", "1000", loopProg}, 4, "step-limit"},
+		{"psi dec deadline", psiBin, []string{"-dec", "-timeout", "100ms", loopProg}, 5, "deadline"},
+		{"psibench step limit", benchBin, []string{"-j", "1", "-steps", "1000", "2"}, 4, "step-limit"},
+		{"psibench usage", benchBin, []string{"nonsense"}, 2, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := runCLI(t, tc.bin, tc.args...)
+			if code != tc.code {
+				t.Errorf("exit code %d, want %d (stderr: %s)", code, tc.code, stderr)
+			}
+			if tc.stderr != "" && !strings.Contains(stderr, tc.stderr) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.stderr)
+			}
+		})
+	}
+}

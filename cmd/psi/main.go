@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/engine"
 	"repro/internal/obs"
 )
 
@@ -46,7 +48,16 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to this `file`")
 	memProfile := flag.String("memprofile", "", "write a host heap profile to this `file`")
 	httpAddr := flag.String("http", "", "serve /debug/pprof and /debug/vars on this `address`")
+	timeout := flag.Duration("timeout", 0, "abort the run after this wall-clock `duration` (exit 5)")
+	steps := flag.Int64("steps", 0, "bound the simulation to this many steps (0 = default 4e9; exit 4 when exceeded)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	stopCPU, err := obs.StartCPUProfile(*cpuProfile)
 	die(err)
@@ -93,7 +104,7 @@ func main() {
 	}
 
 	if *baseline {
-		runBaseline(source, *goal, *all)
+		runBaseline(ctx, source, *goal, *all, *steps)
 		return
 	}
 
@@ -104,6 +115,7 @@ func main() {
 		NoCache:      *nocache,
 		Out:          os.Stdout,
 		Profile:      *profile,
+		MaxSteps:     *steps,
 	}
 	if *verbose {
 		opts.Progress = obs.NewProgressPrinter(os.Stderr).Event
@@ -119,8 +131,13 @@ func main() {
 	sols, err := m.Solve(*goal)
 	die(err)
 	n := 0
+	var runErr error
 	for {
-		ans, ok := sols.Next()
+		ans, ok, err := psi.NextCtx(ctx, sols)
+		if err != nil {
+			runErr = err
+			break
+		}
 		if !ok {
 			break
 		}
@@ -130,22 +147,28 @@ func main() {
 			break
 		}
 	}
-	die(sols.Err())
-	if n == 0 {
-		fmt.Println("no")
-	}
-	if *report {
-		fmt.Print(m.Report())
-	}
-	if *profile {
-		m.Profile(workload).Format(os.Stdout, *top)
+	if runErr == nil {
+		if n == 0 {
+			fmt.Println("no")
+		}
+		if *report {
+			fmt.Print(m.Report())
+		}
+		if *profile {
+			m.Profile(workload).Format(os.Stdout, *top)
+		}
 	}
 	if *jsonPath != "" {
+		// The report is written even for aborted runs: its termination
+		// field records how the run ended.
 		host := hostBefore.Delta(obs.ReadHostStats(), time.Since(wallStart).Nanoseconds())
-		b, err := m.RunReport(workload, host).JSON()
+		rep := m.RunReport(workload, host)
+		rep.SetTermination(runErr)
+		b, err := rep.JSON()
 		die(err)
 		die(os.WriteFile(*jsonPath, b, 0o644))
 	}
+	die(runErr)
 }
 
 // repl reads goals from stdin and enumerates their answers on demand.
@@ -202,14 +225,18 @@ func repl(source string, opts psi.Options, report bool) {
 	}
 }
 
-func runBaseline(src, goal string, all bool) {
+func runBaseline(ctx context.Context, src, goal string, all bool, steps int64) {
 	b, err := psi.LoadBaseline(src, os.Stdout)
 	die(err)
+	if steps > 0 {
+		b.SetMaxUnits(steps)
+	}
 	sols, err := b.Solve(goal)
 	die(err)
 	n := 0
 	for {
-		ans, ok := sols.Next()
+		ans, ok, err := psi.BaselineNextCtx(ctx, sols)
+		die(err)
 		if !ok {
 			break
 		}
@@ -219,7 +246,6 @@ func runBaseline(src, goal string, all bool) {
 			break
 		}
 	}
-	die(sols.Err())
 	if n == 0 {
 		fmt.Println("no")
 	}
@@ -264,9 +290,12 @@ func showDisasm(source, indicator string, baseline bool) {
 	fmt.Print(out)
 }
 
+// die reports err on stderr, prefixed with its engine error class, and
+// exits with the class's exit code (3 malformed, 4 step-limit,
+// 5 deadline, 6 canceled, 1 anything else).
 func die(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "psi:", err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "psi: %s: %v\n", engine.ClassName(err), err)
+		os.Exit(engine.ExitCode(err))
 	}
 }

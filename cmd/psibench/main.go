@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/progs"
@@ -47,6 +49,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to this `file`")
 	memProfile := flag.String("memprofile", "", "write a host heap profile to this `file`")
 	httpAddr := flag.String("http", "", "serve /debug/pprof and /debug/vars on this `address` (e.g. localhost:6060)")
+	timeout := flag.Duration("timeout", 0, "abort the evaluation after this wall-clock `duration` (exit 5)")
+	steps := flag.Int64("steps", 0, "bound each simulated run to this many steps (0 = default 4e9; exit 4 when exceeded)")
 	flag.Usage = usage
 	flag.Parse()
 	if *jFlag < 0 {
@@ -61,7 +65,12 @@ func main() {
 	} else if addr != "" {
 		fmt.Fprintf(os.Stderr, "psibench: debug listener on http://%s/debug/pprof\n", addr)
 	}
-	o := harness.Options{Workers: *jFlag}
+	o := harness.Options{Workers: *jFlag, MaxSteps: *steps}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		o.Ctx = ctx
+	}
 	if *verbose {
 		o.Progress = obs.NewProgressPrinter(os.Stderr).Event
 	}
@@ -140,10 +149,13 @@ func main() {
 	}
 }
 
+// check reports err on stderr, prefixed with its engine error class, and
+// exits with the class's exit code (3 malformed, 4 step-limit,
+// 5 deadline, 6 canceled, 1 anything else).
 func check(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "psibench:", err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "psibench: %s: %v\n", engine.ClassName(err), err)
+		os.Exit(engine.ExitCode(err))
 	}
 }
 

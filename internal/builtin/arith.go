@@ -1,0 +1,72 @@
+package builtin
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Shared arithmetic semantics for is/2 and the arithmetic comparisons.
+// Both engines walk their own term representation (charging their own
+// cycle or unit costs per node) and apply the operators through EvalOp,
+// so the value semantics — 32-bit two's-complement wrap, truncating
+// division, flooring mod — cannot diverge between them.
+
+// Arithmetic evaluation errors.
+var (
+	ErrDivZero = errors.New("is/2: division by zero")
+	ErrModZero = errors.New("is/2: modulo by zero")
+)
+
+// ErrUnknownFunc builds the unknown-function evaluation error.
+func ErrUnknownFunc(name string, arity int) error {
+	return fmt.Errorf("is/2: unknown function %s/%d", name, arity)
+}
+
+// EvalOp applies one arithmetic operator to already-evaluated operands
+// (xs[:arity]). Integer overflow wraps (int32 two's complement), // and
+// / truncate toward zero, and mod is flooring (the result takes the
+// divisor's sign).
+func EvalOp(name string, arity int, xs [2]int32) (int32, error) {
+	switch {
+	case name == "+" && arity == 2:
+		return xs[0] + xs[1], nil
+	case name == "-" && arity == 2:
+		return xs[0] - xs[1], nil
+	case name == "-" && arity == 1:
+		return -xs[0], nil
+	case name == "+" && arity == 1:
+		return xs[0], nil
+	case name == "*" && arity == 2:
+		return xs[0] * xs[1], nil
+	case (name == "//" || name == "/") && arity == 2:
+		if xs[1] == 0 {
+			return 0, ErrDivZero
+		}
+		return xs[0] / xs[1], nil
+	case name == "mod" && arity == 2:
+		if xs[1] == 0 {
+			return 0, ErrModZero
+		}
+		r := xs[0] % xs[1]
+		if r != 0 && (r < 0) != (xs[1] < 0) {
+			r += xs[1]
+		}
+		return r, nil
+	case name == "abs" && arity == 1:
+		if xs[0] < 0 {
+			return -xs[0], nil
+		}
+		return xs[0], nil
+	case name == "min" && arity == 2:
+		if xs[0] < xs[1] {
+			return xs[0], nil
+		}
+		return xs[1], nil
+	case name == "max" && arity == 2:
+		if xs[0] > xs[1] {
+			return xs[0], nil
+		}
+		return xs[1], nil
+	}
+	return 0, ErrUnknownFunc(name, arity)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/builtin"
 	"repro/internal/kl0"
 	"repro/internal/micro"
 	"repro/internal/word"
@@ -203,18 +204,7 @@ func (m *Machine) runBuiltin(bi kl0.Builtin, args []val) (ok, done bool) {
 // typeCheck implements var/nonvar/atom/integer/atomic.
 func (m *Machine) typeCheck(bi kl0.Builtin, v val) bool {
 	m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BIfTag, Data: true})
-	switch bi {
-	case kl0.BVar:
-		return v.isUnbound()
-	case kl0.BNonvar:
-		return !v.isUnbound()
-	case kl0.BAtom:
-		return v.W.Tag() == word.TagAtom || v.W.Tag() == word.TagNil
-	case kl0.BInteger:
-		return v.W.Tag() == word.TagInt
-	default: // atomic
-		return v.W.IsConst()
-	}
+	return builtin.CheckType(bi, psiTerms{m}.Kind(v))
 }
 
 // checkNotUnify implements \=/2 by attempting unification and undoing it.
@@ -235,39 +225,10 @@ func (m *Machine) checkNotUnify(x, y val) bool {
 	return !ok
 }
 
-// identical implements ==/2: structural identity without binding.
+// identical implements ==/2 via the shared walk; psiTerms charges the
+// firmware's per-node micro-cycles.
 func (m *Machine) identical(x, y val) bool {
-	m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BCaseTag, Data: true})
-	if x.isUnbound() || y.isUnbound() {
-		return x.isUnbound() && y.isUnbound() && x.Addr == y.Addr
-	}
-	if x.W.Tag() != y.W.Tag() {
-		return false
-	}
-	switch x.W.Tag() {
-	case word.TagAtom, word.TagInt, word.TagVec:
-		return x.W.Data() == y.W.Data()
-	case word.TagNil:
-		return true
-	case word.TagSkel:
-		if x.W.Addr() == y.W.Addr() && x.Frame == y.Frame {
-			return true
-		}
-		fx := m.read(micro.MBuilt, x.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
-		fy := m.read(micro.MBuilt, y.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
-		if fx != fy {
-			return false
-		}
-		for i := 1; i <= fx.FuncArity(); i++ {
-			ax := m.read(micro.MBuilt, x.W.Addr().Add(i), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
-			ay := m.read(micro.MBuilt, y.W.Addr().Add(i), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
-			if !m.identical(m.resolveSkelArg(micro.MBuilt, ax, x.Frame), m.resolveSkelArg(micro.MBuilt, ay, y.Frame)) {
-				return false
-			}
-		}
-		return true
-	}
-	return false
+	return builtin.Identical[val, psiTerms](psiTerms{m}, x, y)
 }
 
 // eval computes an arithmetic expression value.
@@ -295,48 +256,11 @@ func (m *Machine) eval(v val) (int32, error) {
 			xs[i] = x
 		}
 		m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF10, Src2: micro.ModeWF00, Dest: micro.ModeWF10, Branch: micro.BNop1, Data: true})
-		switch {
-		case name == "+" && arity == 2:
-			return xs[0] + xs[1], nil
-		case name == "-" && arity == 2:
-			return xs[0] - xs[1], nil
-		case name == "-" && arity == 1:
-			return -xs[0], nil
-		case name == "+" && arity == 1:
-			return xs[0], nil
-		case name == "*" && arity == 2:
-			return xs[0] * xs[1], nil
-		case (name == "//" || name == "/") && arity == 2:
-			if xs[1] == 0 {
-				return 0, &RunError{Msg: "is/2: division by zero"}
-			}
-			return xs[0] / xs[1], nil
-		case name == "mod" && arity == 2:
-			if xs[1] == 0 {
-				return 0, &RunError{Msg: "is/2: modulo by zero"}
-			}
-			r := xs[0] % xs[1]
-			if r != 0 && (r < 0) != (xs[1] < 0) {
-				r += xs[1]
-			}
-			return r, nil
-		case name == "abs" && arity == 1:
-			if xs[0] < 0 {
-				return -xs[0], nil
-			}
-			return xs[0], nil
-		case name == "min" && arity == 2:
-			if xs[0] < xs[1] {
-				return xs[0], nil
-			}
-			return xs[1], nil
-		case name == "max" && arity == 2:
-			if xs[0] > xs[1] {
-				return xs[0], nil
-			}
-			return xs[1], nil
+		r, err := builtin.EvalOp(name, arity, xs)
+		if err != nil {
+			return 0, &RunError{Msg: err.Error()}
 		}
-		return 0, &RunError{Msg: fmt.Sprintf("is/2: unknown function %s/%d", name, arity)}
+		return r, nil
 	default:
 		return 0, &RunError{Msg: fmt.Sprintf("is/2: cannot evaluate %v", v.W)}
 	}
@@ -362,104 +286,27 @@ func (m *Machine) makeSkeleton(sym uint32, n int) (val, word.Addr) {
 	return val{W: word.Skel(fa), Frame: frame}, frame
 }
 
-// biFunctor implements functor/3.
+// biFunctor implements functor/3 via the shared walk.
 func (m *Machine) biFunctor(args []val) bool {
-	t := args[0]
-	if !t.isUnbound() {
-		var nameV val
-		var arity int
-		switch t.W.Tag() {
-		case word.TagSkel:
-			f := m.read(micro.MBuilt, t.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
-			nameV = val{W: word.Atom(f.FuncSym())}
-			arity = f.FuncArity()
-		default:
-			nameV = val{W: t.W}
-		}
-		return m.unify(args[1], nameV) && m.unify(args[2], val{W: word.Int32(int32(arity))})
+	ok, err := builtin.Functor3[val, psiTerms](psiTerms{m}, args[0], args[1], args[2])
+	if err != nil {
+		panic(&RunError{Msg: err.Error()})
 	}
-	// Construction direction.
-	name := m.derefVal(micro.MBuilt, args[1])
-	nv := m.derefVal(micro.MBuilt, args[2])
-	if nv.W.Tag() != word.TagInt {
-		panic(&RunError{Msg: "functor/3: arity must be an integer"})
-	}
-	n := int(nv.W.Int())
-	if n < 0 || n > kl0.MaxArity {
-		panic(&RunError{Msg: fmt.Sprintf("functor/3: arity %d out of range", n)})
-	}
-	if n == 0 {
-		return m.unify(t, val{W: name.W})
-	}
-	if name.W.Tag() != word.TagAtom && !(name.W.Tag() == word.TagNil) {
-		panic(&RunError{Msg: "functor/3: name must be an atom"})
-	}
-	sym := name.W.Data()
-	if name.W.Tag() == word.TagNil {
-		sym = 0 // '[]'
-	}
-	sk, _ := m.makeSkeleton(sym, n)
-	return m.unify(t, sk)
+	return ok
 }
 
-// biArg implements arg/3.
+// biArg implements arg/3 via the shared walk.
 func (m *Machine) biArg(args []val) bool {
-	nv := args[0]
-	t := args[1]
-	if nv.W.Tag() != word.TagInt || t.W.Tag() != word.TagSkel {
-		m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCondNot})
-		return false
-	}
-	f := m.read(micro.MBuilt, t.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
-	n := int(nv.W.Int())
-	if n < 1 || n > f.FuncArity() {
-		return false
-	}
-	aw := m.read(micro.MBuilt, t.W.Addr().Add(n), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
-	return m.unify(m.resolveSkelArg(micro.MBuilt, aw, t.Frame), args[2])
+	return builtin.Arg3[val, psiTerms](psiTerms{m}, args[0], args[1], args[2])
 }
 
-// biUniv implements =../2 in both directions.
+// biUniv implements =../2 via the shared walk.
 func (m *Machine) biUniv(args []val) bool {
-	t := args[0]
-	if !t.isUnbound() {
-		// Decompose: T =.. [Name|Args].
-		var elems []val
-		switch t.W.Tag() {
-		case word.TagSkel:
-			f := m.read(micro.MBuilt, t.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
-			elems = append(elems, val{W: word.Atom(f.FuncSym())})
-			for i := 1; i <= f.FuncArity(); i++ {
-				aw := m.read(micro.MBuilt, t.W.Addr().Add(i), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
-				elems = append(elems, m.resolveSkelArg(micro.MBuilt, aw, t.Frame))
-			}
-		default:
-			elems = []val{{W: t.W}}
-		}
-		return m.unify(args[1], m.makeList(elems))
+	ok, err := builtin.Univ2[val, psiTerms](psiTerms{m}, args[0], args[1])
+	if err != nil {
+		panic(&RunError{Msg: err.Error()})
 	}
-	// Construct: T =.. [Name|Args].
-	elems, ok := m.listVals(args[1])
-	if !ok || len(elems) == 0 {
-		panic(&RunError{Msg: "=../2: second argument must be a proper non-empty list"})
-	}
-	head := elems[0]
-	rest := elems[1:]
-	if len(rest) == 0 {
-		return m.unify(t, head)
-	}
-	if head.W.Tag() != word.TagAtom {
-		panic(&RunError{Msg: "=../2: functor must be an atom"})
-	}
-	if len(rest) > kl0.MaxArity {
-		panic(&RunError{Msg: "=../2: arity too large"})
-	}
-	sk, frame := m.makeSkeleton(head.W.Data(), len(rest))
-	for i, v := range rest {
-		cell := frame.Add(i)
-		m.bind(micro.MBuilt, cell, v)
-	}
-	return m.unify(t, sk)
+	return ok
 }
 
 // makeList builds a runtime list value from element values.

@@ -18,6 +18,7 @@ import (
 	"io"
 
 	"repro/internal/cache"
+	"repro/internal/engine"
 	"repro/internal/kl0"
 	"repro/internal/mem"
 	"repro/internal/micro"
@@ -418,7 +419,7 @@ func (m *Machine) tick(c micro.Cycle) {
 		}
 	}
 	if m.maxSteps > 0 && m.stats.Steps > m.maxSteps {
-		panic(&RunError{Msg: fmt.Sprintf("step limit %d exceeded", m.maxSteps)})
+		panic(&RunError{Msg: fmt.Sprintf("step limit %d exceeded", m.maxSteps), Class: engine.ErrStepLimit})
 	}
 }
 
@@ -492,6 +493,20 @@ func (m *Machine) alu(mod micro.Module, c micro.Cycle) {
 
 // RunError reports an abnormal termination (resource exhaustion or a
 // malformed execution state — the latter indicates a machine bug).
-type RunError struct{ Msg string }
+type RunError struct {
+	Msg string
+	// Class is the engine error taxonomy sentinel this error belongs to;
+	// nil classifies as engine.ErrMalformed.
+	Class error
+}
 
 func (e *RunError) Error() string { return "core: " + e.Msg }
+
+// Unwrap maps the error onto the engine taxonomy so callers classify
+// with errors.Is instead of matching message strings.
+func (e *RunError) Unwrap() error {
+	if e.Class != nil {
+		return e.Class
+	}
+	return engine.ErrMalformed
+}

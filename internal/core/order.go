@@ -1,110 +1,18 @@
 package core
 
 import (
-	"repro/internal/micro"
+	"repro/internal/builtin"
 	"repro/internal/word"
 )
 
-// compareTerms orders two runtime values by the standard order of terms:
-// variables < integers < atoms < compound terms; integers by value,
-// atoms alphabetically, compounds by arity, then functor name, then
-// arguments left to right. Returns -1, 0 or 1.
+// compareTerms orders two runtime values by the standard order of terms,
+// via the shared walk in internal/builtin; psiTerms charges the firmware
+// comparison's micro-cycles. Returns -1, 0 or 1.
 func (m *Machine) compareTerms(x, y val) int {
-	m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BCaseTag, Data: true})
-	xr, yr := m.orderRank(x), m.orderRank(y)
-	if xr != yr {
-		return sign(xr - yr)
-	}
-	switch xr {
-	case 0: // both unbound: order by cell address
-		switch {
-		case x.Addr == y.Addr:
-			return 0
-		case uint32(x.Addr) < uint32(y.Addr):
-			return -1
-		default:
-			return 1
-		}
-	case 1: // integers
-		return sign(int(x.W.Int()) - int(y.W.Int()))
-	case 2: // atoms (nil orders as the atom '[]')
-		xn, yn := m.atomName(x.W), m.atomName(y.W)
-		switch {
-		case xn == yn:
-			return 0
-		case xn < yn:
-			return -1
-		default:
-			return 1
-		}
-	default: // compound terms
-		fx := m.read(micro.MBuilt, x.W.Addr(), micro.Cycle{Branch: micro.BGoto2})
-		fy := m.read(micro.MBuilt, y.W.Addr(), micro.Cycle{Branch: micro.BGoto2})
-		if d := fx.FuncArity() - fy.FuncArity(); d != 0 {
-			return sign(d)
-		}
-		xn, yn := m.prog.Syms.Name(fx.FuncSym()), m.prog.Syms.Name(fy.FuncSym())
-		if xn != yn {
-			if xn < yn {
-				return -1
-			}
-			return 1
-		}
-		for i := 1; i <= fx.FuncArity(); i++ {
-			ax := m.read(micro.MBuilt, x.W.Addr().Add(i), micro.Cycle{Branch: micro.BCondNot})
-			ay := m.read(micro.MBuilt, y.W.Addr().Add(i), micro.Cycle{Branch: micro.BCondNot})
-			if c := m.compareTerms(m.resolveSkelArg(micro.MBuilt, ax, x.Frame),
-				m.resolveSkelArg(micro.MBuilt, ay, y.Frame)); c != 0 {
-				return c
-			}
-		}
-		return 0
-	}
-}
-
-// orderRank buckets a value for the standard order.
-func (m *Machine) orderRank(v val) int {
-	switch v.W.Tag() {
-	case word.TagUndef:
-		return 0
-	case word.TagInt:
-		return 1
-	case word.TagAtom, word.TagNil, word.TagVec:
-		return 2
-	default:
-		return 3
-	}
-}
-
-// atomName renders an atomic value's name for ordering.
-func (m *Machine) atomName(w word.Word) string {
-	if w.Tag() == word.TagNil {
-		return "[]"
-	}
-	if w.Tag() == word.TagVec {
-		return "$vec"
-	}
-	return m.prog.Syms.Name(w.Data())
-}
-
-func sign(d int) int {
-	switch {
-	case d < 0:
-		return -1
-	case d > 0:
-		return 1
-	}
-	return 0
+	return builtin.Compare[val, psiTerms](psiTerms{m}, x, y)
 }
 
 // orderAtomFor maps a comparison result to the compare/3 atom.
 func (m *Machine) orderAtomFor(c int) val {
-	name := "="
-	switch {
-	case c < 0:
-		name = "<"
-	case c > 0:
-		name = ">"
-	}
-	return val{W: word.Atom(m.prog.Syms.Intern(name))}
+	return val{W: word.Atom(m.prog.Syms.Intern(builtin.OrderName(c)))}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/kl0"
 	"repro/internal/micro"
 	"repro/internal/parse"
@@ -52,6 +53,7 @@ type Solutions struct {
 	q       *kl0.Query
 	gf      word.Addr
 	started bool
+	resume  bool // last Step yielded: continue in place, don't force failure
 	done    bool
 	err     error
 }
@@ -89,11 +91,29 @@ func (m *Machine) SolveQuery(q *kl0.Query) *Solutions {
 // Next produces the next answer as a variable binding map. ok is false
 // when no (further) answer exists or an error occurred (check Err).
 func (s *Solutions) Next() (map[string]*term.Term, bool) {
-	if s.done || s.err != nil {
+	if s.Step(0) != engine.Solution {
 		return nil, false
 	}
+	return s.Bindings(), true
+}
+
+// Step advances the search by about budget microcycles (budget <= 0
+// removes the bound) and reports how it stopped. After engine.Solution,
+// the next Step forces backtracking into the next answer; after
+// engine.Yielded it resumes the interrupted search in place.
+func (s *Solutions) Step(budget int64) engine.Status {
+	if s.err != nil {
+		return engine.Failed
+	}
+	if s.done {
+		return engine.Exhausted
+	}
 	m := s.m
-	var found bool
+	limit := int64(0)
+	if budget > 0 {
+		limit = m.stats.Steps + budget
+	}
+	var found, yielded bool
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -105,27 +125,39 @@ func (s *Solutions) Next() (map[string]*term.Term, bool) {
 				panic(r)
 			}
 		}()
-		if !s.started {
+		switch {
+		case !s.started:
 			s.started = true
 			s.gf = m.startQuery(s.q)
-			found = m.runLoop()
-		} else {
+		case s.resume:
+			// Continue the sliced search where the budget ran out.
+		default:
 			m.failed = true // force backtracking into the next answer
-			found = m.runLoop()
 		}
+		found, yielded = m.runSteps(limit)
 	}()
-	if s.err != nil {
-		return nil, false
-	}
-	if !found {
+	switch {
+	case s.err != nil:
+		return engine.Failed
+	case yielded:
+		s.resume = true
+		return engine.Yielded
+	case found:
+		s.resume = false
+		return engine.Solution
+	default:
 		s.done = true
-		return nil, false
+		return engine.Exhausted
 	}
+}
+
+// Bindings decodes the current answer (valid after a Solution).
+func (s *Solutions) Bindings() map[string]*term.Term {
 	ans := make(map[string]*term.Term, len(s.q.Vars))
 	for i, name := range s.q.Vars {
-		ans[name] = m.decode(s.gf.Add(i))
+		ans[name] = s.m.decode(s.gf.Add(i))
 	}
-	return ans, true
+	return ans
 }
 
 // startQuery sets up the query pseudo-clause: a sentinel environment plus
@@ -159,15 +191,30 @@ func (m *Machine) startQuery(q *kl0.Query) word.Addr {
 // backtracking chains must not recurse through Go stack frames.)
 
 // runLoop executes microcode until a solution is found (true) or the
-// search space is exhausted (false).
+// search space is exhausted (false). Nested sub-executions (findall/3,
+// \+/1, interrupt handlers) run through it unbounded: a step budget
+// applies only to the top-level stepped loop.
 func (m *Machine) runLoop() bool {
+	found, _ := m.runSteps(0)
+	return found
+}
+
+// runSteps executes microcode until a solution is found (found), the
+// search space is exhausted (neither), or the machine's total step count
+// reaches limit (yielded; limit 0 = unbounded). A yielded machine
+// resumes by calling runSteps again: all execution state lives on the
+// machine, so the loop re-enters between instruction dispatches.
+func (m *Machine) runSteps(limit int64) (found, yielded bool) {
 	for {
 		if m.halted {
-			return false
+			return false, false
+		}
+		if limit > 0 && m.stats.Steps >= limit {
+			return false, true
 		}
 		if m.failed {
 			if !m.backtrack() {
-				return false
+				return false, false
 			}
 			continue
 		}
@@ -200,7 +247,7 @@ func (m *Machine) runLoop() bool {
 
 		case word.TagEnd:
 			if m.ret() {
-				return true
+				return true, false
 			}
 
 		default:

@@ -1,0 +1,212 @@
+package core
+
+import (
+	stdcontext "context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/kl0"
+	"repro/internal/parse"
+)
+
+const sessionSrc = `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+range(N, N, [N]) :- !.
+range(I, N, [I|R]) :- I < N, J is I + 1, range(J, N, R).
+go :- range(1, 30, L), nrev(L, _).
+boom :- X is 1 // 0, X = X.
+loop :- loop.
+`
+
+func compileQuery(t *testing.T, prog *kl0.Program, query string) *kl0.Query {
+	t.Helper()
+	g, err := parse.Term(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := prog.CompileQuery(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func sessionProg(t *testing.T) *kl0.Program {
+	t.Helper()
+	prog := kl0.NewProgram(nil)
+	cs, err := parse.Clauses("session", sessionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.AddClauses(cs); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestSteppedExecutionMatchesUnbounded slices one query into small step
+// budgets and checks the answer stream and cycle count are identical to
+// an unbounded run.
+func TestSteppedExecutionMatchesUnbounded(t *testing.T) {
+	prog := sessionProg(t)
+	q := compileQuery(t, prog, "app(X, Y, [1,2,3,4])")
+
+	whole := New(prog, Config{MaxSteps: 1_000_000})
+	var wantAns []string
+	ws := whole.SolveQuery(q)
+	for {
+		ans, ok := ws.Next()
+		if !ok {
+			break
+		}
+		wantAns = append(wantAns, ans["X"].String()+"/"+ans["Y"].String())
+	}
+	if ws.Err() != nil {
+		t.Fatal(ws.Err())
+	}
+
+	sliced := New(prog, Config{MaxSteps: 1_000_000})
+	ss := sliced.SolveQuery(q)
+	var gotAns []string
+	yields := 0
+	for {
+		st := ss.Step(25) // tiny budget: forces many yields per answer
+		switch st {
+		case engine.Yielded:
+			yields++
+			continue
+		case engine.Solution:
+			ans := ss.Bindings()
+			gotAns = append(gotAns, ans["X"].String()+"/"+ans["Y"].String())
+			continue
+		case engine.Exhausted:
+		case engine.Failed:
+			t.Fatal(ss.Err())
+		}
+		break
+	}
+	if !reflect.DeepEqual(gotAns, wantAns) {
+		t.Fatalf("stepped answers %v, unbounded %v", gotAns, wantAns)
+	}
+	if yields == 0 {
+		t.Fatal("budget of 25 cycles never yielded")
+	}
+	if g, w := sliced.Stats().Steps, whole.Stats().Steps; g != w {
+		t.Fatalf("stepped run executed %d cycles, unbounded %d", g, w)
+	}
+}
+
+// TestSessionErrorClasses checks each abnormal termination carries its
+// engine error class.
+func TestSessionErrorClasses(t *testing.T) {
+	prog := sessionProg(t)
+
+	t.Run("step-limit", func(t *testing.T) {
+		m := New(prog, Config{MaxSteps: 1000})
+		sess := NewSession(m, compileQuery(t, prog, "go"))
+		st, err := sess.Next(nil)
+		if st != engine.Failed || !errors.Is(err, engine.ErrStepLimit) {
+			t.Fatalf("status %v err %v, want Failed/ErrStepLimit", st, err)
+		}
+	})
+	t.Run("malformed", func(t *testing.T) {
+		m := New(prog, Config{MaxSteps: 1_000_000})
+		sess := NewSession(m, compileQuery(t, prog, "boom"))
+		st, err := sess.Next(nil)
+		if st != engine.Failed || !errors.Is(err, engine.ErrMalformed) {
+			t.Fatalf("status %v err %v, want Failed/ErrMalformed", st, err)
+		}
+	})
+	t.Run("deadline", func(t *testing.T) {
+		m := New(prog, Config{MaxSteps: 0})
+		sess := NewSession(m, compileQuery(t, prog, "loop"))
+		ctx, cancel := stdcontext.WithTimeout(stdcontext.Background(), 20*time.Millisecond)
+		defer cancel()
+		st, err := sess.Next(ctx)
+		if st != engine.Failed || !errors.Is(err, engine.ErrDeadline) {
+			t.Fatalf("status %v err %v, want Failed/ErrDeadline", st, err)
+		}
+	})
+	t.Run("canceled", func(t *testing.T) {
+		m := New(prog, Config{MaxSteps: 0})
+		sess := NewSession(m, compileQuery(t, prog, "loop"))
+		ctx, cancel := stdcontext.WithCancel(stdcontext.Background())
+		cancel()
+		st, err := sess.Next(ctx)
+		if st != engine.Failed || !errors.Is(err, engine.ErrCanceled) {
+			t.Fatalf("status %v err %v, want Failed/ErrCanceled", st, err)
+		}
+	})
+}
+
+// TestResetAfterAbortedRun is the pool-poisoning regression test: a
+// machine whose run was aborted (step limit, deadline, malformed
+// arithmetic) and then Reset must behave byte-identically to a fresh
+// machine — same answers, same cycle counts, same statistics.
+func TestResetAfterAbortedRun(t *testing.T) {
+	prog := sessionProg(t)
+	goQ := compileQuery(t, prog, "go")
+	cfg := Config{MaxSteps: 100_000_000}
+
+	// The reference: a machine that never saw an abort.
+	fresh := New(prog, cfg)
+	fs := fresh.SolveQuery(goQ)
+	if _, ok := fs.Next(); !ok {
+		t.Fatalf("fresh run failed: %v", fs.Err())
+	}
+	want := *fresh.Stats()
+
+	poison := map[string]func(t *testing.T, m *Machine){
+		"step-limit": func(t *testing.T, m *Machine) {
+			if !m.Reset(prog, Config{MaxSteps: 1000}) {
+				t.Fatal("Reset refused")
+			}
+			s := m.SolveQuery(goQ)
+			if _, ok := s.Next(); ok || !errors.Is(s.Err(), engine.ErrStepLimit) {
+				t.Fatalf("want step-limit abort, got ok=%v err=%v", ok, s.Err())
+			}
+		},
+		"deadline": func(t *testing.T, m *Machine) {
+			if !m.Reset(prog, Config{MaxSteps: 0}) {
+				t.Fatal("Reset refused")
+			}
+			sess := NewSession(m, compileQuery(t, prog, "loop"))
+			ctx, cancel := stdcontext.WithTimeout(stdcontext.Background(), 10*time.Millisecond)
+			defer cancel()
+			if _, err := sess.Next(ctx); !errors.Is(err, engine.ErrDeadline) {
+				t.Fatalf("want deadline abort, got %v", err)
+			}
+		},
+		"malformed": func(t *testing.T, m *Machine) {
+			if !m.Reset(prog, cfg) {
+				t.Fatal("Reset refused")
+			}
+			s := m.SolveQuery(compileQuery(t, prog, "boom"))
+			if _, ok := s.Next(); ok || !errors.Is(s.Err(), engine.ErrMalformed) {
+				t.Fatalf("want malformed abort, got ok=%v err=%v", ok, s.Err())
+			}
+		},
+	}
+	for name, abort := range poison {
+		t.Run(name, func(t *testing.T) {
+			m := New(prog, cfg)
+			abort(t, m)
+			if !m.Reset(prog, cfg) {
+				t.Fatal("Reset refused after abort")
+			}
+			s := m.SolveQuery(goQ)
+			if _, ok := s.Next(); !ok {
+				t.Fatalf("post-reset run failed: %v", s.Err())
+			}
+			if got := *m.Stats(); !reflect.DeepEqual(got, want) {
+				t.Errorf("stats after %s abort + Reset differ from a fresh machine:\ngot  %+v\nwant %+v", name, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"repro/internal/builtin"
+	"repro/internal/micro"
+	"repro/internal/word"
+)
+
+// psiTerms adapts the PSI machine's runtime values to the shared builtin
+// semantics in internal/builtin. The adapter's job is cost fidelity: each
+// hook charges exactly the micro-cycles (module, work-file modes, branch
+// op, cache behaviour) the hand-written firmware walks used to charge, in
+// the same memory-access order — the cache model makes that order
+// observable in the published tables.
+type psiTerms struct{ m *Machine }
+
+func (p psiTerms) Kind(v val) builtin.Kind {
+	if v.isUnbound() {
+		return builtin.KVar
+	}
+	switch v.W.Tag() {
+	case word.TagInt:
+		return builtin.KInt
+	case word.TagAtom:
+		return builtin.KAtom
+	case word.TagNil:
+		return builtin.KNil
+	case word.TagVec:
+		return builtin.KVec
+	default:
+		return builtin.KComp
+	}
+}
+
+func (p psiTerms) Int(v val) int32        { return v.W.Int() }
+func (p psiTerms) AtomName(v val) string  { return p.atomName(v.W) }
+func (p psiTerms) FunctorName(sym uint32) string { return p.m.prog.Syms.Name(sym) }
+
+// atomName renders an atomic value's name for ordering.
+func (p psiTerms) atomName(w word.Word) string {
+	if w.Tag() == word.TagNil {
+		return "[]"
+	}
+	if w.Tag() == word.TagVec {
+		return "$vec"
+	}
+	return p.m.prog.Syms.Name(w.Data())
+}
+
+func (p psiTerms) AtomSym(v val) uint32 {
+	if v.W.Tag() == word.TagNil {
+		return 0 // '[]'
+	}
+	return v.W.Data()
+}
+
+func (p psiTerms) VarCompare(x, y val) int {
+	switch {
+	case x.Addr == y.Addr:
+		return 0
+	case uint32(x.Addr) < uint32(y.Addr):
+		return -1
+	default:
+		return 1
+	}
+}
+
+func (p psiTerms) SameVar(x, y val) bool    { return x.Addr == y.Addr }
+func (p psiTerms) ConstEqual(x, y val) bool { return x.W.Data() == y.W.Data() }
+
+func (p psiTerms) SameCompound(x, y val) bool {
+	return x.W.Addr() == y.W.Addr() && x.Frame == y.Frame
+}
+
+// Functor reads the skeleton's functor word. The compare microcode
+// fetches it on the fall-through path (BGoto2, no work-file source); the
+// other builtins stage the operand first (WF00, BNop2).
+func (p psiTerms) Functor(t val, op builtin.Op) (uint32, int) {
+	var c micro.Cycle
+	if op == builtin.OpCompare {
+		c = micro.Cycle{Branch: micro.BGoto2}
+	} else {
+		c = micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2}
+	}
+	f := p.m.read(micro.MBuilt, t.W.Addr(), c)
+	return f.FuncSym(), f.FuncArity()
+}
+
+func (p psiTerms) Arg1(t val, i int, op builtin.Op) val {
+	aw := p.m.read(micro.MBuilt, t.W.Addr().Add(i), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+	return p.m.resolveSkelArg(micro.MBuilt, aw, t.Frame)
+}
+
+// ArgPair fetches the i-th argument word of both skeletons before
+// resolving either — the firmware's access order, which the cache model
+// observes.
+func (p psiTerms) ArgPair(x, y val, i int, op builtin.Op) (val, val) {
+	var c micro.Cycle
+	if op == builtin.OpCompare {
+		c = micro.Cycle{Branch: micro.BCondNot}
+	} else {
+		c = micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2}
+	}
+	ax := p.m.read(micro.MBuilt, x.W.Addr().Add(i), c)
+	ay := p.m.read(micro.MBuilt, y.W.Addr().Add(i), c)
+	return p.m.resolveSkelArg(micro.MBuilt, ax, x.Frame), p.m.resolveSkelArg(micro.MBuilt, ay, y.Frame)
+}
+
+func (p psiTerms) Deref(v val) val    { return p.m.derefVal(micro.MBuilt, v) }
+func (p psiTerms) Unify(x, y val) bool { return p.m.unify(x, y) }
+
+// UnifyVoid unifies against an anonymous variable: always succeeds,
+// binding nothing (voidVal's unify semantics).
+func (p psiTerms) UnifyVoid(t val) bool { return p.m.unify(t, voidVal) }
+
+func (p psiTerms) TypeMiss() {
+	p.m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCondNot})
+}
+
+func (p psiTerms) VisitNode(op builtin.Op) {
+	p.m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BCaseTag, Data: true})
+}
+
+func (p psiTerms) MkAtomSym(sym uint32) val { return val{W: word.Atom(sym)} }
+func (p psiTerms) MkInt(n int) val          { return val{W: word.Int32(int32(n))} }
+
+func (p psiTerms) MkCompound(sym uint32, n int, args []val) val {
+	sk, frame := p.m.makeSkeleton(sym, n)
+	for i, v := range args {
+		p.m.bind(micro.MBuilt, frame.Add(i), v)
+	}
+	return sk
+}
+
+func (p psiTerms) MkList(elems []val) val          { return p.m.makeList(elems) }
+func (p psiTerms) ListElems(l val) ([]val, bool)   { return p.m.listVals(l) }

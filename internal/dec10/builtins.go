@@ -3,6 +3,7 @@ package dec10
 import (
 	"fmt"
 
+	"repro/internal/builtin"
 	"repro/internal/kl0"
 	"repro/internal/term"
 )
@@ -23,18 +24,8 @@ func (m *Machine) execBuiltin(bi kl0.Builtin, n int) {
 		ok = m.identical(m.x[0], m.x[1])
 	case kl0.BNotEqEq:
 		ok = !m.identical(m.x[0], m.x[1])
-	case kl0.BVar:
-		ok = m.deref(m.x[0]).Tag() == CRef
-	case kl0.BNonvar:
-		ok = m.deref(m.x[0]).Tag() != CRef
-	case kl0.BAtom:
-		t := m.deref(m.x[0]).Tag()
-		ok = t == CCon || t == CNil
-	case kl0.BInteger:
-		ok = m.deref(m.x[0]).Tag() == CInt
-	case kl0.BAtomic:
-		t := m.deref(m.x[0]).Tag()
-		ok = t == CCon || t == CNil || t == CInt
+	case kl0.BVar, kl0.BNonvar, kl0.BAtom, kl0.BInteger, kl0.BAtomic:
+		ok = builtin.CheckType(bi, decTerms{m}.Kind(m.deref(m.x[0])))
 	case kl0.BIs:
 		v := m.evalCell(m.x[1])
 		ok = m.unify(m.x[0], Int32(v))
@@ -118,35 +109,10 @@ func (m *Machine) notUnifiable(a, b Cell) bool {
 	return !ok
 }
 
-// identical implements ==/2.
+// identical implements ==/2 via the shared walk; decTerms charges one
+// cost unit per visited node.
 func (m *Machine) identical(a, b Cell) bool {
-	x := m.deref(a)
-	y := m.deref(b)
-	m.cost(costUnifyNode)
-	if x == y {
-		return true
-	}
-	if x.Tag() != y.Tag() {
-		return false
-	}
-	switch x.Tag() {
-	case CLis:
-		return m.identical(m.heap[x.Ptr()], m.heap[y.Ptr()]) &&
-			m.identical(m.heap[x.Ptr()+1], m.heap[y.Ptr()+1])
-	case CStr:
-		fx, fy := m.heap[x.Ptr()], m.heap[y.Ptr()]
-		if fx != fy {
-			return false
-		}
-		for i := 1; i <= fx.FuncArity(); i++ {
-			if !m.identical(m.heap[x.Ptr()+i], m.heap[y.Ptr()+i]) {
-				return false
-			}
-		}
-		return true
-	default:
-		return false
-	}
+	return builtin.Identical[Cell, decTerms](decTerms{m}, m.deref(a), m.deref(b))
 }
 
 // evalCell computes an arithmetic expression. Only operator nodes cost
@@ -170,169 +136,37 @@ func (m *Machine) evalCell(c Cell) int32 {
 		for i := 0; i < arity; i++ {
 			xs[i] = m.evalCell(m.heap[d.Ptr()+1+i])
 		}
-		switch {
-		case name == "+" && arity == 2:
-			return xs[0] + xs[1]
-		case name == "-" && arity == 2:
-			return xs[0] - xs[1]
-		case name == "-" && arity == 1:
-			return -xs[0]
-		case name == "+" && arity == 1:
-			return xs[0]
-		case name == "*" && arity == 2:
-			return xs[0] * xs[1]
-		case (name == "//" || name == "/") && arity == 2:
-			if xs[1] == 0 {
-				panic(&RunError{Msg: "is/2: division by zero"})
-			}
-			return xs[0] / xs[1]
-		case name == "mod" && arity == 2:
-			if xs[1] == 0 {
-				panic(&RunError{Msg: "is/2: modulo by zero"})
-			}
-			r := xs[0] % xs[1]
-			if r != 0 && (r < 0) != (xs[1] < 0) {
-				r += xs[1]
-			}
-			return r
-		case name == "abs" && arity == 1:
-			if xs[0] < 0 {
-				return -xs[0]
-			}
-			return xs[0]
-		case name == "min" && arity == 2:
-			if xs[0] < xs[1] {
-				return xs[0]
-			}
-			return xs[1]
-		case name == "max" && arity == 2:
-			if xs[0] > xs[1] {
-				return xs[0]
-			}
-			return xs[1]
+		r, err := builtin.EvalOp(name, arity, xs)
+		if err != nil {
+			panic(&RunError{Msg: err.Error()})
 		}
-		panic(&RunError{Msg: fmt.Sprintf("is/2: unknown function %s/%d", name, arity)})
+		return r
 	default:
 		panic(&RunError{Msg: "is/2: type error"})
 	}
 }
 
-// biFunctor implements functor/3.
+// biFunctor implements functor/3 via the shared walk.
 func (m *Machine) biFunctor() bool {
-	t := m.deref(m.x[0])
-	switch t.Tag() {
-	case CRef:
-		name := m.deref(m.x[1])
-		nv := m.deref(m.x[2])
-		if nv.Tag() != CInt {
-			panic(&RunError{Msg: "functor/3: arity must be an integer"})
-		}
-		n := int(nv.Int())
-		if n < 0 || n > kl0.MaxArity {
-			panic(&RunError{Msg: "functor/3: arity out of range"})
-		}
-		if n == 0 {
-			return m.unify(t, name)
-		}
-		var c Cell
-		switch name.Tag() {
-		case CCon:
-			if name.Data() == uint32(term.SymDot) && n == 2 {
-				h := len(m.heap)
-				m.newVar()
-				m.newVar()
-				c = C(CLis, uint32(h))
-			} else {
-				h := len(m.heap)
-				m.heap = append(m.heap, Fun(name.Data(), n))
-				m.cost(costHeapCell)
-				for i := 0; i < n; i++ {
-					m.newVar()
-				}
-				c = C(CStr, uint32(h))
-			}
-		default:
-			panic(&RunError{Msg: "functor/3: name must be an atom"})
-		}
-		return m.unify(t, c)
-	case CLis:
-		return m.unify(m.x[1], Con(term.SymDot)) && m.unify(m.x[2], Int32(2))
-	case CStr:
-		f := m.heap[t.Ptr()]
-		return m.unify(m.x[1], Con(f.FuncSym())) && m.unify(m.x[2], Int32(int32(f.FuncArity())))
-	default:
-		return m.unify(m.x[1], t) && m.unify(m.x[2], Int32(0))
+	ok, err := builtin.Functor3[Cell, decTerms](decTerms{m}, m.deref(m.x[0]), m.x[1], m.x[2])
+	if err != nil {
+		panic(&RunError{Msg: err.Error()})
 	}
+	return ok
 }
 
-// biArg implements arg/3.
+// biArg implements arg/3 via the shared walk.
 func (m *Machine) biArg() bool {
-	nv := m.deref(m.x[0])
-	t := m.deref(m.x[1])
-	if nv.Tag() != CInt {
-		return false
-	}
-	n := int(nv.Int())
-	switch t.Tag() {
-	case CLis:
-		if n < 1 || n > 2 {
-			return false
-		}
-		return m.unify(m.heap[t.Ptr()+n-1], m.x[2])
-	case CStr:
-		f := m.heap[t.Ptr()]
-		if n < 1 || n > f.FuncArity() {
-			return false
-		}
-		return m.unify(m.heap[t.Ptr()+n], m.x[2])
-	default:
-		return false
-	}
+	return builtin.Arg3[Cell, decTerms](decTerms{m}, m.deref(m.x[0]), m.deref(m.x[1]), m.x[2])
 }
 
-// biUniv implements =../2.
+// biUniv implements =../2 via the shared walk.
 func (m *Machine) biUniv() bool {
-	t := m.deref(m.x[0])
-	switch t.Tag() {
-	case CRef:
-		elems, ok := m.cellList(m.x[1])
-		if !ok || len(elems) == 0 {
-			panic(&RunError{Msg: "=../2: second argument must be a proper non-empty list"})
-		}
-		if len(elems) == 1 {
-			return m.unify(t, elems[0])
-		}
-		head := m.deref(elems[0])
-		if head.Tag() != CCon {
-			panic(&RunError{Msg: "=../2: functor must be an atom"})
-		}
-		n := len(elems) - 1
-		var c Cell
-		if head.Data() == uint32(term.SymDot) && n == 2 {
-			h := len(m.heap)
-			m.heap = append(m.heap, elems[1], elems[2])
-			m.cost(2 * costHeapCell)
-			c = C(CLis, uint32(h))
-		} else {
-			h := len(m.heap)
-			m.heap = append(m.heap, Fun(head.Data(), n))
-			m.heap = append(m.heap, elems[1:]...)
-			m.cost(int64(n+1) * costHeapCell)
-			c = C(CStr, uint32(h))
-		}
-		return m.unify(t, c)
-	case CLis:
-		return m.unify(m.x[1], m.mkList([]Cell{Con(term.SymDot), m.heap[t.Ptr()], m.heap[t.Ptr()+1]}))
-	case CStr:
-		f := m.heap[t.Ptr()]
-		elems := []Cell{Con(f.FuncSym())}
-		for i := 1; i <= f.FuncArity(); i++ {
-			elems = append(elems, m.heap[t.Ptr()+i])
-		}
-		return m.unify(m.x[1], m.mkList(elems))
-	default:
-		return m.unify(m.x[1], m.mkList([]Cell{t}))
+	ok, err := builtin.Univ2[Cell, decTerms](decTerms{m}, m.deref(m.x[0]), m.x[1])
+	if err != nil {
+		panic(&RunError{Msg: err.Error()})
 	}
+	return ok
 }
 
 // mkList builds a list on the heap.
@@ -364,103 +198,14 @@ func (m *Machine) cellList(c Cell) ([]Cell, bool) {
 	}
 }
 
-// compareCells orders two cells by the standard order of terms.
+// compareCells orders two cells by the standard order of terms, via the
+// shared walk in internal/builtin.
 func (m *Machine) compareCells(a, b Cell) int {
-	x := m.deref(a)
-	y := m.deref(b)
-	m.cost(costUnifyNode)
-	rank := func(c Cell) int {
-		switch c.Tag() {
-		case CRef:
-			return 0
-		case CInt:
-			return 1
-		case CCon, CNil:
-			return 2
-		default:
-			return 3
-		}
-	}
-	if d := rank(x) - rank(y); d != 0 {
-		return csign(d)
-	}
-	switch x.Tag() {
-	case CRef:
-		return csign(x.Ptr() - y.Ptr())
-	case CInt:
-		return csign(int(x.Int()) - int(y.Int()))
-	case CCon, CNil:
-		xn, yn := m.conName(x), m.conName(y)
-		switch {
-		case xn == yn:
-			return 0
-		case xn < yn:
-			return -1
-		default:
-			return 1
-		}
-	default:
-		fx, ax := m.functorOf(x)
-		fy, ay := m.functorOf(y)
-		if d := ax - ay; d != 0 {
-			return csign(d)
-		}
-		if fx != fy {
-			if fx < fy {
-				return -1
-			}
-			return 1
-		}
-		for i := 0; i < ax; i++ {
-			if c := m.compareCells(m.argOf(x, i), m.argOf(y, i)); c != 0 {
-				return c
-			}
-		}
-		return 0
-	}
-}
-
-func (m *Machine) conName(c Cell) string {
-	if c.Tag() == CNil {
-		return "[]"
-	}
-	return m.prog.Syms.Name(c.Data())
-}
-
-func (m *Machine) functorOf(c Cell) (string, int) {
-	if c.Tag() == CLis {
-		return ".", 2
-	}
-	f := m.heap[c.Ptr()]
-	return m.prog.Syms.Name(f.FuncSym()), f.FuncArity()
-}
-
-func (m *Machine) argOf(c Cell, i int) Cell {
-	if c.Tag() == CLis {
-		return m.heap[c.Ptr()+i]
-	}
-	return m.heap[c.Ptr()+1+i]
+	return builtin.Compare[Cell, decTerms](decTerms{m}, m.deref(a), m.deref(b))
 }
 
 func (m *Machine) orderAtom(c int) Cell {
-	name := "="
-	switch {
-	case c < 0:
-		name = "<"
-	case c > 0:
-		name = ">"
-	}
-	return Con(m.prog.Syms.Intern(name))
-}
-
-func csign(d int) int {
-	switch {
-	case d < 0:
-		return -1
-	case d > 0:
-		return 1
-	}
-	return 0
+	return Con(m.prog.Syms.Intern(builtin.OrderName(c)))
 }
 
 // metacall implements call/1.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/engine"
 	"repro/internal/kl0"
 	"repro/internal/parse"
 	"repro/internal/term"
@@ -83,6 +84,9 @@ func New(prog *Program, cfg Config) *Machine {
 // Units reports the consumed cost units.
 func (m *Machine) Units() int64 { return m.units }
 
+// SetMaxUnits adjusts the abort bound (0 = none).
+func (m *Machine) SetMaxUnits(n int64) { m.maxUnits = n }
+
 // TimeNS reports the modelled DEC-2060 execution time.
 func (m *Machine) TimeNS() int64 { return m.units * NSPerUnit }
 
@@ -94,14 +98,27 @@ func (m *Machine) Calls() int64 { return m.calls }
 func (m *Machine) cost(u int64) {
 	m.units += u
 	if m.maxUnits > 0 && m.units > m.maxUnits {
-		panic(&RunError{Msg: fmt.Sprintf("unit limit %d exceeded", m.maxUnits)})
+		panic(&RunError{Msg: fmt.Sprintf("unit limit %d exceeded", m.maxUnits), Class: engine.ErrStepLimit})
 	}
 }
 
-// RunError reports abnormal termination.
-type RunError struct{ Msg string }
+// RunError reports abnormal termination. Class, when set, is the
+// engine-level error class (engine.ErrStepLimit, ...); it defaults to
+// engine.ErrMalformed so errors.Is always resolves a class.
+type RunError struct {
+	Msg   string
+	Class error
+}
 
 func (e *RunError) Error() string { return "dec10: " + e.Msg }
+
+// Unwrap exposes the engine error class for errors.Is.
+func (e *RunError) Unwrap() error {
+	if e.Class != nil {
+		return e.Class
+	}
+	return engine.ErrMalformed
+}
 
 // ---- heap primitives ---------------------------------------------------
 
@@ -201,6 +218,7 @@ type Solutions struct {
 	haltPC  int
 	entry   int
 	started bool
+	resume  bool // last Step yielded: continue in place, don't force failure
 	done    bool
 	err     error
 }
@@ -236,11 +254,29 @@ func (m *Machine) SolveQuery(q *Query) *Solutions {
 
 // Next returns the next answer.
 func (s *Solutions) Next() (map[string]*term.Term, bool) {
-	if s.done || s.err != nil {
+	if s.Step(0) != engine.Solution {
 		return nil, false
 	}
+	return s.Bindings(), true
+}
+
+// Step advances the search by about budget cost units (budget <= 0
+// removes the bound) and reports how it stopped. After engine.Solution,
+// the next Step forces backtracking into the next answer; after
+// engine.Yielded it resumes the interrupted search in place.
+func (s *Solutions) Step(budget int64) engine.Status {
+	if s.err != nil {
+		return engine.Failed
+	}
+	if s.done {
+		return engine.Exhausted
+	}
 	m := s.m
-	found := false
+	limit := int64(0)
+	if budget > 0 {
+		limit = m.units + budget
+	}
+	var found, yielded bool
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -252,7 +288,8 @@ func (s *Solutions) Next() (map[string]*term.Term, bool) {
 				panic(r)
 			}
 		}()
-		if !s.started {
+		switch {
+		case !s.started:
 			s.started = true
 			// Fresh unbound argument cells for the query variables.
 			s.cells = make([]Cell, len(s.vars))
@@ -264,24 +301,35 @@ func (s *Solutions) Next() (map[string]*term.Term, bool) {
 			m.cont = s.haltPC
 			m.pc = s.entry
 			m.failed = false
-			found = m.run(s.haltPC)
-		} else {
-			m.failed = true
-			found = m.run(s.haltPC)
+		case s.resume:
+			// Continue the sliced search where the budget ran out.
+		default:
+			m.failed = true // force backtracking into the next answer
 		}
+		found, yielded = m.runSteps(limit)
 	}()
-	if s.err != nil {
-		return nil, false
-	}
-	if !found {
+	switch {
+	case s.err != nil:
+		return engine.Failed
+	case yielded:
+		s.resume = true
+		return engine.Yielded
+	case found:
+		s.resume = false
+		return engine.Solution
+	default:
 		s.done = true
-		return nil, false
+		return engine.Exhausted
 	}
+}
+
+// Bindings decodes the current answer (valid after a Solution).
+func (s *Solutions) Bindings() map[string]*term.Term {
 	ans := make(map[string]*term.Term, len(s.vars))
 	for i, v := range s.vars {
-		ans[v] = m.decodeCell(s.cells[i])
+		ans[v] = s.m.decodeCell(s.cells[i])
 	}
-	return ans, true
+	return ans
 }
 
 // backtrack restores the newest choice point; returns false when none.
@@ -318,15 +366,30 @@ func maxInt(a, b int) int {
 }
 
 // run executes until success (pc reaches haltPC's opHaltSuccess) or
-// exhaustion.
+// exhaustion. Nested sub-executions (findall/3, \+/1, metacall stubs)
+// run through it unbounded: a step budget applies only to the
+// top-level stepped loop.
 func (m *Machine) run(haltPC int) bool {
+	found, _ := m.runSteps(0)
+	return found
+}
+
+// runSteps executes until success (found), exhaustion (neither), or the
+// machine's total cost-unit count reaches limit (yielded; limit 0 =
+// unbounded). A yielded machine resumes by calling runSteps again: all
+// execution state lives on the machine, so the loop re-enters between
+// instruction dispatches.
+func (m *Machine) runSteps(limit int64) (found, yielded bool) {
 	for {
 		if m.halted {
-			return false
+			return false, false
+		}
+		if limit > 0 && m.units >= limit {
+			return false, true
 		}
 		if m.failed {
 			if !m.backtrack() {
-				return false
+				return false, false
 			}
 			continue
 		}
@@ -657,7 +720,7 @@ func (m *Machine) run(haltPC int) bool {
 			m.execBuiltin(ins.bi, int(ins.a))
 
 		case opHaltSuccess:
-			return true
+			return true, false
 
 		default:
 			panic(&RunError{Msg: fmt.Sprintf("bad opcode %v", ins.op)})

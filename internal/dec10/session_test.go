@@ -1,0 +1,112 @@
+package dec10
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+const sessionSrc = `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+loop :- loop.
+boom :- X is 1 // 0, X = X.
+`
+
+// TestSteppedExecutionMatchesUnbounded slices one query into small unit
+// budgets and checks the answer stream and unit count are identical to
+// an unbounded run.
+func TestSteppedExecutionMatchesUnbounded(t *testing.T) {
+	eng := Eng{}
+	p, err := eng.Compile("session", sessionSrc, "app(X, Y, [1,2,3,4])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.(*Compiled)
+
+	whole := New(c.Prog.Snapshot(), Config{MaxUnits: 1_000_000})
+	ws := whole.SolveQuery(c.Query)
+	var wantAns []string
+	for {
+		ans, ok := ws.Next()
+		if !ok {
+			break
+		}
+		wantAns = append(wantAns, ans["X"].String()+"/"+ans["Y"].String())
+	}
+	if ws.Err() != nil {
+		t.Fatal(ws.Err())
+	}
+
+	sliced := New(c.Prog.Snapshot(), Config{MaxUnits: 1_000_000})
+	ss := sliced.SolveQuery(c.Query)
+	var gotAns []string
+	yields := 0
+	for {
+		st := ss.Step(5) // tiny budget: forces many yields per answer
+		switch st {
+		case engine.Yielded:
+			yields++
+			continue
+		case engine.Solution:
+			ans := ss.Bindings()
+			gotAns = append(gotAns, ans["X"].String()+"/"+ans["Y"].String())
+			continue
+		case engine.Exhausted:
+		case engine.Failed:
+			t.Fatal(ss.Err())
+		}
+		break
+	}
+	if !reflect.DeepEqual(gotAns, wantAns) {
+		t.Fatalf("stepped answers %v, unbounded %v", gotAns, wantAns)
+	}
+	if yields == 0 {
+		t.Fatal("budget of 5 units never yielded")
+	}
+	if g, w := sliced.Units(), whole.Units(); g != w {
+		t.Fatalf("stepped run charged %d units, unbounded %d", g, w)
+	}
+}
+
+// TestSessionErrorClasses checks each abnormal termination carries its
+// engine error class on the baseline too.
+func TestSessionErrorClasses(t *testing.T) {
+	eng := Eng{}
+	newSess := func(t *testing.T, query string, units int64) engine.Session {
+		t.Helper()
+		p, err := eng.Compile("session", sessionSrc, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := eng.NewSession(p, engine.Options{MaxSteps: units})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess
+	}
+	t.Run("step-limit", func(t *testing.T) {
+		st, err := newSess(t, "loop", 1000).Next(nil)
+		if st != engine.Failed || !errors.Is(err, engine.ErrStepLimit) {
+			t.Fatalf("status %v err %v, want Failed/ErrStepLimit", st, err)
+		}
+	})
+	t.Run("malformed", func(t *testing.T) {
+		st, err := newSess(t, "boom", 0).Next(nil)
+		if st != engine.Failed || !errors.Is(err, engine.ErrMalformed) {
+			t.Fatalf("status %v err %v, want Failed/ErrMalformed", st, err)
+		}
+	})
+	t.Run("deadline", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		st, err := newSess(t, "loop", 0).Next(ctx)
+		if st != engine.Failed || !errors.Is(err, engine.ErrDeadline) {
+			t.Fatalf("status %v err %v, want Failed/ErrDeadline", st, err)
+		}
+	})
+}

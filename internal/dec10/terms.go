@@ -1,0 +1,134 @@
+package dec10
+
+import (
+	"repro/internal/builtin"
+	"repro/internal/term"
+)
+
+// decTerms adapts the DEC-10 machine's tagged cells to the shared
+// builtin semantics in internal/builtin, charging the same abstract cost
+// units the hand-written walks used to charge. Unlike the PSI the DEC-10
+// cost model is a set of counters, so only the totals matter, not the
+// access order.
+type decTerms struct{ m *Machine }
+
+func (d decTerms) Kind(v Cell) builtin.Kind {
+	switch v.Tag() {
+	case CRef:
+		return builtin.KVar
+	case CInt:
+		return builtin.KInt
+	case CCon:
+		return builtin.KAtom
+	case CNil:
+		return builtin.KNil
+	default: // CLis, CStr
+		return builtin.KComp
+	}
+}
+
+func (d decTerms) Int(v Cell) int32 { return v.Int() }
+
+// AtomName renders an atomic cell's name for ordering.
+func (d decTerms) AtomName(v Cell) string {
+	if v.Tag() == CNil {
+		return "[]"
+	}
+	return d.m.prog.Syms.Name(v.Data())
+}
+
+func (d decTerms) FunctorName(sym uint32) string { return d.m.prog.Syms.Name(sym) }
+
+func (d decTerms) AtomSym(v Cell) uint32 {
+	if v.Tag() == CNil {
+		return uint32(term.SymEmptyList)
+	}
+	return v.Data()
+}
+
+func (d decTerms) VarCompare(x, y Cell) int {
+	switch p, q := x.Ptr(), y.Ptr(); {
+	case p < q:
+		return -1
+	case p > q:
+		return 1
+	}
+	return 0
+}
+
+func (d decTerms) SameVar(x, y Cell) bool      { return x == y }
+func (d decTerms) ConstEqual(x, y Cell) bool   { return x == y }
+func (d decTerms) SameCompound(x, y Cell) bool { return x == y }
+
+// Functor reads a compound's functor: list cells carry an implicit './2'.
+func (d decTerms) Functor(t Cell, op builtin.Op) (uint32, int) {
+	if t.Tag() == CLis {
+		return uint32(term.SymDot), 2
+	}
+	f := d.m.heap[t.Ptr()]
+	return f.FuncSym(), f.FuncArity()
+}
+
+// Arg1 fetches a compound's i-th argument cell raw (undereferenced), as
+// the DEC-10's arg/3 and =../2 always did; unification derefs on use.
+func (d decTerms) Arg1(t Cell, i int, op builtin.Op) Cell {
+	if t.Tag() == CLis {
+		return d.m.heap[t.Ptr()+i-1]
+	}
+	return d.m.heap[t.Ptr()+i]
+}
+
+// ArgPair fetches and dereferences the i-th argument of both compounds
+// for the recursive compare/identical walks.
+func (d decTerms) ArgPair(x, y Cell, i int, op builtin.Op) (Cell, Cell) {
+	return d.m.deref(d.Arg1(x, i, op)), d.m.deref(d.Arg1(y, i, op))
+}
+
+func (d decTerms) Deref(v Cell) Cell    { return d.m.deref(v) }
+func (d decTerms) Unify(x, y Cell) bool { return d.m.unify(x, y) }
+
+// UnifyVoid unifies against an anonymous variable: trivially true, at
+// one unification node's cost.
+func (d decTerms) UnifyVoid(t Cell) bool {
+	d.m.cost(costUnifyNode)
+	return true
+}
+
+func (d decTerms) TypeMiss() {}
+
+func (d decTerms) VisitNode(op builtin.Op) { d.m.cost(costUnifyNode) }
+
+func (d decTerms) MkAtomSym(sym uint32) Cell { return Con(sym) }
+func (d decTerms) MkInt(n int) Cell          { return Int32(int32(n)) }
+
+// MkCompound builds a structure (or a list cell for './2') on the heap;
+// nil args allocate fresh variables.
+func (d decTerms) MkCompound(sym uint32, n int, args []Cell) Cell {
+	m := d.m
+	if sym == uint32(term.SymDot) && n == 2 {
+		h := len(m.heap)
+		if args == nil {
+			m.newVar()
+			m.newVar()
+		} else {
+			m.heap = append(m.heap, args[0], args[1])
+			m.cost(2 * costHeapCell)
+		}
+		return C(CLis, uint32(h))
+	}
+	h := len(m.heap)
+	m.heap = append(m.heap, Fun(sym, n))
+	if args == nil {
+		m.cost(costHeapCell)
+		for i := 0; i < n; i++ {
+			m.newVar()
+		}
+	} else {
+		m.heap = append(m.heap, args...)
+		m.cost(int64(n+1) * costHeapCell)
+	}
+	return C(CStr, uint32(h))
+}
+
+func (d decTerms) MkList(elems []Cell) Cell        { return d.m.mkList(elems) }
+func (d decTerms) ListElems(l Cell) ([]Cell, bool) { return d.m.cellList(l) }

@@ -1,0 +1,210 @@
+// Package engine defines the machine-neutral execution seam between the
+// two simulated Prolog engines (the PSI firmware interpreter in
+// internal/core and the DEC-10 compiled-code baseline in internal/dec10)
+// and everything that drives them: the harness, the CLIs and any future
+// serving layer.
+//
+// The seam is deliberately small. An Engine compiles source into a
+// Program and opens Sessions on it; a Session is a resumable search that
+// advances in bounded steps. Step(budget) runs at most ~budget machine
+// steps (microcycles on the PSI, cost units on the DEC-10) and reports a
+// Status; Next(ctx) drives Step in CheckEvery-sized slices, polling the
+// context between slices, so cancellation and deadlines are honoured
+// with bounded overhead instead of a per-cycle check.
+//
+// All abnormal terminations map onto a small typed taxonomy —
+// ErrStepLimit, ErrCanceled, ErrDeadline, ErrMalformed — so callers
+// branch on errors.Is instead of matching message strings, and the CLIs
+// can translate every class into a distinct exit code.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/term"
+)
+
+// Status reports the outcome of advancing a Session.
+type Status int
+
+const (
+	// Solution: the search produced an answer; Bindings holds it.
+	Solution Status = iota
+	// Yielded: the step budget ran out with the search still in flight;
+	// call Step or Next again to resume.
+	Yielded
+	// Exhausted: the search space is exhausted; no (further) answer.
+	Exhausted
+	// Failed: the run aborted with an error (see the returned error).
+	Failed
+)
+
+// String names the status for reports and logs.
+func (s Status) String() string {
+	switch s {
+	case Solution:
+		return "solution"
+	case Yielded:
+		return "yielded"
+	case Exhausted:
+		return "exhausted"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// The error taxonomy. Machine errors unwrap to exactly one of these
+// sentinels, so errors.Is classifies any engine failure.
+var (
+	// ErrStepLimit: the run exceeded its configured step bound.
+	ErrStepLimit = errors.New("step limit exceeded")
+	// ErrCanceled: the driving context was canceled.
+	ErrCanceled = errors.New("run canceled")
+	// ErrDeadline: the driving context's deadline passed.
+	ErrDeadline = errors.New("deadline exceeded")
+	// ErrMalformed: a malformed execution — type errors in builtins,
+	// illegal instructions, undefined predicates reached via call/1.
+	ErrMalformed = errors.New("malformed execution")
+)
+
+// CheckEvery is the step budget Next grants between context polls:
+// cancellation latency is bounded by ~64K machine steps rather than
+// paying a check on every cycle.
+const CheckEvery = 1 << 16
+
+// Session is one resumable query execution on a machine.
+//
+// The step budget is a soft boundary: the machine only yields between
+// instruction dispatches, so a slice may overshoot by the cost of the
+// instruction (and of any nested sub-execution, e.g. findall/3) in
+// flight when the budget ran out.
+type Session interface {
+	// Step advances the search by about budget machine steps
+	// (budget <= 0 removes the bound). After a Solution, calling Step
+	// again searches for the next answer.
+	Step(budget int64) (Status, error)
+	// Next runs until the next terminal status, polling ctx every
+	// CheckEvery steps. A nil or non-cancelable context runs unsliced.
+	Next(ctx context.Context) (Status, error)
+	// Bindings returns the current answer after a Solution status.
+	Bindings() map[string]*term.Term
+	// Metrics reports the accumulated work of the underlying machine.
+	Metrics() Metrics
+}
+
+// Metrics is a machine-neutral snapshot of a session's accumulated work.
+type Metrics struct {
+	Engine     string // engine identity: "psi" or "dec10"
+	Steps      int64  // microcycles (PSI) or cost units (DEC-10)
+	TimeNS     int64  // simulated time
+	Inferences int64  // logical inferences (calls)
+}
+
+// Options configures a new session.
+type Options struct {
+	// Out receives output from write/1 and friends (nil = discard).
+	Out io.Writer
+	// MaxSteps aborts the run with ErrStepLimit after this many machine
+	// steps (0 = no bound).
+	MaxSteps int64
+}
+
+// Program is a compiled artifact an Engine can open sessions on.
+type Program interface {
+	// Engine names the engine that compiled the program.
+	Engine() string
+}
+
+// Engine compiles programs and opens sessions; internal/core and
+// internal/dec10 each provide one.
+type Engine interface {
+	Name() string
+	// Compile parses source and query and compiles both.
+	Compile(name, source, query string) (Program, error)
+	// NewSession builds a fresh machine for the program and starts the
+	// compiled query on it.
+	NewSession(p Program, opts Options) (Session, error)
+}
+
+// Drive implements Session.Next over a Step function: it advances in
+// CheckEvery-step slices and polls ctx between slices. With a nil or
+// non-cancelable context (Done() == nil, e.g. context.Background()) it
+// issues one unbounded Step — the zero-overhead path the evaluation
+// harness runs on.
+func Drive(ctx context.Context, step func(budget int64) (Status, error)) (Status, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return step(0)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return Failed, CtxError(err)
+		}
+		st, err := step(CheckEvery)
+		if st != Yielded || err != nil {
+			return st, err
+		}
+	}
+}
+
+// CtxError maps a context error onto the taxonomy (ErrDeadline or
+// ErrCanceled), preserving the original text.
+func CtxError(err error) error {
+	class := ErrCanceled
+	if errors.Is(err, context.DeadlineExceeded) {
+		class = ErrDeadline
+	}
+	return fmt.Errorf("%w (%v)", class, err)
+}
+
+// ClassName names an error's taxonomy class for CLI stderr messages.
+func ClassName(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrStepLimit):
+		return "step-limit"
+	case errors.Is(err, ErrDeadline):
+		return "deadline"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrMalformed):
+		return "malformed"
+	default:
+		return "error"
+	}
+}
+
+// Exit codes: each error class gets a distinct nonzero code so scripts
+// and supervisors can branch on how a run ended.
+const (
+	ExitOK        = 0
+	ExitFailure   = 1 // generic failure (parse errors, I/O, query failed)
+	ExitUsage     = 2 // bad command line
+	ExitMalformed = 3
+	ExitStepLimit = 4
+	ExitDeadline  = 5
+	ExitCanceled  = 6
+)
+
+// ExitCode maps an error onto the CLI exit-code contract.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, ErrStepLimit):
+		return ExitStepLimit
+	case errors.Is(err, ErrDeadline):
+		return ExitDeadline
+	case errors.Is(err, ErrCanceled):
+		return ExitCanceled
+	case errors.Is(err, ErrMalformed):
+		return ExitMalformed
+	default:
+		return ExitFailure
+	}
+}

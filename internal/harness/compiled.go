@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dec10"
+	"repro/internal/engine"
 	"repro/internal/kl0"
 	"repro/internal/micro"
 	"repro/internal/obs"
@@ -144,6 +146,8 @@ type runOpts struct {
 	progress func(obs.Progress) // nil = no heartbeats
 	every    int64              // heartbeat period in cycles (0 = default)
 	profile  micro.PredSink     // per-predicate attribution sink
+	ctx      context.Context    // deadline/cancel bound (nil = unbounded)
+	maxSteps int64              // step bound override (0 = harness default)
 }
 
 // sinkPair duplicates the cycle stream to two sinks (collect + tap runs).
@@ -155,7 +159,11 @@ func (p sinkPair) Cycle(c micro.Cycle) {
 }
 
 func (c *Compiled) run(ro runOpts) (*PSIRun, error) {
-	cfg := core.Config{Processes: c.Procs, MaxSteps: maxSteps, Features: ro.feat}
+	steps := ro.maxSteps
+	if steps <= 0 {
+		steps = maxSteps
+	}
+	cfg := core.Config{Processes: c.Procs, MaxSteps: steps, Features: ro.feat}
 	var log *trace.Log
 	if ro.collect {
 		log = &trace.Log{}
@@ -187,9 +195,8 @@ func (c *Compiled) run(ro runOpts) (*PSIRun, error) {
 			return nil, err
 		}
 	}
-	sols := m.SolveQuery(c.Query)
-	if _, ok := sols.Next(); !ok {
-		err := sols.Err()
+	sess := core.NewSession(m, c.Query)
+	if st, err := sess.Next(ro.ctx); st != engine.Solution {
 		releaseMachine(m)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dec10"
+	"repro/internal/engine"
 	"repro/internal/micro"
 	"repro/internal/obs"
 	"repro/internal/progs"
@@ -55,6 +56,8 @@ func runPSIWith(o Options, cell string, b progs.Benchmark, collect bool) (*PSIRu
 		cell:     cell,
 		progress: o.Progress,
 		every:    o.ProgressEvery,
+		ctx:      o.Ctx,
+		maxSteps: o.MaxSteps,
 	})
 }
 
@@ -72,6 +75,8 @@ func runPSIInto(o Options, cell string, b progs.Benchmark, sink micro.Sink) erro
 		cell:     cell,
 		progress: o.Progress,
 		every:    o.ProgressEvery,
+		ctx:      o.Ctx,
+		maxSteps: o.MaxSteps,
 	})
 	if err != nil {
 		return err
@@ -102,6 +107,12 @@ func Profile(b progs.Benchmark) (*obs.RunProfile, error) {
 // RunDEC executes a benchmark on the DEC-10 baseline. The baseline is
 // compiled once; the machine runs on a private snapshot of the image.
 func RunDEC(b progs.Benchmark) (*dec10.Machine, error) {
+	return runDECWith(Options{}, b)
+}
+
+// runDECWith is RunDEC with the Options' context and step bound applied;
+// like the PSI side, the baseline is driven through its engine session.
+func runDECWith(o Options, b progs.Benchmark) (*dec10.Machine, error) {
 	c, err := Compile(b)
 	if err != nil {
 		return nil, err
@@ -110,11 +121,11 @@ func RunDEC(b progs.Benchmark) (*dec10.Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := dec10.New(prog, dec10.Config{MaxUnits: maxSteps})
-	sols := m.SolveQuery(q)
-	if _, ok := sols.Next(); !ok {
-		if sols.Err() != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, sols.Err())
+	m := dec10.New(prog, dec10.Config{MaxUnits: o.maxSteps()})
+	sess := dec10.NewSession(m, q)
+	if st, err := sess.Next(o.Ctx); st != engine.Solution {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
 		return nil, fmt.Errorf("%s: DEC query %q failed", b.Name, b.Query)
 	}

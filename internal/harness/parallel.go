@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,24 @@ type Options struct {
 	// ProgressEvery sets the heartbeat period in simulated micro-cycles
 	// (0 = core.DefaultProgressEvery).
 	ProgressEvery int64
+
+	// Ctx, when non-nil and cancelable, bounds every simulated run: a
+	// deadline or cancellation surfaces as an engine.ErrDeadline /
+	// engine.ErrCanceled run error. A nil or non-cancelable context
+	// drives each run in a single unbounded step (the fast path), so
+	// the evaluation output stays byte-identical.
+	Ctx context.Context
+
+	// MaxSteps overrides the per-run simulated step bound
+	// (0 = the harness default of 4e9).
+	MaxSteps int64
+}
+
+func (o Options) maxSteps() int64 {
+	if o.MaxSteps > 0 {
+		return o.MaxSteps
+	}
+	return maxSteps
 }
 
 func (o Options) workers() int {

@@ -40,7 +40,7 @@ func Table1With(o Options) ([]T1Row, error) {
 		psi := float64(r.Machine.TimeNS()) / 1e6
 		inf := r.Machine.Inferences()
 		r.Release()
-		d, err := RunDEC(b)
+		d, err := runDECWith(o, b)
 		if err != nil {
 			return T1Row{}, err
 		}

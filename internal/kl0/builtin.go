@@ -1,127 +1,58 @@
 package kl0
 
-import "fmt"
+import "repro/internal/builtin"
 
-// Builtin identifies a firmware built-in predicate. The PSI executes
-// built-ins entirely in microcode; Table 2's "built" column is the time
-// spent in their bodies and "get_arg" the time fetching their arguments.
-type Builtin uint16
+// Builtin identifies a firmware built-in predicate. The canonical table
+// — names, arities, determinism classes — lives in internal/builtin and
+// is shared with the DEC-10 baseline; KL0 re-exports the identifiers so
+// compiler and core code keep reading naturally.
+type Builtin = builtin.ID
 
 // Built-in predicates.
 const (
-	BTrue Builtin = iota
-	BFail
-	BUnify    // =/2
-	BNotUnify // \=/2
-	BEqEq     // ==/2
-	BNotEqEq  // \==/2
-	BVar
-	BNonvar
-	BAtom
-	BInteger
-	BAtomic
-	BIs
-	BArithEq // =:=
-	BArithNe // =\=
-	BLess    // </2
-	BLessEq  // =</2
-	BGreater // >/2
-	BGreaterEq
-	BFunctor
-	BArg
-	BUniv // =../2
-	BCall
-	BWrite
-	BNl
-	BTab
-	BHalt
-	BVector    // vector(V, N): create heap vector of N cells
-	BVset      // vset(V, I, X)
-	BVref      // vref(V, I, X)
-	BInterrupt // interrupt: run the installed handler on its process
-	BCompare   // compare(Order, X, Y) over the standard order of terms
-	BTermLess  // @</2
-	BTermLeq   // @=</2
-	BTermGtr   // @>/2
-	BTermGeq   // @>=/2
-	BFindall   // findall(Template, Goal, List)
-	BName      // name(AtomOrInt, Codes)
-	BAssertz   // assertz(Clause)
-	BRetract   // retract(Fact) — facts only
-	NumBuiltins
+	BTrue      = builtin.BTrue
+	BFail      = builtin.BFail
+	BUnify     = builtin.BUnify
+	BNotUnify  = builtin.BNotUnify
+	BEqEq      = builtin.BEqEq
+	BNotEqEq   = builtin.BNotEqEq
+	BVar       = builtin.BVar
+	BNonvar    = builtin.BNonvar
+	BAtom      = builtin.BAtom
+	BInteger   = builtin.BInteger
+	BAtomic    = builtin.BAtomic
+	BIs        = builtin.BIs
+	BArithEq   = builtin.BArithEq
+	BArithNe   = builtin.BArithNe
+	BLess      = builtin.BLess
+	BLessEq    = builtin.BLessEq
+	BGreater   = builtin.BGreater
+	BGreaterEq = builtin.BGreaterEq
+	BFunctor   = builtin.BFunctor
+	BArg       = builtin.BArg
+	BUniv      = builtin.BUniv
+	BCall      = builtin.BCall
+	BWrite     = builtin.BWrite
+	BNl        = builtin.BNl
+	BTab       = builtin.BTab
+	BHalt      = builtin.BHalt
+	BVector    = builtin.BVector
+	BVset      = builtin.BVset
+	BVref      = builtin.BVref
+	BInterrupt = builtin.BInterrupt
+	BCompare   = builtin.BCompare
+	BTermLess  = builtin.BTermLess
+	BTermLeq   = builtin.BTermLeq
+	BTermGtr   = builtin.BTermGtr
+	BTermGeq   = builtin.BTermGeq
+	BFindall   = builtin.BFindall
+	BName      = builtin.BName
+	BAssertz   = builtin.BAssertz
+	BRetract   = builtin.BRetract
+	NumBuiltins = builtin.NumBuiltins
 )
-
-type builtinDef struct {
-	id    Builtin
-	arity int
-}
-
-// builtinTable maps name/arity to built-in ids.
-var builtinTable = map[string]builtinDef{
-	"true/0":      {BTrue, 0},
-	"fail/0":      {BFail, 0},
-	"false/0":     {BFail, 0},
-	"=/2":         {BUnify, 2},
-	"\\=/2":       {BNotUnify, 2},
-	"==/2":        {BEqEq, 2},
-	"\\==/2":      {BNotEqEq, 2},
-	"var/1":       {BVar, 1},
-	"nonvar/1":    {BNonvar, 1},
-	"atom/1":      {BAtom, 1},
-	"integer/1":   {BInteger, 1},
-	"atomic/1":    {BAtomic, 1},
-	"is/2":        {BIs, 2},
-	"=:=/2":       {BArithEq, 2},
-	"=\\=/2":      {BArithNe, 2},
-	"</2":         {BLess, 2},
-	"=</2":        {BLessEq, 2},
-	">/2":         {BGreater, 2},
-	">=/2":        {BGreaterEq, 2},
-	"functor/3":   {BFunctor, 3},
-	"arg/3":       {BArg, 3},
-	"=../2":       {BUniv, 2},
-	"call/1":      {BCall, 1},
-	"write/1":     {BWrite, 1},
-	"nl/0":        {BNl, 0},
-	"tab/1":       {BTab, 1},
-	"halt/0":      {BHalt, 0},
-	"vector/2":    {BVector, 2},
-	"vset/3":      {BVset, 3},
-	"vref/3":      {BVref, 3},
-	"interrupt/0": {BInterrupt, 0},
-	"compare/3":   {BCompare, 3},
-	"@</2":        {BTermLess, 2},
-	"@=</2":       {BTermLeq, 2},
-	"@>/2":        {BTermGtr, 2},
-	"@>=/2":       {BTermGeq, 2},
-	"findall/3":   {BFindall, 3},
-	"name/2":      {BName, 2},
-	"assertz/1":   {BAssertz, 1},
-	"assert/1":    {BAssertz, 1},
-	"retract/1":   {BRetract, 1},
-}
-
-var builtinNames = func() map[Builtin]string {
-	m := make(map[Builtin]string, len(builtinTable))
-	for name, def := range builtinTable {
-		if _, dup := m[def.id]; !dup {
-			m[def.id] = name
-		}
-	}
-	m[BFail] = "fail/0"
-	return m
-}()
-
-// String names the builtin as name/arity.
-func (b Builtin) String() string {
-	if n, ok := builtinNames[b]; ok {
-		return n
-	}
-	return fmt.Sprintf("builtin(%d)", uint16(b))
-}
 
 // LookupBuiltin resolves a predicate indicator to a built-in id.
 func LookupBuiltin(name string, arity int) (Builtin, bool) {
-	def, ok := builtinTable[fmt.Sprintf("%s/%d", name, arity)]
-	return def.id, ok
+	return builtin.Lookup(name, arity)
 }

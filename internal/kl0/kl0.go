@@ -27,13 +27,15 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/builtin"
 	"repro/internal/term"
 	"repro/internal/word"
 )
 
 // MaxArity is the largest supported predicate or functor arity (the
-// functor word packs the arity into 8 bits).
-const MaxArity = 255
+// functor word packs the arity into 8 bits). The canonical constant
+// lives in internal/builtin, shared with the DEC-10 engine.
+const MaxArity = builtin.MaxArity
 
 // ClauseInfo locates one compiled clause inside the code image.
 type ClauseInfo struct {

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/micro"
 	"repro/internal/word"
 )
@@ -80,6 +81,8 @@ type HostReport struct {
 // work-file mode counters and the memory areas.
 type RunReport struct {
 	Schema      string  `json:"schema"`
+	Engine      string  `json:"engine"`
+	Termination string  `json:"termination"`
 	Workload    string  `json:"workload,omitempty"`
 	MicroCycles int64   `json:"micro_cycles"`
 	SimulatedNS int64   `json:"simulated_ns"`
@@ -113,6 +116,8 @@ func NewRunReport(m *core.Machine, workload string, host *HostReport) *RunReport
 	s := m.Stats()
 	r := &RunReport{
 		Schema:      ReportSchema,
+		Engine:      core.EngineName,
+		Termination: engine.ClassName(nil),
 		Workload:    workload,
 		MicroCycles: s.Steps,
 		SimulatedNS: m.TimeNS(),
@@ -173,6 +178,12 @@ func NewRunReport(m *core.Machine, workload string, host *HostReport) *RunReport
 		}
 	}
 	return r
+}
+
+// SetTermination records how the run ended, as the engine error class
+// name ("ok", "step-limit", "deadline", "canceled", "malformed").
+func (r *RunReport) SetTermination(err error) {
+	r.Termination = engine.ClassName(err)
 }
 
 // JSON serializes the report (indented, trailing newline), the exact

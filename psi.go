@@ -26,6 +26,7 @@
 package psi
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dec10"
+	"repro/internal/engine"
 	"repro/internal/kl0"
 	"repro/internal/micro"
 	"repro/internal/obs"
@@ -155,6 +157,48 @@ func (m *Machine) AddClauses(source string) error {
 // Solve runs a query; iterate the returned Solutions for the answers.
 func (m *Machine) Solve(goal string) (*Solutions, error) {
 	return m.m.Solve(goal)
+}
+
+// stepper is the stepped-execution surface both engines' Solutions
+// share (see internal/engine).
+type stepper interface {
+	Step(budget int64) engine.Status
+	Err() error
+	Bindings() map[string]*term.Term
+}
+
+// nextCtx drives a stepped search under a context: cancelable contexts
+// slice the run and surface engine.ErrDeadline / engine.ErrCanceled;
+// nil or non-cancelable contexts run unbounded exactly like Next.
+func nextCtx(ctx context.Context, s stepper) (map[string]*Term, bool, error) {
+	st, err := engine.Drive(ctx, func(budget int64) (engine.Status, error) {
+		st := s.Step(budget)
+		if st == engine.Failed {
+			return st, s.Err()
+		}
+		return st, nil
+	})
+	switch {
+	case err != nil:
+		return nil, false, err
+	case st == engine.Solution:
+		return s.Bindings(), true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// NextCtx returns the next PSI answer, honoring the context's deadline
+// and cancellation. Errors carry an engine error class: use
+// engine.ExitCode / engine.ClassName (or errors.Is against
+// engine.ErrStepLimit etc.) to classify them.
+func NextCtx(ctx context.Context, sols *Solutions) (map[string]*Term, bool, error) {
+	return nextCtx(ctx, sols)
+}
+
+// BaselineNextCtx is NextCtx for the DEC-10 baseline.
+func BaselineNextCtx(ctx context.Context, sols *BaselineSolutions) (map[string]*Term, bool, error) {
+	return nextCtx(ctx, sols)
 }
 
 // SetInterruptHandler installs a goal run on another process context
@@ -283,6 +327,9 @@ func LoadBaseline(source string, out io.Writer) (*Baseline, error) {
 func (b *Baseline) Solve(goal string) (*BaselineSolutions, error) {
 	return b.m.Solve(goal)
 }
+
+// SetMaxUnits adjusts the baseline's abort bound (0 = none).
+func (b *Baseline) SetMaxUnits(n int64) { b.m.SetMaxUnits(n) }
 
 // TimeNS reports the modelled DEC-2060 execution time.
 func (b *Baseline) TimeNS() int64 { return b.m.TimeNS() }
