@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz golden bench bench-pmms bench-engine cover staticcheck profile verify
+.PHONY: build vet test race fuzz chaos golden bench bench-pmms bench-engine cover staticcheck profile verify
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,15 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDifferentialQuery$$' -fuzztime 5s .
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRead$$' -fuzztime 5s ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 5s ./internal/trace
+
+# Chaos suite under the race detector: replay the seeded fault sweep
+# against every injection site (mem, cache, wf, trace), check each run
+# terminates with a classified fault (never an uncontained panic), and
+# verify pooled machines and keep-going degradation stay byte-identical
+# at any worker count after containment. -short skips the double
+# full-evaluation determinism test, which the plain suite still runs.
+chaos:
+	$(GO) test -race -short -count=1 -run 'TestChaos|TestFaultedPool|TestKeepGoing|TestInjector|TestSweep|TestCorruptTrace' ./internal/fault ./internal/harness -v
 
 # Rewrite the golden files under docs/ from the current output (only
 # after an intended simulator change).
@@ -62,4 +71,4 @@ profile:
 	$(GO) run ./cmd/psibench -cpuprofile psibench.pprof 1 > /dev/null
 	@echo "wrote psibench.pprof; inspect with: $(GO) tool pprof psibench.pprof"
 
-verify: build race test fuzz
+verify: build race test fuzz chaos

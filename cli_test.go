@@ -2,9 +2,9 @@ package psi
 
 // End-to-end error-path coverage of the two binaries: every abnormal
 // termination must exit with its engine error class code (3 malformed,
-// 4 step-limit, 5 deadline) and name the class on stderr. Historically
-// every failure exited 1, so scripted drivers could not tell a diverging
-// run from a typo'd flag.
+// 4 step-limit, 5 deadline, 6 canceled, 7 fault, 8 degraded) and name
+// the class on stderr. Historically every failure exited 1, so scripted
+// drivers could not tell a diverging run from a typo'd flag.
 
 import (
 	"os"
@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildCLIs compiles both binaries once into a shared temp dir.
@@ -83,6 +84,10 @@ func TestCLIErrorExitCodes(t *testing.T) {
 		{"psi dec deadline", psiBin, []string{"-dec", "-timeout", "100ms", loopProg}, 5, "deadline"},
 		{"psibench step limit", benchBin, []string{"-j", "1", "-steps", "1000", "2"}, 4, "step-limit"},
 		{"psibench usage", benchBin, []string{"nonsense"}, 2, ""},
+		{"psi fault", psiBin, []string{"-report=false", "-fault", "site=mem,after=1,seed=1", okProg}, 7, "fault"},
+		{"psi bad fault", psiBin, []string{"-fault", "site=bogus", okProg}, 2, "bad -fault"},
+		{"psibench fault", benchBin, []string{"-j", "2", "-fault", "site=trace,after=100,seed=1", "2"}, 7, "fault"},
+		{"psibench bad fault", benchBin, []string{"-fault", "after=100", "2"}, 2, "bad -fault"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -94,5 +99,71 @@ func TestCLIErrorExitCodes(t *testing.T) {
 				t.Errorf("stderr %q does not mention %q", stderr, tc.stderr)
 			}
 		})
+	}
+}
+
+// TestCLIDegradedExit drives the graceful-degradation path end to end:
+// with one workload faulted under -keep-going, psibench must still print
+// the surviving rows plus the degraded section on stdout and exit with
+// the distinct degraded code.
+func TestCLIDegradedExit(t *testing.T) {
+	_, benchBin := buildCLIs(t)
+	var stdout, stderr strings.Builder
+	cmd := exec.Command(benchBin, "-j", "2", "-keep-going",
+		"-fault", "site=trace,after=100,seed=1,only=8 puzzle", "2")
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want degraded exit, got err %v (stderr: %s)", err, stderr.String())
+	}
+	if ee.ExitCode() != 8 {
+		t.Errorf("exit code %d, want 8 (stderr: %s)", ee.ExitCode(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "degraded") {
+		t.Errorf("stderr %q does not mention degradation", stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Table 2") {
+		t.Errorf("degraded run lost the table header:\n%s", out)
+	}
+	if !strings.Contains(out, "window-2") {
+		t.Errorf("surviving workload missing from degraded output:\n%s", out)
+	}
+	if !strings.Contains(out, "Degraded workloads: 1 run(s) failed") {
+		t.Errorf("degraded section missing from stdout:\n%s", out)
+	}
+	if !strings.Contains(out, "table2/8 puzzle") {
+		t.Errorf("degraded section does not name the faulted cell:\n%s", out)
+	}
+}
+
+// TestCLISigintCancels pins the signal path: SIGINT must cancel the run
+// context so a looping program exits with the canceled class code
+// instead of dying uncontrolled on the signal.
+func TestCLISigintCancels(t *testing.T) {
+	psiBin, _ := buildCLIs(t)
+	loopProg := writeProg(t, "go :- go.\n")
+	var stderr strings.Builder
+	cmd := exec.Command(psiBin, loopProg)
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond) // let the run loop get going
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want canceled exit, got err %v (stderr: %s)", err, stderr.String())
+	}
+	if ee.ExitCode() != 6 {
+		t.Errorf("exit code %d, want 6 (stderr: %s)", ee.ExitCode(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "canceled") {
+		t.Errorf("stderr %q does not name the canceled class", stderr.String())
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -26,6 +27,7 @@ import (
 
 	"repro"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -50,7 +52,18 @@ func main() {
 	httpAddr := flag.String("http", "", "serve /debug/pprof and /debug/vars on this `address`")
 	timeout := flag.Duration("timeout", 0, "abort the run after this wall-clock `duration` (exit 5)")
 	steps := flag.Int64("steps", 0, "bound the simulation to this many steps (0 = default 4e9; exit 4 when exceeded)")
+	faultSpec := flag.String("fault", "", "inject a deterministic seeded fault, e.g. `site=mem,after=1000,seed=1` (exit 7 when detected)")
 	flag.Parse()
+
+	var faultPlan *fault.Plan
+	if *faultSpec != "" {
+		p, err := fault.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psi: bad -fault: %v\n", err)
+			os.Exit(2)
+		}
+		faultPlan = p
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -58,6 +71,11 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// SIGINT cancels the run context: the machine stops at the next
+	// CheckEvery slice and the process exits with the canceled code
+	// instead of dying on the signal.
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
 
 	stopCPU, err := obs.StartCPUProfile(*cpuProfile)
 	die(err)
@@ -116,6 +134,7 @@ func main() {
 		Out:          os.Stdout,
 		Profile:      *profile,
 		MaxSteps:     *steps,
+		Fault:        faultPlan,
 	}
 	if *verbose {
 		opts.Progress = obs.NewProgressPrinter(os.Stderr).Event
@@ -292,7 +311,7 @@ func showDisasm(source, indicator string, baseline bool) {
 
 // die reports err on stderr, prefixed with its engine error class, and
 // exits with the class's exit code (3 malformed, 4 step-limit,
-// 5 deadline, 6 canceled, 1 anything else).
+// 5 deadline, 6 canceled, 7 fault, 1 anything else).
 func die(err error) {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "psi: %s: %v\n", engine.ClassName(err), err)

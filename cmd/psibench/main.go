@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/progs"
@@ -51,6 +53,8 @@ func main() {
 	httpAddr := flag.String("http", "", "serve /debug/pprof and /debug/vars on this `address` (e.g. localhost:6060)")
 	timeout := flag.Duration("timeout", 0, "abort the evaluation after this wall-clock `duration` (exit 5)")
 	steps := flag.Int64("steps", 0, "bound each simulated run to this many steps (0 = default 4e9; exit 4 when exceeded)")
+	faultSpec := flag.String("fault", "", "inject a deterministic seeded fault into matching cells, e.g. `site=mem,after=1000,seed=1,only=nreverse` (exit 7, or 8 with -keep-going)")
+	keepGoing := flag.Bool("keep-going", false, "report failing workloads as degraded and keep evaluating the rest (exit 8 when any run degraded)")
 	flag.Usage = usage
 	flag.Parse()
 	if *jFlag < 0 {
@@ -66,11 +70,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "psibench: debug listener on http://%s/debug/pprof\n", addr)
 	}
 	o := harness.Options{Workers: *jFlag, MaxSteps: *steps}
-	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-		defer cancel()
-		o.Ctx = ctx
+	if *faultSpec != "" {
+		p, err := fault.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psibench: bad -fault: %v\n", err)
+			os.Exit(2)
+		}
+		o.Fault = p
 	}
+	if *keepGoing {
+		o.KeepGoing = true
+		o.Degraded = harness.NewDegradedLog()
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// SIGINT cancels the evaluation context: in-flight runs stop at the
+	// next CheckEvery slice and the process exits with the canceled code.
+	ctx, stopSig := signal.NotifyContext(ctx, os.Interrupt)
+	defer stopSig()
+	o.Ctx = ctx
 	if *verbose {
 		o.Progress = obs.NewProgressPrinter(os.Stderr).Event
 	}
@@ -96,6 +118,7 @@ func main() {
 			check(err)
 			check(os.WriteFile(*jsonPath, b, 0o644))
 		}
+		exitDegraded(o)
 		return
 	case "1", "2", "3", "4", "5", "6", "7", "fig1", "ablate":
 	default:
@@ -147,11 +170,31 @@ func main() {
 		check(err)
 		fmt.Println(harness.FormatAblations(rows))
 	}
+	if o.Degraded != nil && which != "all" {
+		if runs := o.Degraded.Runs(); len(runs) > 0 {
+			// Single-section selectors print their degraded entries here
+			// (the full-evaluation report carries its own section).
+			fmt.Print(harness.FormatDegraded(runs))
+		}
+	}
+	exitDegraded(o)
+}
+
+// exitDegraded ends a keep-going run whose degraded log is non-empty
+// with the distinct degraded exit code, after a one-line stderr summary.
+func exitDegraded(o harness.Options) {
+	if o.Degraded == nil {
+		return
+	}
+	if runs := o.Degraded.Runs(); len(runs) > 0 {
+		fmt.Fprintf(os.Stderr, "psibench: degraded: %d workload(s) failed and were excluded\n", len(runs))
+		os.Exit(engine.ExitDegraded)
+	}
 }
 
 // check reports err on stderr, prefixed with its engine error class, and
 // exits with the class's exit code (3 malformed, 4 step-limit,
-// 5 deadline, 6 canceled, 1 anything else).
+// 5 deadline, 6 canceled, 7 fault, 1 anything else).
 func check(err error) {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "psibench: %s: %v\n", engine.ClassName(err), err)

@@ -12,6 +12,7 @@ package cache
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/micro"
 	"repro/internal/word"
 )
@@ -118,9 +119,18 @@ type Cache struct {
 	WriteThroughs int64
 	Fills         int64 // block read-ins
 	WriteBacks    int64 // dirty evictions
+
+	inj *fault.Injector // nil outside chaos runs
 }
 
-// New builds a cache; the configuration must validate.
+// SetInjector attaches (or with nil detaches) the fault injector whose
+// CacheAccess hook models the tag-store parity checker. Wired by the
+// machine on New/Reset; Clone never copies it.
+func (c *Cache) SetInjector(inj *fault.Injector) { c.inj = inj }
+
+// New builds a cache; the configuration must validate (callers on user
+// input paths run Config.Validate first). The panic on an invalid
+// geometry is an invariant check, contained at the session boundary.
 func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -175,6 +185,9 @@ func (c *Cache) Access(op micro.CacheOp, phys uint32, kind word.AreaID) (hit boo
 // replay computes both once per trace record and shares them across
 // every cache of equal block size.
 func (c *Cache) AccessBlock(op micro.CacheOp, block uint32, kind word.AreaID) (hit bool, stallNS int64) {
+	if c.inj != nil {
+		c.inj.CacheAccess(block)
+	}
 	row := block & (c.rows - 1)
 	hit, stallNS = c.access(op, block, row)
 	c.Area[kind].Accesses++

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/kl0"
 	"repro/internal/mem"
 	"repro/internal/micro"
@@ -58,6 +59,11 @@ type Config struct {
 	// Features selects machine-feature ablations and the PSI-II
 	// extensions.
 	Features Features
+	// Fault, when non-nil, is a seeded fault injector wired into the
+	// memory, cache, work-file and trace models. Detected faults panic
+	// with *fault.Check and are contained at the Solutions.Step boundary
+	// as engine.ErrFault.
+	Fault *fault.Injector
 }
 
 // Features switches individual hardware features of the machine off (for
@@ -184,6 +190,11 @@ type Machine struct {
 	intrQuery   *kl0.Query
 	intrProcess int
 
+	// inj is the fault injector (nil outside chaos runs). It is armed
+	// only inside Solutions.Step so every injected fault surfaces within
+	// the containment boundary.
+	inj *fault.Injector
+
 	halted bool
 }
 
@@ -211,6 +222,7 @@ func New(prog *kl0.Program, cfg Config) *Machine {
 		m.cache = cache.New(cc)
 	}
 	m.configureSinks(cfg)
+	m.configureFault(cfg.Fault)
 	m.ctxs = make([]context, cfg.Processes)
 	for p := range m.ctxs {
 		m.ctxs[p] = context{
@@ -270,6 +282,7 @@ func (m *Machine) Reset(prog *kl0.Program, cfg Config) bool {
 	m.out = cfg.Out
 	m.stats.Reset()
 	m.configureSinks(cfg)
+	m.configureFault(cfg.Fault)
 	m.noCacheStall = 0
 	m.heapTop = 0
 	m.inferences = 0
@@ -343,6 +356,20 @@ func (m *Machine) configureSinks(cfg Config) {
 	m.hbLeft = m.hbEvery
 }
 
+// configureFault wires (or with nil unwires) the fault injector into the
+// machine and every hardware model that hosts an injection site. It is
+// called unconditionally from New and Reset — after the memory, work file
+// and cache are set up, because wf.Reset drops its injector — so a pooled
+// machine never retains a previous run's injector.
+func (m *Machine) configureFault(inj *fault.Injector) {
+	m.inj = inj
+	m.mem.SetInjector(inj)
+	m.wf.SetInjector(inj)
+	if m.cache != nil {
+		m.cache.SetInjector(inj)
+	}
+}
+
 // load copies newly compiled program code into the heap area.
 func (m *Machine) load() {
 	for ; m.loaded < len(m.prog.Code); m.loaded++ {
@@ -411,6 +438,11 @@ func (m *Machine) SetInterruptHandler(process int, q *kl0.Query) error {
 // tick emits one microcycle.
 func (m *Machine) tick(c micro.Cycle) {
 	m.sink.Cycle(c)
+	if m.inj != nil {
+		// Every microcycle is one COLLECT trace record; the hook models
+		// the trace FIFO overrunning.
+		m.inj.TraceRecord()
+	}
 	if m.hb != nil {
 		m.hbLeft--
 		if m.hbLeft <= 0 {

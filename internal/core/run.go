@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/kl0"
 	"repro/internal/micro"
 	"repro/internal/parse"
@@ -115,16 +117,43 @@ func (s *Solutions) Step(budget int64) engine.Status {
 	}
 	var found, yielded bool
 	func() {
+		// The containment boundary: no panic raised while the machine
+		// executes escapes this frame. Expected aborts travel as
+		// *RunError; detected (injected) hardware faults as *fault.Check;
+		// anything else is an internal bug — all three are converted into
+		// errors so the process survives. The check for r != nil matters:
+		// recover returns nil for runtime.Goexit, which must proceed.
 		defer func() {
-			if r := recover(); r != nil {
-				if re, ok := r.(*RunError); ok {
-					s.err = re
-					s.done = true
-					return
-				}
-				panic(r)
+			r := recover()
+			if r == nil {
+				return
 			}
+			switch v := r.(type) {
+			case *RunError:
+				s.err = v
+			case *fault.Check:
+				s.err = &engine.FaultError{
+					Site:  v.Site.String(),
+					Step:  m.stats.Steps,
+					Msg:   v.Error(),
+					Stack: string(debug.Stack()),
+				}
+			default:
+				s.err = &engine.FaultError{
+					Site:  "panic",
+					Step:  m.stats.Steps,
+					Msg:   fmt.Sprint(v),
+					Stack: string(debug.Stack()),
+				}
+			}
+			s.done = true
 		}()
+		// Arm injection only inside the boundary: decode, compilation and
+		// program-load paths outside it never trip an injector.
+		if m.inj != nil {
+			m.inj.Arm()
+			defer m.inj.Disarm()
+		}
 		switch {
 		case !s.started:
 			s.started = true

@@ -3,6 +3,7 @@ package dec10
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
 
 	"repro/internal/engine"
 	"repro/internal/kl0"
@@ -278,15 +279,26 @@ func (s *Solutions) Step(budget int64) engine.Status {
 	}
 	var found, yielded bool
 	func() {
+		// Containment boundary: the DEC-10 model has no injection sites,
+		// but any internal panic is still converted into a classified
+		// engine.ErrFault instead of crashing the process. recover
+		// returns nil for runtime.Goexit, which must proceed.
 		defer func() {
-			if r := recover(); r != nil {
-				if re, ok := r.(*RunError); ok {
-					s.err = re
-					s.done = true
-					return
-				}
-				panic(r)
+			r := recover()
+			if r == nil {
+				return
 			}
+			if re, ok := r.(*RunError); ok {
+				s.err = re
+			} else {
+				s.err = &engine.FaultError{
+					Site:  "panic",
+					Step:  m.units,
+					Msg:   fmt.Sprint(r),
+					Stack: string(debug.Stack()),
+				}
+			}
+			s.done = true
 		}()
 		switch {
 		case !s.started:

@@ -13,9 +13,13 @@
 // with bounded overhead instead of a per-cycle check.
 //
 // All abnormal terminations map onto a small typed taxonomy —
-// ErrStepLimit, ErrCanceled, ErrDeadline, ErrMalformed — so callers
-// branch on errors.Is instead of matching message strings, and the CLIs
-// can translate every class into a distinct exit code.
+// ErrStepLimit, ErrCanceled, ErrDeadline, ErrMalformed, ErrFault — so
+// callers branch on errors.Is instead of matching message strings, and
+// the CLIs can translate every class into a distinct exit code. ErrFault
+// is the containment class: any panic crossing a Session's Step
+// boundary (an injected fault detected by the simulated hardware, or an
+// unexpected internal panic) is recovered and classified instead of
+// crashing the process.
 package engine
 
 import (
@@ -70,7 +74,41 @@ var (
 	// ErrMalformed: a malformed execution — type errors in builtins,
 	// illegal instructions, undefined predicates reached via call/1.
 	ErrMalformed = errors.New("malformed execution")
+	// ErrFault: a contained machine fault — an injected fault detected
+	// by the simulated hardware's parity/tag/bounds checking, or an
+	// internal panic recovered at the session boundary. The concrete
+	// error is a *FaultError carrying site, step and stack.
+	ErrFault = errors.New("machine fault")
 )
+
+// FaultError is the classified form of a contained machine fault. Every
+// panic that crosses a Session's Step boundary — a fault.Check raised by
+// the injection layer or an unexpected runtime panic inside the
+// simulator — is converted into one of these instead of crashing the
+// process. It unwraps to ErrFault for errors.Is classification.
+type FaultError struct {
+	// Site names where the fault was detected: an injection site
+	// ("mem", "cache", "wf", "trace") or "panic" for a recovered
+	// internal panic.
+	Site string
+	// Step is the machine step count at containment.
+	Step int64
+	// Msg describes the fault. For injected faults it is deterministic
+	// for a given plan and workload.
+	Msg string
+	// Stack is the Go stack captured at the recovery point (diagnostic
+	// only; never part of deterministic output).
+	Stack string
+}
+
+// Error renders the fault without the stack, so aggregated error output
+// stays deterministic and single-line.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("fault at %s (step %d): %s", e.Site, e.Step, e.Msg)
+}
+
+// Unwrap classifies the fault under the engine taxonomy.
+func (e *FaultError) Unwrap() error { return ErrFault }
 
 // CheckEvery is the step budget Next grants between context polls:
 // cancellation latency is bounded by ~64K machine steps rather than
@@ -172,6 +210,8 @@ func ClassName(err error) string {
 		return "deadline"
 	case errors.Is(err, ErrCanceled):
 		return "canceled"
+	case errors.Is(err, ErrFault):
+		return "fault"
 	case errors.Is(err, ErrMalformed):
 		return "malformed"
 	default:
@@ -189,6 +229,12 @@ const (
 	ExitStepLimit = 4
 	ExitDeadline  = 5
 	ExitCanceled  = 6
+	// ExitFault: a contained machine fault (injected or recovered
+	// panic) aborted the run.
+	ExitFault = 7
+	// ExitDegraded: a keep-going evaluation completed, but one or more
+	// workloads failed and were reported as degraded.
+	ExitDegraded = 8
 )
 
 // ExitCode maps an error onto the CLI exit-code contract.
@@ -202,6 +248,8 @@ func ExitCode(err error) int {
 		return ExitDeadline
 	case errors.Is(err, ErrCanceled):
 		return ExitCanceled
+	case errors.Is(err, ErrFault):
+		return ExitFault
 	case errors.Is(err, ErrMalformed):
 		return ExitMalformed
 	default:

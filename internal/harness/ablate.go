@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -50,7 +51,7 @@ func timeFeatMS(o Options, cell string, b progs.Benchmark, feat core.Features) (
 	if err != nil {
 		return 0, err
 	}
-	r, err := c.run(runOpts{feat: feat, cell: cell, progress: o.Progress, every: o.ProgressEvery, ctx: o.Ctx, maxSteps: o.MaxSteps})
+	r, err := c.run(runOpts{feat: feat, cell: cell, progress: o.Progress, every: o.ProgressEvery, ctx: o.Ctx, maxSteps: o.MaxSteps, fault: o.Fault})
 	if err != nil {
 		return 0, err
 	}
@@ -63,35 +64,57 @@ func timeFeatMS(o Options, cell string, b progs.Benchmark, feat core.Features) (
 func Ablations() ([]AblationRow, error) { return AblationsWith(Options{}) }
 
 // AblationsWith is Ablations under explicit worker options: the base
-// runs fan out first, then every (workload, variant) cell.
+// runs fan out first, then every (workload, variant) cell. Under
+// KeepGoing a failed base run drops the whole workload (its deltas have
+// no denominator) and a failed variant run drops that row; every
+// failure is recorded in the degraded log.
 func AblationsWith(o Options) ([]AblationRow, error) {
 	ws := ablationWorkloads()
 	vs := ablationVariants()
-	baseMS, err := parMap(o.workers(), ws, func(b progs.Benchmark) (float64, error) {
+	baseMS, baseErrs := parMapErrs(o.workers(), ws, func(b progs.Benchmark) (float64, error) {
 		return timeFeatMS(o, "ablate/base/"+b.Name, b, core.Features{})
 	})
-	if err != nil {
-		return nil, err
+	var joined []error
+	baseOK := make([]bool, len(ws))
+	for i, err := range baseErrs {
+		if err == nil {
+			baseOK[i] = true
+			continue
+		}
+		cerr := &CellError{Cell: "ablate/base/" + ws[i].Name, Err: err}
+		if o.KeepGoing {
+			o.degrade("ablations", cerr.Cell, err)
+		} else {
+			joined = append(joined, cerr)
+		}
+	}
+	if len(joined) > 0 {
+		return nil, errors.Join(joined...)
 	}
 	type cell struct{ w, v int }
 	cells := make([]cell, 0, len(ws)*len(vs))
 	for wi := range ws { // workload-major, the serial row order
+		if !baseOK[wi] {
+			continue
+		}
 		for vi := range vs {
 			cells = append(cells, cell{wi, vi})
 		}
 	}
-	varMS, err := parMap(o.workers(), cells, func(c cell) (float64, error) {
-		ms, err := timeFeatMS(o, "ablate/"+vs[c.v].name+"/"+ws[c.w].Name, ws[c.w], vs[c.v].feat)
-		if err != nil {
-			return 0, fmt.Errorf("%s / %s: %w", ws[c.w].Name, vs[c.v].name, err)
-		}
-		return ms, nil
+	varMS, varErrs := parMapErrs(o.workers(), cells, func(c cell) (float64, error) {
+		return timeFeatMS(o, "ablate/"+vs[c.v].name+"/"+ws[c.w].Name, ws[c.w], vs[c.v].feat)
 	})
-	if err != nil {
-		return nil, err
-	}
 	rows := make([]AblationRow, 0, len(cells))
 	for i, c := range cells {
+		if err := varErrs[i]; err != nil {
+			cerr := &CellError{Cell: "ablate/" + vs[c.v].name + "/" + ws[c.w].Name, Err: err}
+			if o.KeepGoing {
+				o.degrade("ablations", cerr.Cell, err)
+				continue
+			}
+			joined = append(joined, cerr)
+			continue
+		}
 		rows = append(rows, AblationRow{
 			Feature:  vs[c.v].name,
 			Workload: ws[c.w].Name,
@@ -99,6 +122,9 @@ func AblationsWith(o Options) ([]AblationRow, error) {
 			VarMS:    varMS[i],
 			DeltaPct: (varMS[i]/baseMS[c.w] - 1) * 100,
 		})
+	}
+	if len(joined) > 0 {
+		return nil, errors.Join(joined...)
 	}
 	return rows, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dec10"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/kl0"
 	"repro/internal/micro"
 	"repro/internal/obs"
@@ -148,6 +149,7 @@ type runOpts struct {
 	profile  micro.PredSink     // per-predicate attribution sink
 	ctx      context.Context    // deadline/cancel bound (nil = unbounded)
 	maxSteps int64              // step bound override (0 = harness default)
+	fault    *fault.Plan        // fault-injection plan (nil = no injection)
 }
 
 // sinkPair duplicates the cycle stream to two sinks (collect + tap runs).
@@ -164,6 +166,18 @@ func (c *Compiled) run(ro runOpts) (*PSIRun, error) {
 		steps = maxSteps
 	}
 	cfg := core.Config{Processes: c.Procs, MaxSteps: steps, Features: ro.feat}
+	if ro.fault != nil {
+		label := ro.cell
+		if label == "" {
+			label = c.name
+		}
+		if ro.fault.Matches(label) {
+			// Each matching run gets a fresh injector from the shared
+			// plan: injection state is per-machine, so parallel cells
+			// never share mutable fault state.
+			cfg.Fault = ro.fault.New()
+		}
+	}
 	var log *trace.Log
 	if ro.collect {
 		log = &trace.Log{}

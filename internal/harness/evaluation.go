@@ -26,6 +26,10 @@ type Evaluation struct {
 	Table7    []T7Col       `json:"table7"`
 	Figure1   *Fig1         `json:"figure1"`
 	Ablations []AblationRow `json:"ablations"`
+	// Degraded lists the workloads a keep-going evaluation dropped
+	// (empty and omitted on a fully successful run, so the schema stays
+	// byte-compatible with psi-evaluation/v1 consumers).
+	Degraded []DegradedRun `json:"degraded,omitempty"`
 }
 
 // Evaluate computes the full evaluation with default options.
@@ -33,8 +37,13 @@ func Evaluate() (*Evaluation, error) { return EvaluationWith(Options{}) }
 
 // EvaluationWith computes the full evaluation: the sections run in the
 // classic order, each fanning its cells out over the option's workers.
-// The result is identical for any worker count.
+// The result is identical for any worker count. With KeepGoing set,
+// failing workloads are dropped from their sections and listed in the
+// result's Degraded field instead of aborting the evaluation.
 func EvaluationWith(o Options) (*Evaluation, error) {
+	if o.KeepGoing && o.Degraded == nil {
+		o.Degraded = NewDegradedLog()
+	}
 	e := &Evaluation{Schema: EvaluationSchema}
 	var err error
 	if e.Table1, err = Table1With(o); err != nil {
@@ -64,6 +73,9 @@ func EvaluationWith(o Options) (*Evaluation, error) {
 	if e.Ablations, err = AblationsWith(o); err != nil {
 		return nil, err
 	}
+	if o.Degraded != nil {
+		e.Degraded = o.Degraded.Runs()
+	}
 	return e, nil
 }
 
@@ -84,6 +96,10 @@ func (e *Evaluation) Text() string {
 	} {
 		b.WriteString(s)
 		b.WriteString("\n") // fmt.Println's newline after each section
+	}
+	if len(e.Degraded) > 0 {
+		b.WriteString(FormatDegraded(e.Degraded))
+		b.WriteString("\n")
 	}
 	return b.String()
 }

@@ -79,8 +79,13 @@ func FormatTable5(rows []T5Row) string {
 	return b.String()
 }
 
-// FormatFigure1 renders the capacity sweep and ablations.
+// FormatFigure1 renders the capacity sweep and ablations. A nil figure
+// (a degraded keep-going evaluation) renders as an explicit placeholder
+// so the report's section sequence stays intact.
 func FormatFigure1(f *Fig1) string {
+	if f == nil {
+		return "Figure 1: degraded — the capacity-sweep workload failed (see degraded section)\n"
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 1: Performance improvement ratio vs cache capacity (workload %s)\n", f.Workload)
 	fmt.Fprintf(&b, "%10s %14s %10s\n", "words", "improvement(%)", "hit-ratio")
@@ -115,8 +120,12 @@ func FormatFigure1(f *Fig1) string {
 	return b.String()
 }
 
-// FormatTable6 renders the work-file access-mode distribution.
+// FormatTable6 renders the work-file access-mode distribution. A nil
+// table (a degraded keep-going evaluation) renders as a placeholder.
 func FormatTable6(t *T6) string {
+	if t == nil {
+		return "Table 6: degraded — the work-file measurement failed (see degraded section)\n"
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 6: Dynamic frequency of work file access modes (%%) — workload %s\n", t.Workload)
 	fmt.Fprintf(&b, "%-12s %17s %17s %17s\n", "mode", "source1", "source2", "destination")
@@ -137,6 +146,19 @@ func FormatTable6(t *T6) string {
 	}
 	fmt.Fprintln(&b)
 	fmt.Fprintf(&b, "(cell format: %%-of-field-accesses / %%-of-all-steps, as in the paper)\n")
+	return b.String()
+}
+
+// FormatDegraded renders the degraded-workloads section of a keep-going
+// evaluation. Entries appear in record order (section order, then cell
+// order within each section), which is deterministic at any -j.
+func FormatDegraded(runs []DegradedRun) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Degraded workloads: %d run(s) failed and were excluded\n", len(runs))
+	fmt.Fprintf(&b, "%-12s %-34s %-10s %s\n", "section", "cell", "class", "error")
+	for _, r := range runs {
+		fmt.Fprintf(&b, "%-12s %-34s %-10s %s\n", r.Section, r.Cell, r.Class, r.Error)
+	}
 	return b.String()
 }
 

@@ -58,6 +58,7 @@ func runPSIWith(o Options, cell string, b progs.Benchmark, collect bool) (*PSIRu
 		every:    o.ProgressEvery,
 		ctx:      o.Ctx,
 		maxSteps: o.MaxSteps,
+		fault:    o.Fault,
 	})
 }
 
@@ -77,6 +78,7 @@ func runPSIInto(o Options, cell string, b progs.Benchmark, sink micro.Sink) erro
 		every:    o.ProgressEvery,
 		ctx:      o.Ctx,
 		maxSteps: o.MaxSteps,
+		fault:    o.Fault,
 	})
 	if err != nil {
 		return err

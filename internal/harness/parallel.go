@@ -2,10 +2,13 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -40,6 +43,24 @@ type Options struct {
 	// MaxSteps overrides the per-run simulated step bound
 	// (0 = the harness default of 4e9).
 	MaxSteps int64
+
+	// Fault, when non-nil, is a seeded fault-injection plan: every run
+	// whose evaluation cell matches the plan's Only filter gets its own
+	// deterministic injector (same plan + same cell = same fault). The
+	// fault surfaces as a contained engine.ErrFault run error.
+	Fault *fault.Plan
+
+	// KeepGoing turns per-cell failures into degradation instead of
+	// aborting the evaluation: the failing cell is dropped from its
+	// section, recorded in Degraded, and every other cell still runs.
+	// Degraded entries are appended in cell order, so the output stays
+	// byte-identical for any worker count.
+	KeepGoing bool
+
+	// Degraded collects the degraded runs when KeepGoing is set.
+	// EvaluationWith allocates one automatically; callers driving
+	// sections individually supply their own to read the entries back.
+	Degraded *DegradedLog
 }
 
 func (o Options) maxSteps() int64 {
@@ -61,21 +82,31 @@ func (o Options) workers() int {
 // sequence a serial loop would produce. On error the first failure by
 // item index wins — again matching the serial loop.
 func parMap[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, error) {
+	out, errs := parMapErrs(workers, items, fn)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// parMapErrs is parMap without the first-error collapse: every item runs
+// and the caller receives the full per-item error slice, positionally
+// aligned with the results. This is what lets the harness attribute each
+// failure to its workload and degrade instead of aborting.
+func parMapErrs[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, []error) {
 	out := make([]R, len(items))
+	errs := make([]error, len(items))
 	if workers <= 1 || len(items) <= 1 {
 		for i, it := range items {
-			r, err := fn(it)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = r
+			out[i], errs[i] = fn(it)
 		}
-		return out, nil
+		return out, errs
 	}
 	if workers > len(items) {
 		workers = len(items)
 	}
-	errs := make([]error, len(items))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -92,10 +123,95 @@ func parMap[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, error
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	return out, errs
+}
+
+// CellError attributes a run error to the evaluation cell that produced
+// it, so a failure inside a parallel fan-out still names its workload.
+// It unwraps to the underlying error, keeping engine taxonomy
+// classification (errors.Is) intact.
+type CellError struct {
+	Cell string
+	Err  error
+}
+
+func (e *CellError) Error() string { return e.Cell + ": " + e.Err.Error() }
+func (e *CellError) Unwrap() error { return e.Err }
+
+// DegradedRun is one workload that failed under KeepGoing and was
+// excluded from its section. The fields are deterministic for a given
+// plan and worker count — no stacks, no timestamps — so degraded output
+// stays byte-identical at any -j.
+type DegradedRun struct {
+	Section string `json:"section"` // e.g. "table1", "figure1", "ablations"
+	Cell    string `json:"cell"`    // full cell label, e.g. "table1/nreverse (30)"
+	Class   string `json:"class"`   // engine error class name, e.g. "fault"
+	Error   string `json:"error"`   // single-line error text
+}
+
+// DegradedLog collects degraded runs across sections. It is safe for
+// concurrent use, but the harness only appends between section barriers
+// in cell order, which is what keeps the entry order deterministic.
+type DegradedLog struct {
+	mu   sync.Mutex
+	runs []DegradedRun
+}
+
+// NewDegradedLog returns an empty log.
+func NewDegradedLog() *DegradedLog { return &DegradedLog{} }
+
+func (l *DegradedLog) add(r DegradedRun) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.runs = append(l.runs, r)
+}
+
+// Runs returns the degraded runs recorded so far, in record order.
+func (l *DegradedLog) Runs() []DegradedRun {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]DegradedRun, len(l.runs))
+	copy(out, l.runs)
+	return out
+}
+
+// degrade records one failed cell in the options' degraded log (if any).
+func (o Options) degrade(section, cell string, err error) {
+	if o.Degraded == nil {
+		return
 	}
-	return out, nil
+	o.Degraded.add(DegradedRun{
+		Section: section,
+		Cell:    cell,
+		Class:   engine.ClassName(err),
+		Error:   err.Error(),
+	})
+}
+
+// runCells fans the cells of one evaluation section out over the worker
+// pool. Every failure is attributed to its cell. Without KeepGoing all
+// cell errors are joined in cell order and returned — deterministic at
+// any worker count, unlike a first-error race. With KeepGoing the
+// failing cells are dropped, recorded in the degraded log (in cell
+// order, after the section barrier) and the surviving rows returned.
+func runCells[T, R any](o Options, section string, items []T, name func(T) string, fn func(T) (R, error)) ([]R, error) {
+	out, errs := parMapErrs(o.workers(), items, fn)
+	var joined []error
+	kept := out[:0]
+	for i, err := range errs {
+		if err == nil {
+			kept = append(kept, out[i])
+			continue
+		}
+		cerr := &CellError{Cell: section + "/" + name(items[i]), Err: err}
+		if o.KeepGoing {
+			o.degrade(section, cerr.Cell, err)
+			continue
+		}
+		joined = append(joined, cerr)
+	}
+	if len(joined) > 0 {
+		return nil, errors.Join(joined...)
+	}
+	return kept, nil
 }

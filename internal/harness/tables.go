@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/cache"
@@ -27,12 +28,15 @@ type T1Row struct {
 	Inferences int64   `json:"inferences"`
 }
 
+// benchName labels a benchmark cell inside its section.
+func benchName(b progs.Benchmark) string { return b.Name }
+
 // Table1 measures every benchmark on both engines.
 func Table1() ([]T1Row, error) { return Table1With(Options{}) }
 
 // Table1With is Table1 under explicit worker options.
 func Table1With(o Options) ([]T1Row, error) {
-	return parMap(o.workers(), progs.Table1(), func(b progs.Benchmark) (T1Row, error) {
+	return runCells(o, "table1", progs.Table1(), benchName, func(b progs.Benchmark) (T1Row, error) {
 		r, err := runPSIWith(o, "table1/"+b.Name, b, false)
 		if err != nil {
 			return T1Row{}, err
@@ -73,7 +77,7 @@ func Table2() ([]T2Row, error) { return Table2With(Options{}) }
 
 // Table2With is Table2 under explicit worker options.
 func Table2With(o Options) ([]T2Row, error) {
-	return parMap(o.workers(), progs.Table2Set(), func(b progs.Benchmark) (T2Row, error) {
+	return runCells(o, "table2", progs.Table2Set(), benchName, func(b progs.Benchmark) (T2Row, error) {
 		s, err := statsValueFor(o, "table2/"+b.Name, b)
 		if err != nil {
 			return T2Row{}, err
@@ -104,7 +108,7 @@ func Table3() ([]T3Row, error) { return Table3With(Options{}) }
 
 // Table3With is Table3 under explicit worker options.
 func Table3With(o Options) ([]T3Row, error) {
-	return parMap(o.workers(), progs.HardwareSet(), func(b progs.Benchmark) (T3Row, error) {
+	return runCells(o, "table3", progs.HardwareSet(), benchName, func(b progs.Benchmark) (T3Row, error) {
 		s, err := statsValueFor(o, "table3/"+b.Name, b)
 		if err != nil {
 			return T3Row{}, err
@@ -132,7 +136,7 @@ func Table4() ([]T4Row, error) { return Table4With(Options{}) }
 
 // Table4With is Table4 under explicit worker options.
 func Table4With(o Options) ([]T4Row, error) {
-	return parMap(o.workers(), progs.HardwareSet(), func(b progs.Benchmark) (T4Row, error) {
+	return runCells(o, "table4", progs.HardwareSet(), benchName, func(b progs.Benchmark) (T4Row, error) {
 		s, err := statsValueFor(o, "table4/"+b.Name, b)
 		if err != nil {
 			return T4Row{}, err
@@ -160,7 +164,7 @@ func Table5() ([]T5Row, error) { return Table5With(Options{}) }
 
 // Table5With is Table5 under explicit worker options.
 func Table5With(o Options) ([]T5Row, error) {
-	return parMap(o.workers(), progs.HardwareSet(), func(b progs.Benchmark) (T5Row, error) {
+	return runCells(o, "table5", progs.HardwareSet(), benchName, func(b progs.Benchmark) (T5Row, error) {
 		r, err := runPSIWith(o, "table5/"+b.Name, b, false)
 		if err != nil {
 			return T5Row{}, err
@@ -222,7 +226,7 @@ func Figure1With(o Options) (*Fig1, error) {
 	iTwoSet, iOneSet, iThrough := len(sizes), len(sizes)+1, len(sizes)+2
 
 	penaltyBenchmarks := []progs.Benchmark{progs.Window1, progs.Puzzle8, progs.BUP3}
-	sweeps, err := parMap(o.workers(), penaltyBenchmarks, func(b progs.Benchmark) (*pmms.Sweeper, error) {
+	sweeps, errs := parMapErrs(o.workers(), penaltyBenchmarks, func(b progs.Benchmark) (*pmms.Sweeper, error) {
 		cfgs := []cache.Config{cache.PSI, pmms.OneSetConfig}
 		if b.Name == progs.Window1.Name {
 			cfgs = fullCfgs
@@ -235,8 +239,25 @@ func Figure1With(o Options) (*Fig1, error) {
 		obs.RecordSweep(s.Lanes(), s.Cycles(), time.Since(start).Nanoseconds())
 		return s, nil
 	})
-	if err != nil {
-		return nil, err
+	var joined []error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		cerr := &CellError{Cell: "fig1/" + penaltyBenchmarks[i].Name, Err: err}
+		if o.KeepGoing {
+			o.degrade("figure1", cerr.Cell, err)
+		} else {
+			joined = append(joined, cerr)
+		}
+	}
+	if len(joined) > 0 {
+		return nil, errors.Join(joined...)
+	}
+	if errs[0] != nil {
+		// Degraded: the WINDOW sweep carries the capacity curve and the
+		// ablation points — without it there is no figure to report.
+		return nil, nil
 	}
 
 	win := sweeps[0]
@@ -253,6 +274,9 @@ func Figure1With(o Options) (*Fig1, error) {
 	f.OneSetPenalty = map[string]float64{}
 	for i, b := range penaltyBenchmarks {
 		s := sweeps[i]
+		if s == nil {
+			continue // degraded penalty workload: the curve survives without it
+		}
 		two, one := s.Improvement(0), s.Improvement(1)
 		if i == 0 {
 			two, one = s.Improvement(iTwoSet), s.Improvement(iOneSet)
@@ -275,11 +299,18 @@ type T6 struct {
 // BUP; other programs give close results).
 func Table6() (*T6, error) { return Table6With(Options{}) }
 
-// Table6With is Table6 under explicit worker options.
+// Table6With is Table6 under explicit worker options. Under KeepGoing a
+// failed run degrades the whole section (it is a single measurement):
+// the table is reported as nil and the failure recorded.
 func Table6With(o Options) (*T6, error) {
-	r, err := runPSIWith(o, "table6/"+progs.BUP3.Name, progs.BUP3, true)
+	cell := "table6/" + progs.BUP3.Name
+	r, err := runPSIWith(o, cell, progs.BUP3, true)
 	if err != nil {
-		return nil, err
+		if o.KeepGoing {
+			o.degrade("table6", cell, err)
+			return nil, nil
+		}
+		return nil, &CellError{Cell: cell, Err: err}
 	}
 	t := &T6{Workload: progs.BUP3.Name, Usage: mapper.Analyze(r.Trace)}
 	r.Release()
@@ -303,7 +334,7 @@ func Table7() ([]T7Col, error) { return Table7With(Options{}) }
 // Table7With is Table7 under explicit worker options.
 func Table7With(o Options) ([]T7Col, error) {
 	set := []progs.Benchmark{progs.BUP3, progs.Window1, progs.Puzzle8}
-	return parMap(o.workers(), set, func(b progs.Benchmark) (T7Col, error) {
+	return runCells(o, "table7", set, benchName, func(b progs.Benchmark) (T7Col, error) {
 		s, err := statsValueFor(o, "table7/"+b.Name, b)
 		if err != nil {
 			return T7Col{}, err

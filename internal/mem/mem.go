@@ -9,6 +9,7 @@ package mem
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/word"
 )
 
@@ -20,7 +21,14 @@ type Memory struct {
 	areas     [][]word.Word
 	pageTable map[uint32]uint32 // logical page key -> physical page number
 	nextPhys  uint32
+	inj       *fault.Injector // nil outside chaos runs
 }
+
+// SetInjector attaches (or with nil detaches) the fault injector whose
+// MemAccess hook models the memory parity checker. The machine wires
+// this on New/Reset, so a pooled memory never retains a previous run's
+// injector.
+func (m *Memory) SetInjector(inj *fault.Injector) { m.inj = inj }
 
 // New allocates a memory with room for the given number of processes
 // (heap plus four stack areas each).
@@ -34,6 +42,9 @@ func New(processes int) *Memory {
 // ensure grows area storage to cover offset.
 func (m *Memory) ensure(area word.AreaID, offset uint32) {
 	if int(area) >= len(m.areas) {
+		// Invariant panic: area ids come from the machine's own context
+		// setup, never from user input. Reaching this is a simulator
+		// bug; the session boundary contains it as engine.ErrFault.
 		panic(fmt.Sprintf("mem: area %d out of range", area))
 	}
 	a := m.areas[area]
@@ -55,12 +66,18 @@ func (m *Memory) ensure(area word.AreaID, offset uint32) {
 // Read returns the word at a logical address.
 func (m *Memory) Read(a word.Addr) word.Word {
 	m.ensure(a.Area(), a.Offset())
+	if m.inj != nil {
+		m.inj.MemAccess(a)
+	}
 	return m.areas[a.Area()][a.Offset()]
 }
 
 // Write stores a word at a logical address.
 func (m *Memory) Write(a word.Addr, w word.Word) {
 	m.ensure(a.Area(), a.Offset())
+	if m.inj != nil {
+		m.inj.MemAccess(a)
+	}
 	m.areas[a.Area()][a.Offset()] = w
 }
 

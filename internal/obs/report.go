@@ -15,6 +15,7 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -67,6 +68,18 @@ type MemoryReport struct {
 	PhysicalPages      int          `json:"physical_pages"`
 }
 
+// FaultReport records a contained machine fault: where the simulated
+// hardware (or the panic-containment boundary) detected it, at which
+// machine step, and with what diagnostic. Stack is the Go stack captured
+// at recovery — diagnostic only, omitted when empty so deterministic
+// comparisons can strip it with one field.
+type FaultReport struct {
+	Site  string `json:"site"`
+	Step  int64  `json:"step"`
+	Error string `json:"error"`
+	Stack string `json:"stack,omitempty"`
+}
+
 // HostReport captures what the simulation cost the Go host. The fields
 // are non-deterministic by nature and therefore live in their own
 // section, so the simulated sections stay byte-stable.
@@ -97,6 +110,7 @@ type RunReport struct {
 
 	Cache  *CacheReport `json:"cache,omitempty"` // nil when the cache is disabled
 	Memory MemoryReport `json:"memory"`
+	Fault  *FaultReport `json:"fault,omitempty"` // set when termination is "fault"
 	Host   *HostReport  `json:"host,omitempty"`
 }
 
@@ -181,9 +195,20 @@ func NewRunReport(m *core.Machine, workload string, host *HostReport) *RunReport
 }
 
 // SetTermination records how the run ended, as the engine error class
-// name ("ok", "step-limit", "deadline", "canceled", "malformed").
+// name ("ok", "step-limit", "deadline", "canceled", "malformed",
+// "fault"). A contained machine fault additionally fills the report's
+// fault block with site, step and stack.
 func (r *RunReport) SetTermination(err error) {
 	r.Termination = engine.ClassName(err)
+	var fe *engine.FaultError
+	if errors.As(err, &fe) {
+		r.Fault = &FaultReport{
+			Site:  fe.Site,
+			Step:  fe.Step,
+			Error: fe.Error(),
+			Stack: fe.Stack,
+		}
+	}
 }
 
 // JSON serializes the report (indented, trailing newline), the exact

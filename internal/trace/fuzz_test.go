@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/micro"
 	"repro/internal/word"
 )
@@ -46,6 +47,17 @@ func FuzzTraceRead(f *testing.F) {
 	huge := validTraceBytes(f, 0)
 	binary.LittleEndian.PutUint64(huge[len(magic):], 1<<60) // implausible count
 	f.Add(huge)
+	// Seeded corruptions from the fault layer: deterministic header
+	// bit-flips, mid-record truncations and body flips of a valid stream
+	// (seed mod 3 picks the corruption mode, so 0..8 covers each thrice).
+	for seed := uint64(0); seed < 9; seed++ {
+		f.Add(fault.CorruptTrace(validTraceBytes(f, 7), seed))
+	}
+	headerFlip := validTraceBytes(f, 2)
+	headerFlip[2] ^= 0x20 // corrupt the magic itself
+	f.Add(headerFlip)
+	midRecord := validTraceBytes(f, 4)
+	f.Add(midRecord[:len(midRecord)-3]) // truncate inside the last record
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		l, err := Read(bytes.NewReader(data))

@@ -19,6 +19,7 @@ package wf
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/word"
 )
 
@@ -62,14 +63,25 @@ type File struct {
 	WFAR1 uint16 // indirect address register 1 (frame buffers)
 	WFAR2 uint16 // indirect address register 2 (trail buffer)
 	WFCBR uint16 // general-purpose base register
+
+	inj *fault.Injector // nil outside chaos runs
 }
 
 // New returns a zeroed work file.
 func New() *File { return &File{} }
 
 // Reset zeroes the register file and the address registers, returning the
-// work file to its post-New state for machine reuse.
+// work file to its post-New state for machine reuse. The fault injector
+// is dropped too; the machine re-wires it per run.
 func (f *File) Reset() { *f = File{} }
+
+// SetInjector attaches (or with nil detaches) the fault injector whose
+// WFWrite hook models the work-file bounds checker.
+func (f *File) SetInjector(inj *fault.Injector) { f.inj = inj }
+
+// The bounds panics below are invariant checks: indices come from the
+// firmware model itself, never from user programs. Tripping one means a
+// simulator bug; the session boundary contains it as engine.ErrFault.
 
 // Get reads word i.
 func (f *File) Get(i int) word.Word {
@@ -84,6 +96,9 @@ func (f *File) Set(i int, w word.Word) {
 	if i < 0 || i >= Size {
 		panic(fmt.Sprintf("wf: index %d out of range", i))
 	}
+	if f.inj != nil {
+		f.inj.WFWrite(i)
+	}
 	f.regs[i] = w
 }
 
@@ -97,6 +112,9 @@ func (f *File) GetWFAR1(delta int) word.Word {
 
 // SetWFAR1 writes through WFAR1 with post-adjust.
 func (f *File) SetWFAR1(w word.Word, delta int) {
+	if f.inj != nil {
+		f.inj.WFWrite(int(f.WFAR1))
+	}
 	f.regs[f.WFAR1] = w
 	f.WFAR1 = uint16(int(f.WFAR1) + delta)
 }
@@ -110,6 +128,9 @@ func (f *File) GetWFAR2(delta int) word.Word {
 
 // SetWFAR2 writes through WFAR2 with post-adjust.
 func (f *File) SetWFAR2(w word.Word, delta int) {
+	if f.inj != nil {
+		f.inj.WFWrite(int(f.WFAR2))
+	}
 	f.regs[f.WFAR2] = w
 	f.WFAR2 = uint16(int(f.WFAR2) + delta)
 }
@@ -135,6 +156,9 @@ func (f *File) GetFrame(b, i int) word.Word {
 func (f *File) SetFrame(b, i int, w word.Word) {
 	if i < 0 || i >= FrameSize {
 		panic(fmt.Sprintf("wf: frame slot %d out of range", i))
+	}
+	if f.inj != nil {
+		f.inj.WFWrite(FrameBase(b) + i)
 	}
 	f.regs[FrameBase(b)+i] = w
 }

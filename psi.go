@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dec10"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/kl0"
 	"repro/internal/micro"
 	"repro/internal/obs"
@@ -75,6 +76,12 @@ type Options struct {
 	// core default, 5M cycles = one simulated second).
 	Progress      func(obs.Progress)
 	ProgressEvery int64
+	// Fault, when non-nil, injects a deterministic seeded fault into the
+	// simulated hardware (see internal/fault). The detected fault aborts
+	// the run with a contained engine.ErrFault instead of a panic. The
+	// plan's Only filter is a harness concept and is ignored here: a
+	// machine loaded with a plan always carries its injector.
+	Fault *fault.Plan
 }
 
 // Features re-exports the machine feature switches.
@@ -108,6 +115,9 @@ func LoadProgram(source string, opts Options) (*Machine, error) {
 		MaxSteps:  opts.MaxSteps,
 		NoCache:   opts.NoCache,
 		Features:  opts.Features,
+	}
+	if opts.Fault != nil {
+		cfg.Fault = opts.Fault.New()
 	}
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = 4_000_000_000
