@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz chaos golden bench bench-pmms bench-engine cover staticcheck profile verify
+.PHONY: build vet test race fuzz chaos golden bench bench-pmms bench-engine bench-fast cover staticcheck profile verify
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDifferentialQuery$$' -fuzztime 5s .
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRead$$' -fuzztime 5s ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 5s ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzClauseIndexSelection$$' -fuzztime 5s ./internal/kl0
 
 # Chaos suite under the race detector: replay the seeded fault sweep
 # against every injection site (mem, cache, wf, trace), check each run
@@ -41,7 +42,7 @@ golden:
 	$(GO) test ./internal/harness -run 'TestGolden|TestWorkerCountDeterminism' -update
 
 bench:
-	$(GO) test -run '^$$' -bench 'TablesParallel|EngineIndirection' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'TablesParallel|EngineIndirection|FastVsExact' -benchtime 1x .
 
 # Refresh BENCH_pmms.json: measure the single-pass streaming cache sweep
 # against the legacy one-replay-per-configuration loop on a real trace.
@@ -53,6 +54,12 @@ bench-pmms:
 # when the measured overhead exceeds it).
 bench-engine:
 	$(GO) run ./cmd/benchengine
+
+# Refresh BENCH_fast.json: measure the fast (batched) accounting mode
+# against the exact per-cycle path on nreverse, paired run by run
+# (floor: >= 1.5x speedup; exits nonzero when the speedup misses it).
+bench-fast:
+	$(GO) run ./cmd/benchengine -fast
 
 # Aggregate statement coverage over every package.
 cover:

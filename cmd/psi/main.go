@@ -53,6 +53,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this wall-clock `duration` (exit 5)")
 	steps := flag.Int64("steps", 0, "bound the simulation to this many steps (0 = default 4e9; exit 4 when exceeded)")
 	faultSpec := flag.String("fault", "", "inject a deterministic seeded fault, e.g. `site=mem,after=1000,seed=1` (exit 7 when detected)")
+	engineMode := flag.String("engine", "exact", "accounting engine `mode`: exact (per-cycle) or fast (batched; identical output, silently exact when -profile, -v or -fault is armed)")
 	flag.Parse()
 
 	var faultPlan *fault.Plan
@@ -63,6 +64,12 @@ func main() {
 			os.Exit(2)
 		}
 		faultPlan = p
+	}
+
+	mode, err := engine.ParseMode(*engineMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psi: bad -engine: %v\n", err)
+		os.Exit(2)
 	}
 
 	ctx := context.Background()
@@ -135,6 +142,7 @@ func main() {
 		Profile:      *profile,
 		MaxSteps:     *steps,
 		Fault:        faultPlan,
+		Fast:         mode == engine.ModeFast,
 	}
 	if *verbose {
 		opts.Progress = obs.NewProgressPrinter(os.Stderr).Event

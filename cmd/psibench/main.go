@@ -55,10 +55,16 @@ func main() {
 	steps := flag.Int64("steps", 0, "bound each simulated run to this many steps (0 = default 4e9; exit 4 when exceeded)")
 	faultSpec := flag.String("fault", "", "inject a deterministic seeded fault into matching cells, e.g. `site=mem,after=1000,seed=1,only=nreverse` (exit 7, or 8 with -keep-going)")
 	keepGoing := flag.Bool("keep-going", false, "report failing workloads as degraded and keep evaluating the rest (exit 8 when any run degraded)")
+	engineMode := flag.String("engine", "exact", "accounting engine `mode`: exact (per-cycle) or fast (batched; byte-identical output, silently exact where -v or -fault arms a per-cycle consumer)")
 	flag.Usage = usage
 	flag.Parse()
 	if *jFlag < 0 {
 		fmt.Fprintf(os.Stderr, "psibench: -j must be >= 0 (0 = one worker per CPU, 1 = serial), got %d\n", *jFlag)
+		os.Exit(2)
+	}
+	mode, err := engine.ParseMode(*engineMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psibench: bad -engine: %v\n", err)
 		os.Exit(2)
 	}
 	stopCPU, err := obs.StartCPUProfile(*cpuProfile)
@@ -69,7 +75,7 @@ func main() {
 	} else if addr != "" {
 		fmt.Fprintf(os.Stderr, "psibench: debug listener on http://%s/debug/pprof\n", addr)
 	}
-	o := harness.Options{Workers: *jFlag, MaxSteps: *steps}
+	o := harness.Options{Workers: *jFlag, MaxSteps: *steps, Fast: mode == engine.ModeFast}
 	if *faultSpec != "" {
 		p, err := fault.Parse(*faultSpec)
 		if err != nil {

@@ -1,0 +1,241 @@
+package psi
+
+// Differential lockdown of the fast accounting engine mode: the fast
+// path batches statistics updates but must execute the IDENTICAL
+// simulated cycle stream, so on every program the two modes must agree
+// on every observable — the answer sequence (including variable names
+// and bindings order), the termination class, the full Table 1-7
+// micro.Stats value, the simulated time, the inference count and the
+// cache model's counters. Any divergence here means the fast path
+// changed the simulation, not just its bookkeeping.
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+	"repro/internal/harness"
+	"repro/internal/micro"
+	"repro/internal/progs"
+)
+
+// machineStats is the slice of the machine API the equivalence check
+// needs; both core.Machine (harness runs) and psi.Machine satisfy it.
+type machineStats interface {
+	Stats() *micro.Stats
+	TimeNS() int64
+	Inferences() int64
+	Cache() *cache.Cache
+}
+
+// statsDiff lists the micro.Stats fields on which the two runs
+// disagree, one line per field (arrays print whole, the index-level
+// detail is visible in the values).
+func statsDiff(exact, fast micro.Stats) []string {
+	var diffs []string
+	ve, vf := reflect.ValueOf(exact), reflect.ValueOf(fast)
+	for i := 0; i < ve.NumField(); i++ {
+		if !reflect.DeepEqual(ve.Field(i).Interface(), vf.Field(i).Interface()) {
+			diffs = append(diffs, fmt.Sprintf("%s: exact %v, fast %v",
+				ve.Type().Field(i).Name, ve.Field(i), vf.Field(i)))
+		}
+	}
+	return diffs
+}
+
+// assertFastEquivalent demands bit-identical accounting between an
+// exact-mode and a fast-mode run of the same workload.
+func assertFastEquivalent(t *testing.T, name string, exact, fast machineStats) {
+	t.Helper()
+	se, sf := *exact.Stats(), *fast.Stats()
+	if se != sf {
+		t.Errorf("%s: micro.Stats diverge:\n  %s", name, strings.Join(statsDiff(se, sf), "\n  "))
+	}
+	if e, f := exact.TimeNS(), fast.TimeNS(); e != f {
+		t.Errorf("%s: TimeNS: exact %d, fast %d", name, e, f)
+	}
+	if e, f := exact.Inferences(), fast.Inferences(); e != f {
+		t.Errorf("%s: Inferences: exact %d, fast %d", name, e, f)
+	}
+	ce, cf := exact.Cache(), fast.Cache()
+	if (ce == nil) != (cf == nil) {
+		t.Fatalf("%s: cache presence: exact %v, fast %v", name, ce != nil, cf != nil)
+	}
+	if ce == nil {
+		return
+	}
+	if ce.Total != cf.Total {
+		t.Errorf("%s: cache total: exact %+v, fast %+v", name, ce.Total, cf.Total)
+	}
+	if ce.Area != cf.Area {
+		t.Errorf("%s: cache areas: exact %+v, fast %+v", name, ce.Area, cf.Area)
+	}
+	if ce.StallNS != cf.StallNS || ce.Fills != cf.Fills ||
+		ce.WriteBacks != cf.WriteBacks || ce.WriteThroughs != cf.WriteThroughs {
+		t.Errorf("%s: cache traffic: exact stall=%d fills=%d wb=%d wt=%d, fast stall=%d fills=%d wb=%d wt=%d",
+			name, ce.StallNS, ce.Fills, ce.WriteBacks, ce.WriteThroughs,
+			cf.StallNS, cf.Fills, cf.WriteBacks, cf.WriteThroughs)
+	}
+}
+
+// TestFastDifferentialTable1 runs all 19 Table-1 programs through the
+// harness (the pooled-machine path the published tables use) in both
+// engine modes and demands bit-identical accounting. This is the
+// headline equivalence proof: the numbers behind Tables 1-7 do not
+// depend on the engine mode.
+func TestFastDifferentialTable1(t *testing.T) {
+	for _, b := range progs.Table1() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			if testing.Short() && (b.Name == "harmonizer-3" || b.Name == "lcp-3") {
+				t.Skip("slow Table-1 row skipped in -short mode")
+			}
+			exact, err := harness.RunPSIWith(harness.Options{}, b, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer exact.Release()
+			fast, err := harness.RunPSIWith(harness.Options{Fast: true}, b, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fast.Release()
+			if got := exact.Machine.AccountingMode(); got != "exact" {
+				t.Fatalf("exact run reports mode %q", got)
+			}
+			if got := fast.Machine.AccountingMode(); got != "fast" {
+				t.Fatalf("fast run reports mode %q", got)
+			}
+			assertFastEquivalent(t, b.Name, exact.Machine, fast.Machine)
+		})
+	}
+}
+
+// runFastPair runs one query in both engine modes on fresh machines and
+// demands byte-identical answer streams (same engine, so even the
+// generated variable names must match), identical termination classes
+// and bit-identical accounting at the point both runs stopped.
+func runFastPair(t *testing.T, opts Options, src, query string, vars []string, limit int) {
+	t.Helper()
+	run := func(fast bool) ([]string, error, *Machine) {
+		o := opts
+		o.Fast = fast
+		m, err := LoadProgram(src, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := m.Solve(query)
+		if err != nil {
+			t.Fatalf("Solve(%q): %v", query, err)
+		}
+		var out []string
+		for len(out) < limit {
+			ans, ok := s.Next()
+			if !ok {
+				break
+			}
+			var row []string
+			for _, v := range vars {
+				if tm := ans[v]; tm != nil {
+					row = append(row, v+"="+tm.String())
+				}
+			}
+			out = append(out, strings.Join(row, ","))
+		}
+		return out, s.Err(), m
+	}
+	eAns, eErr, em := run(false)
+	fAns, fErr, fm := run(true)
+	if fmt.Sprint(eAns) != fmt.Sprint(fAns) {
+		t.Fatalf("query %q: answers diverge:\n  exact %v\n  fast  %v", query, eAns, fAns)
+	}
+	if ec, fc := engine.ClassName(eErr), engine.ClassName(fErr); ec != fc {
+		t.Fatalf("query %q: termination class: exact %q (%v), fast %q (%v)", query, ec, eErr, fc, fErr)
+	}
+	assertFastEquivalent(t, query, em, fm)
+}
+
+// TestFastDifferentialAnswers exercises multi-solution backtracking:
+// both modes must enumerate the same answers in the same order and
+// account identical cycles doing it.
+func TestFastDifferentialAnswers(t *testing.T) {
+	for _, q := range []struct {
+		query string
+		vars  []string
+	}{
+		{"app(X, Y, [a, b, c, d])", []string{"X", "Y"}},
+		{"mem(X, [a, f(1), [a], b, a])", []string{"X"}},
+		{"flat([a, [b, [c, d]], [], [[e]]], R)", []string{"R"}},
+		{"pairup([1, 2, 3], Ps)", []string{"Ps"}},
+		{"len([a, b, c], N)", []string{"N"}},
+		{"app(X, [k], Z), mem(b, Z)", []string{"X", "Z"}},
+	} {
+		runFastPair(t, Options{}, diffSrc, q.query, q.vars, 8)
+	}
+}
+
+// TestFastDifferentialBuiltinEdges replays the builtin edge suite (the
+// queries the cross-machine differential tests use) under exact vs
+// fast: arithmetic wraparound, standard order, structure builtins, and
+// the malformed cases whose abort point must land on the same cycle.
+func TestFastDifferentialBuiltinEdges(t *testing.T) {
+	vars := []string{"X", "O", "T", "N", "A", "L"}
+	for _, q := range []string{
+		// Arithmetic: flooring division, modulo, 32-bit wraparound.
+		"X is -7 // 3", "X is 7 // -3", "X is -7 mod 3", "X is 7 mod -3",
+		"X is 2147483647 + 1", "X is -2147483648 - 1", "X is 65536 * 65536",
+		"X is -2147483648 // -1", "X is abs(-2147483648)",
+		"X is min(3, -2)", "X is max(3, -2)", "X is -(5)",
+		// Standard order of terms.
+		"compare(O, 1, foo)", "compare(O, foo, f(a))", "compare(O, abc, abd)",
+		"compare(O, g(a), f(a, b))", "compare(O, f(a, b), f(a, c))",
+		"compare(O, [a, b], [a])", "compare(O, f(x, y), [x|y])",
+		"eq(X, yes), f(a) @< g(a)", "eq(X, yes), 7 @< foo",
+		// Structure builtins.
+		"functor(f(a, b), N, A)", "functor([h|t], N, A)", "functor(T, foo, 3)",
+		"arg(1, f(a, b, c), X)", "arg(4, f(a), X)", "arg(1, [h|t], X)",
+		"f(a, b) =.. L", "[h|t] =.. L", "T =.. [foo, 1, 2]",
+	} {
+		runFastPair(t, Options{}, diffSrc, q, vars, 8)
+	}
+	// Malformed cases: both modes must abort with the malformed class,
+	// with no answers, at the identical cycle count.
+	for _, q := range []string{
+		"X is 1 // 0",
+		"X is 1 mod 0",
+		"X is foo + 1",
+		"X is Y + 1",
+		"functor(T, foo, -1)",
+		"T =.. [f | X]",
+		"T =.. [f(a), 1]",
+	} {
+		runFastPair(t, Options{}, diffSrc, q, vars, 1)
+	}
+}
+
+// TestFastDifferentialStepLimit drives an unbounded enumeration into
+// the step limit under both modes: the abort must hit the same class
+// after the same answers with identical statistics — the fast path's
+// deferred accounting may not move the step-limit trip point by even
+// one cycle.
+func TestFastDifferentialStepLimit(t *testing.T) {
+	runFastPair(t, Options{MaxSteps: 20_000}, diffSrc,
+		"app(X, Y, Z)", []string{"X", "Y", "Z"}, 1_000_000)
+}
+
+// TestFastDifferentialCacheConfigs repeats a cache-sensitive workload
+// across cache shapes (including store-through and no-cache): the fast
+// path must keep the cache model and its stall accounting untouched.
+func TestFastDifferentialCacheConfigs(t *testing.T) {
+	for _, o := range []Options{
+		{},
+		{CacheWords: 1024, CacheSets: 1},
+		{StoreThrough: true},
+		{NoCache: true},
+	} {
+		runFastPair(t, o, diffSrc, "flat([a, [b, [c, d]], [], [[e]]], R)", []string{"R"}, 4)
+	}
+}

@@ -1,0 +1,139 @@
+package psi
+
+// Regression tests for the fast mode's forced-exact fallback: any
+// consumer that needs the per-cycle stream — the profiler, a COLLECT
+// trace, progress heartbeats, a fault-injection plan — must silently
+// push a Fast request back onto the exact path, and the output of such
+// a run must be byte-identical whether or not Fast was requested.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// solveAll runs the query to exhaustion so the machine has done real
+// work before the assertions look at it.
+func solveAll(t *testing.T, m *Machine, query string) error {
+	t.Helper()
+	s, err := m.Solve(query)
+	if err != nil {
+		t.Fatalf("Solve(%q): %v", query, err)
+	}
+	for {
+		if _, ok := s.Next(); !ok {
+			return s.Err()
+		}
+	}
+}
+
+func TestFastForcedExactByConsumers(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{"plain-fast", Options{Fast: true}, "fast"},
+		{"plain-exact", Options{}, "exact"},
+		{"profiler", Options{Fast: true, Profile: true}, "exact"},
+		{"collect", Options{Fast: true, Collect: true}, "exact"},
+		{"progress", Options{Fast: true, Progress: func(obs.Progress) {}}, "exact"},
+		{"fault", Options{Fast: true, Fault: &fault.Plan{Site: fault.SiteMem, After: 1 << 40, Seed: 1}}, "exact"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := LoadProgram(diffSrc, c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := m.AccountingMode(); got != c.want {
+				t.Fatalf("AccountingMode with %s armed: got %q, want %q", c.name, got, c.want)
+			}
+			if err := solveAll(t, m, "app(X, Y, [a, b, c])"); err != nil {
+				t.Fatal(err)
+			}
+			// The run report records the effective mode, not the request.
+			if rep := m.RunReport("t", nil); rep.Mode != c.want {
+				t.Fatalf("RunReport.Mode: got %q, want %q", rep.Mode, c.want)
+			}
+		})
+	}
+}
+
+// TestFastProfilerByteIdentical runs the profiler with and without a
+// Fast request: the fallback must make the two runs the same run, so
+// the formatted profile and the structured run report must match byte
+// for byte.
+func TestFastProfilerByteIdentical(t *testing.T) {
+	run := func(fastReq bool) (profile, report []byte) {
+		m, err := LoadProgram(diffSrc, Options{Profile: true, Fast: fastReq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := solveAll(t, m, "flat([a, [b, [c, d]], [], [[e]]], R)"); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		m.Profile("t").Format(&buf, 0)
+		rep, err := m.RunReport("t", nil).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), rep
+	}
+	exactProf, exactRep := run(false)
+	fastProf, fastRep := run(true)
+	if !bytes.Equal(exactProf, fastProf) {
+		t.Errorf("profiler output diverges between exact and fast+fallback:\n--- exact\n%s\n--- fast request\n%s", exactProf, fastProf)
+	}
+	if !bytes.Equal(exactRep, fastRep) {
+		t.Errorf("run report diverges between exact and fast+fallback:\n--- exact\n%s\n--- fast request\n%s", exactRep, fastRep)
+	}
+}
+
+// TestFastFaultClassification injects the same seeded fault with and
+// without a Fast request: the plan forces the exact path, so the fault
+// must be contained at the identical step with the identical message
+// and still map to the fault exit code.
+func TestFastFaultClassification(t *testing.T) {
+	var msgs []string
+	var steps []int64
+	for _, fastReq := range []bool{false, true} {
+		m, err := LoadProgram(diffSrc, Options{
+			Fast:  fastReq,
+			Fault: &fault.Plan{Site: fault.SiteMem, After: 200, Seed: 5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.AccountingMode(); got != "exact" {
+			t.Fatalf("fault plan armed, Fast=%v: mode %q, want exact", fastReq, got)
+		}
+		runErr := solveAll(t, m, "app(X, Y, Z)")
+		if runErr == nil {
+			t.Fatal("fault never fired")
+		}
+		if !errors.Is(runErr, engine.ErrFault) {
+			t.Fatalf("Fast=%v: error %v is not classified engine.ErrFault", fastReq, runErr)
+		}
+		if engine.ExitCode(runErr) != engine.ExitFault {
+			t.Fatalf("Fast=%v: exit code %d, want %d", fastReq, engine.ExitCode(runErr), engine.ExitFault)
+		}
+		var fe *engine.FaultError
+		if !errors.As(runErr, &fe) {
+			t.Fatalf("Fast=%v: error %v carries no *engine.FaultError", fastReq, runErr)
+		}
+		msgs = append(msgs, runErr.Error())
+		steps = append(steps, fe.Step)
+	}
+	if msgs[0] != msgs[1] {
+		t.Errorf("fault text depends on the Fast request:\n%s\n%s", msgs[0], msgs[1])
+	}
+	if steps[0] != steps[1] {
+		t.Errorf("fault step depends on the Fast request: %d vs %d", steps[0], steps[1])
+	}
+}

@@ -109,6 +109,7 @@ type Cache struct {
 	cfg      Config
 	rows     uint32
 	rowShift uint32  // log2(BlockWords)
+	tagShift uint32  // log2(rows): tag = block >> tagShift (rows is a power of two)
 	lines    []line  // rows × assoc
 	lru      []uint8 // most-recently-used way per row
 	// Stats
@@ -141,10 +142,15 @@ func New(cfg Config) *Cache {
 	for 1<<shift < cfg.BlockWords {
 		shift++
 	}
+	tagShift := uint32(0)
+	for 1<<tagShift < rows {
+		tagShift++
+	}
 	return &Cache{
 		cfg:      cfg,
 		rows:     rows,
 		rowShift: shift,
+		tagShift: tagShift,
 		lines:    make([]line, blocks),
 		lru:      make([]uint8, rows),
 	}
@@ -166,6 +172,7 @@ func (c *Cache) Clone() *Cache {
 		cfg:      c.cfg,
 		rows:     c.rows,
 		rowShift: c.rowShift,
+		tagShift: c.tagShift,
 		lines:    make([]line, len(c.lines)),
 		lru:      make([]uint8, len(c.lru)),
 	}
@@ -189,23 +196,12 @@ func (c *Cache) AccessBlock(op micro.CacheOp, block uint32, kind word.AreaID) (h
 		c.inj.CacheAccess(block)
 	}
 	row := block & (c.rows - 1)
-	hit, stallNS = c.access(op, block, row)
-	c.Area[kind].Accesses++
-	c.Total.Accesses++
-	if hit {
-		c.Area[kind].Hits++
-		c.Total.Hits++
-	}
-	c.StallNS += stallNS
-	return hit, stallNS
-}
-
-func (c *Cache) access(op micro.CacheOp, block, row uint32) (bool, int64) {
 	base := int(row) * c.cfg.Assoc
 	ways := c.lines[base : base+c.cfg.Assoc]
-	tag := block / c.rows
+	tag := block >> c.tagShift
 
-	// Search for a hit.
+	// Search for a hit (in line here: the hit path runs on nearly every
+	// simulated memory access, and a call per access is measurable).
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			c.touch(row, i)
@@ -216,11 +212,26 @@ func (c *Cache) access(op micro.CacheOp, block, row uint32) (bool, int64) {
 			} else if op != micro.OpRead {
 				ways[i].dirty = true
 			}
+			c.Area[kind].Accesses++
+			c.Total.Accesses++
+			c.Area[kind].Hits++
+			c.Total.Hits++
+			c.StallNS += stall
 			return true, stall
 		}
 	}
 
-	// Miss: choose a victim (LRU).
+	stallNS = c.miss(op, row, tag, ways)
+	c.Area[kind].Accesses++
+	c.Total.Accesses++
+	c.StallNS += stallNS
+	return false, stallNS
+}
+
+// miss handles the replacement path of one access: victim selection,
+// write-back, fill and the resulting stall time.
+func (c *Cache) miss(op micro.CacheOp, row, tag uint32, ways []line) int64 {
+	// Choose a victim (LRU).
 	vi := c.victim(row)
 	v := &ways[vi]
 	var stall int64
@@ -249,7 +260,7 @@ func (c *Cache) access(op micro.CacheOp, block, row uint32) (bool, int64) {
 		}
 	}
 	c.touch(row, vi)
-	return false, stall
+	return stall
 }
 
 // touch marks way i of row as most recently used. For associativity <= 2 a

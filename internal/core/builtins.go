@@ -62,9 +62,9 @@ func (m *Machine) execBuiltin(bi kl0.Builtin, arity int) {
 	// word, resolve it, and stage the value into an argument register.
 	args := make([]val, arity)
 	for i := 0; i < arity; i++ {
-		aw := m.read(micro.MGetArg, gAddr.Add(1+i), micro.Cycle{Dest: micro.ModeWF10, Branch: micro.BGoto2})
+		aw := m.read(micro.MGetArg, gAddr.Add(1+i), micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BGoto2))
 		args[i] = m.resolveArg(micro.MGetArg, aw, ctx.lf, ctx.gf)
-		m.alu(micro.MGetArg, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF10, Branch: micro.BCond, Data: true})
+		m.alu(micro.MGetArg, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BCond)|micro.SigData)
 	}
 	// Fixed body work of the built-in's microcode routine, bracketed by
 	// the subroutine entry and exit.
@@ -77,7 +77,7 @@ func (m *Machine) execBuiltin(bi kl0.Builtin, arity int) {
 			} else if i == n-1 {
 				br = micro.BReturn
 			}
-			m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF10, Src2: micro.ModeWF00, Dest: micro.ModeWF10, Branch: br, Data: true})
+			m.alu(micro.MBuilt, micro.Sig1(micro.ModeWF10)|micro.Sig2(micro.ModeWF00)|micro.SigD(micro.ModeWF10)|micro.SigBr(br)|micro.SigData)
 		}
 	}
 
@@ -102,9 +102,9 @@ func (m *Machine) runBuiltin(bi kl0.Builtin, args []val) (ok, done bool) {
 	ok = true
 	switch bi {
 	case kl0.BTrue:
-		m.alu(micro.MBuilt, micro.Cycle{Branch: micro.BGoto2})
+		m.alu(micro.MBuilt, micro.SigBr(micro.BGoto2))
 	case kl0.BFail:
-		m.alu(micro.MBuilt, micro.Cycle{Branch: micro.BGoto2})
+		m.alu(micro.MBuilt, micro.SigBr(micro.BGoto2))
 		ok = false
 	case kl0.BUnify:
 		ok = m.unify(args[0], args[1])
@@ -131,7 +131,7 @@ func (m *Machine) runBuiltin(bi kl0.Builtin, args []val) (ok, done bool) {
 		if err != nil {
 			panic(err)
 		}
-		m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF10, Src2: micro.ModeWF00, Branch: micro.BCond, Data: true})
+		m.alu(micro.MBuilt, micro.Sig1(micro.ModeWF10)|micro.Sig2(micro.ModeWF00)|micro.SigBr(micro.BCond)|micro.SigData)
 		switch bi {
 		case kl0.BArithEq:
 			ok = x == y
@@ -155,7 +155,7 @@ func (m *Machine) runBuiltin(bi kl0.Builtin, args []val) (ok, done bool) {
 	case kl0.BWrite:
 		m.writeTerm(args[0])
 	case kl0.BNl:
-		m.alu(micro.MBuilt, micro.Cycle{Branch: micro.BGosub})
+		m.alu(micro.MBuilt, micro.SigBr(micro.BGosub))
 		fmt.Fprintln(m.out)
 	case kl0.BTab:
 		n, err := m.eval(args[0])
@@ -165,7 +165,7 @@ func (m *Machine) runBuiltin(bi kl0.Builtin, args []val) (ok, done bool) {
 		for i := int32(0); i < n; i++ {
 			fmt.Fprint(m.out, " ")
 		}
-		m.alu(micro.MBuilt, micro.Cycle{Branch: micro.BGosub})
+		m.alu(micro.MBuilt, micro.SigBr(micro.BGosub))
 	case kl0.BHalt:
 		m.halted = true
 		return false, true
@@ -203,7 +203,7 @@ func (m *Machine) runBuiltin(bi kl0.Builtin, args []val) (ok, done bool) {
 
 // typeCheck implements var/nonvar/atom/integer/atomic.
 func (m *Machine) typeCheck(bi kl0.Builtin, v val) bool {
-	m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BIfTag, Data: true})
+	m.alu(micro.MBuilt, micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BIfTag)|micro.SigData)
 	return builtin.CheckType(bi, psiTerms{m}.Kind(v))
 }
 
@@ -233,14 +233,14 @@ func (m *Machine) identical(x, y val) bool {
 
 // eval computes an arithmetic expression value.
 func (m *Machine) eval(v val) (int32, error) {
-	m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCaseTag, Data: true})
+	m.alu(micro.MBuilt, micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BCaseTag)|micro.SigData)
 	switch v.W.Tag() {
 	case word.TagInt:
 		return v.W.Int(), nil
 	case word.TagUndef:
 		return 0, &RunError{Msg: "is/2: unbound variable in arithmetic expression"}
 	case word.TagSkel:
-		f := m.read(micro.MBuilt, v.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCaseOp, Data: true})
+		f := m.read(micro.MBuilt, v.W.Addr(), micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BCaseOp)|micro.SigData)
 		name := m.prog.Syms.Name(f.FuncSym())
 		arity := f.FuncArity()
 		var xs [2]int32
@@ -248,14 +248,14 @@ func (m *Machine) eval(v val) (int32, error) {
 			return 0, &RunError{Msg: fmt.Sprintf("is/2: unknown function %s/%d", name, arity)}
 		}
 		for i := 0; i < arity; i++ {
-			aw := m.read(micro.MBuilt, v.W.Addr().Add(1+i), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+			aw := m.read(micro.MBuilt, v.W.Addr().Add(1+i), micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BNop2))
 			x, err := m.eval(m.resolveSkelArg(micro.MBuilt, aw, v.Frame))
 			if err != nil {
 				return 0, err
 			}
 			xs[i] = x
 		}
-		m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF10, Src2: micro.ModeWF00, Dest: micro.ModeWF10, Branch: micro.BNop1, Data: true})
+		m.alu(micro.MBuilt, micro.Sig1(micro.ModeWF10)|micro.Sig2(micro.ModeWF00)|micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BNop1)|micro.SigData)
 		r, err := builtin.EvalOp(name, arity, xs)
 		if err != nil {
 			return 0, &RunError{Msg: err.Error()}
@@ -275,13 +275,13 @@ func (m *Machine) makeSkeleton(sym uint32, n int) (val, word.Addr) {
 	base := m.heapTop
 	m.heapTop += uint32(n + 1)
 	fa := word.MakeAddr(word.AreaHeap, base)
-	m.write(micro.MBuilt, fa, word.Functor(sym, n), micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BNop2, Data: true})
+	m.write(micro.MBuilt, fa, word.Functor(sym, n), micro.Sig1(micro.ModeWF10)|micro.SigBr(micro.BNop2)|micro.SigData)
 	for i := 0; i < n; i++ {
-		m.write(micro.MBuilt, fa.Add(1+i), word.New(word.TagGlobal, uint32(i)), micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BNop2, Data: true})
+		m.write(micro.MBuilt, fa.Add(1+i), word.New(word.TagGlobal, uint32(i)), micro.Sig1(micro.ModeWF10)|micro.SigBr(micro.BNop2)|micro.SigData)
 	}
 	frame := word.MakeAddr(ctx.global, ctx.globalTop)
 	for i := 0; i < n; i++ {
-		m.pushGlobal(micro.MBuilt, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BNop2, Data: true})
+		m.pushGlobal(micro.MBuilt, word.Undef, micro.Sig1(micro.ModeConst)|micro.SigBr(micro.BNop2)|micro.SigData)
 	}
 	return val{W: word.Skel(fa), Frame: frame}, frame
 }
@@ -326,18 +326,18 @@ func (m *Machine) makeList(elems []val) val {
 func (m *Machine) listVals(v val) ([]val, bool) {
 	var elems []val
 	for {
-		m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCaseTag, Data: true})
+		m.alu(micro.MBuilt, micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BCaseTag)|micro.SigData)
 		switch v.W.Tag() {
 		case word.TagNil:
 			return elems, true
 		case word.TagSkel:
-			f := m.read(micro.MBuilt, v.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+			f := m.read(micro.MBuilt, v.W.Addr(), micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BNop2))
 			if f.FuncSym() != 1 || f.FuncArity() != 2 {
 				return nil, false
 			}
-			hw := m.read(micro.MBuilt, v.W.Addr().Add(1), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+			hw := m.read(micro.MBuilt, v.W.Addr().Add(1), micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BNop2))
 			elems = append(elems, m.resolveSkelArg(micro.MBuilt, hw, v.Frame))
-			tw := m.read(micro.MBuilt, v.W.Addr().Add(2), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+			tw := m.read(micro.MBuilt, v.W.Addr().Add(2), micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BNop2))
 			v = m.resolveSkelArg(micro.MBuilt, tw, v.Frame)
 		default:
 			return nil, false
@@ -357,9 +357,9 @@ func (m *Machine) biVector(args []val) bool {
 	base := m.heapTop
 	m.heapTop += uint32(n) + 1
 	va := word.MakeAddr(word.AreaHeap, base)
-	m.write(micro.MBuilt, va, word.Int32(n), micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BNop2, Data: true})
+	m.write(micro.MBuilt, va, word.Int32(n), micro.Sig1(micro.ModeWF10)|micro.SigBr(micro.BNop2)|micro.SigData)
 	for i := int32(0); i < n; i++ {
-		m.write(micro.MBuilt, va.Add(int(i)+1), word.Nil, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BNop2, Data: true})
+		m.write(micro.MBuilt, va.Add(int(i)+1), word.Nil, micro.Sig1(micro.ModeConst)|micro.SigBr(micro.BNop2)|micro.SigData)
 	}
 	return m.unify(args[0], val{W: word.New(word.TagVec, uint32(va))})
 }
@@ -373,7 +373,7 @@ func (m *Machine) vecSlot(v, iv val) word.Addr {
 		panic(&RunError{Msg: "vector index must be an integer"})
 	}
 	va := v.W.Addr()
-	n := m.read(micro.MBuilt, va, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2}).Int()
+	n := m.read(micro.MBuilt, va, micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BNop2)).Int()
 	i := iv.W.Int()
 	if i < 0 || i >= n {
 		panic(&RunError{Msg: fmt.Sprintf("vector index %d out of range [0,%d)", i, n)})
@@ -389,14 +389,14 @@ func (m *Machine) biVset(args []val) bool {
 		panic(&RunError{Msg: "vset/3: heap vectors store atomic values and vector references only"})
 	}
 	slot := m.vecSlot(args[0], args[1])
-	m.write(micro.MBuilt, slot, x.W, micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BNop2, Data: true})
+	m.write(micro.MBuilt, slot, x.W, micro.Sig1(micro.ModeWF10)|micro.SigBr(micro.BNop2)|micro.SigData)
 	return true
 }
 
 // biVref implements vref(V, I, X).
 func (m *Machine) biVref(args []val) bool {
 	slot := m.vecSlot(args[0], args[1])
-	w := m.read(micro.MBuilt, slot, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+	w := m.read(micro.MBuilt, slot, micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BNop2))
 	return m.unify(args[2], val{W: w})
 }
 
@@ -417,11 +417,11 @@ func (m *Machine) metacall(gAddr, after word.Addr, g val, startClause int, cpExi
 	case word.TagNil:
 		sym = 0
 	case word.TagSkel:
-		f := m.read(micro.MBuilt, g.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCaseOp, Data: true})
+		f := m.read(micro.MBuilt, g.W.Addr(), micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BCaseOp)|micro.SigData)
 		sym = f.FuncSym()
 		args = make([]val, f.FuncArity())
 		for i := range args {
-			aw := m.read(micro.MGetArg, g.W.Addr().Add(1+i), micro.Cycle{Dest: micro.ModeWF10, Branch: micro.BNop2})
+			aw := m.read(micro.MGetArg, g.W.Addr().Add(1+i), micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BNop2))
 			args[i] = m.resolveSkelArg(micro.MGetArg, aw, g.Frame)
 		}
 	case word.TagUndef:
@@ -460,8 +460,8 @@ func (m *Machine) metacall(gAddr, after word.Addr, g val, startClause int, cpExi
 func (m *Machine) metaConjunction(after word.Addr, a, b val) {
 	ctx := m.ctx
 	// Park the two goal values in a fresh global frame.
-	frame := m.pushGlobal(micro.MBuilt, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BNop2, Data: true})
-	m.pushGlobal(micro.MBuilt, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BNop2, Data: true})
+	frame := m.pushGlobal(micro.MBuilt, word.Undef, micro.Sig1(micro.ModeConst)|micro.SigBr(micro.BNop2)|micro.SigData)
+	m.pushGlobal(micro.MBuilt, word.Undef, micro.Sig1(micro.ModeConst)|micro.SigBr(micro.BNop2)|micro.SigData)
 	m.bind(micro.MBuilt, frame, a)
 	m.bind(micro.MBuilt, frame.Add(1), b)
 	// Emit the stub: call(G0), call(G1).
@@ -525,7 +525,7 @@ func (m *Machine) metaBuiltin(bi kl0.Builtin, after word.Addr, args []val) {
 // redoMetacall is the backtracking path into a metacall's choice point.
 func (m *Machine) redoMetacall(gAddr word.Addr, next int, cpKept bool) {
 	// Re-fetch and re-resolve the goal argument.
-	aw := m.read(micro.MGetArg, gAddr.Add(1), micro.Cycle{Dest: micro.ModeWF10, Branch: micro.BNop2})
+	aw := m.read(micro.MGetArg, gAddr.Add(1), micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BNop2))
 	g := m.resolveArg(micro.MGetArg, aw, m.ctx.lf, m.ctx.gf)
 	m.metacall(gAddr, gAddr.Add(2), g, next, cpKept)
 }
@@ -553,7 +553,7 @@ func (m *Machine) runInterruptNested() {
 	m.ctx.gMark = 0
 	// Process-switch overhead.
 	for i := 0; i < 8; i++ {
-		m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF10, Branch: micro.BGosub, Data: true})
+		m.alu(micro.MControl, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BGosub)|micro.SigData)
 	}
 
 	m.startQuery(m.intrQuery)
@@ -565,7 +565,7 @@ func (m *Machine) runInterruptNested() {
 	m.ctx = &m.ctxs[savedCur]
 	m.failed = savedFailed
 	for i := 0; i < 8; i++ {
-		m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF10, Branch: micro.BReturn, Data: true})
+		m.alu(micro.MControl, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BReturn)|micro.SigData)
 	}
 	if !ok {
 		panic(&RunError{Msg: "interrupt handler failed"})
@@ -574,6 +574,6 @@ func (m *Machine) runInterruptNested() {
 
 // writeTerm prints a runtime value (write/1).
 func (m *Machine) writeTerm(v val) {
-	m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BGosub, Data: true})
+	m.alu(micro.MBuilt, micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BGosub)|micro.SigData)
 	fmt.Fprint(m.out, m.decodeVal(v, true).String())
 }

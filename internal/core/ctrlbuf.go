@@ -34,7 +34,7 @@ func (m *Machine) pushCtrlFrame(buf *ctrlBuf, frame *[ctrlFrameWords]word.Word) 
 		// Ablated: the frame goes straight to the control stack.
 		for i, w := range frame {
 			m.push(micro.MControl, addr.Add(i), w,
-				micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCondNot, Data: true})
+				micro.Sig1(micro.ModeWF10)|micro.SigBr(micro.BCondNot)|micro.SigData)
 		}
 		return addr
 	}
@@ -46,7 +46,7 @@ func (m *Machine) pushCtrlFrame(buf *ctrlBuf, frame *[ctrlFrameWords]word.Word) 
 	// marks) is already sitting in the machine registers; only the stack
 	// tops and link words are gathered.
 	for i := 0; i < 4; i++ {
-		m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF10, Branch: micro.BNop2, Data: true})
+		m.alu(micro.MControl, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BNop2)|micro.SigData)
 	}
 	return addr
 }
@@ -58,7 +58,7 @@ func (m *Machine) spillCtrl(buf *ctrlBuf) {
 	}
 	for i, w := range buf.words {
 		m.push(micro.MControl, buf.addr.Add(i), w,
-			micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCondNot, Data: true})
+			micro.Sig1(micro.ModeWF10)|micro.SigBr(micro.BCondNot)|micro.SigData)
 	}
 	buf.valid = false
 }
@@ -92,20 +92,20 @@ func (m *Machine) ctrlBufFor(addr word.Addr) *ctrlBuf {
 // is buffered there.
 func (m *Machine) readCtrl(mod micro.Module, frame word.Addr, slot int) word.Word {
 	if buf := m.ctrlBufFor(frame); buf != nil {
-		m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCond})
+		m.alu(mod, micro.Sig1(micro.ModeWF10)|micro.SigBr(micro.BCond))
 		return buf.words[slot]
 	}
-	return m.read(mod, frame.Add(slot), micro.Cycle{Branch: micro.BGoto2})
+	return m.read(mod, frame.Add(slot), micro.SigBr(micro.BGoto2))
 }
 
 // writeCtrl rewrites a control-frame slot (choice-point advance).
 func (m *Machine) writeCtrl(mod micro.Module, frame word.Addr, slot int, w word.Word) {
 	if buf := m.ctrlBufFor(frame); buf != nil {
-		m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Dest: micro.ModeWF10, Branch: micro.BGoto2, Data: true})
+		m.alu(mod, micro.Sig1(micro.ModeWF00)|micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BGoto2)|micro.SigData)
 		buf.words[slot] = w
 		return
 	}
-	m.write(mod, frame.Add(slot), w, micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BGoto2})
+	m.write(mod, frame.Add(slot), w, micro.Sig1(micro.ModeWF10)|micro.SigBr(micro.BGoto2))
 }
 
 // flushCtrlBufs spills both control-frame buffers (process switch).

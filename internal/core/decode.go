@@ -87,7 +87,7 @@ func (m *Machine) decodeValDepth(v val, charged bool, budget *int) *term.Term {
 	case word.TagSkel:
 		var f word.Word
 		if charged {
-			f = m.read(micro.MBuilt, v.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+			f = m.read(micro.MBuilt, v.W.Addr(), micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BNop2))
 		} else {
 			f = m.mem.Read(v.W.Addr())
 		}
@@ -96,7 +96,7 @@ func (m *Machine) decodeValDepth(v val, charged bool, budget *int) *term.Term {
 		for i := range args {
 			var aw word.Word
 			if charged {
-				aw = m.read(micro.MBuilt, v.W.Addr().Add(1+i), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+				aw = m.read(micro.MBuilt, v.W.Addr().Add(1+i), micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BNop2))
 			} else {
 				aw = m.mem.Read(v.W.Addr().Add(1 + i))
 			}

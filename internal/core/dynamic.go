@@ -26,7 +26,7 @@ func (m *Machine) biAssertz(args []val) bool {
 	m.load() // the new code joins the heap image
 	// Charge the code-store writes.
 	for i := 0; i < 6; i++ {
-		m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF10, Branch: micro.BCond, Data: true})
+		m.alu(micro.MBuilt, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BCond)|micro.SigData)
 	}
 	return true
 }
@@ -42,7 +42,7 @@ func (m *Machine) biRetract(args []val) bool {
 	case word.TagNil:
 		sym = 0
 	case word.TagSkel:
-		f := m.read(micro.MBuilt, g.W.Addr(), micro.Cycle{Branch: micro.BGoto2})
+		f := m.read(micro.MBuilt, g.W.Addr(), micro.SigBr(micro.BGoto2))
 		sym = f.FuncSym()
 		arity = f.FuncArity()
 	default:
@@ -55,7 +55,7 @@ func (m *Machine) biRetract(args []val) bool {
 	// The fact's head arguments.
 	head := make([]val, arity)
 	for i := 0; i < arity; i++ {
-		aw := m.read(micro.MGetArg, g.W.Addr().Add(1+i), micro.Cycle{Dest: micro.ModeWF10, Branch: micro.BNop2})
+		aw := m.read(micro.MGetArg, g.W.Addr().Add(1+i), micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BNop2))
 		head[i] = m.resolveSkelArg(micro.MGetArg, aw, g.Frame)
 	}
 	proc := m.prog.Procs[procIdx]
@@ -66,7 +66,7 @@ func (m *Machine) biRetract(args []val) bool {
 		}
 		if m.retractMatch(ci, head) {
 			m.prog.RetractClause(procIdx, k)
-			m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF10, Branch: micro.BGoto, Data: true})
+			m.alu(micro.MBuilt, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BGoto)|micro.SigData)
 			return true
 		}
 	}
@@ -77,7 +77,7 @@ func (m *Machine) biRetract(args []val) bool {
 // bindings on success and undoing them on failure.
 func (m *Machine) retractMatch(ci kl0.ClauseInfo, head []val) bool {
 	start := heapA(ci.Start)
-	info := m.read(micro.MBuilt, start, micro.Cycle{Branch: micro.BGoto2})
+	info := m.read(micro.MBuilt, start, micro.SigBr(micro.BGoto2))
 	if info.InfoArity() != len(head) {
 		return false
 	}
@@ -101,14 +101,14 @@ func (m *Machine) retractMatch(ci kl0.ClauseInfo, head []val) bool {
 	for i := 0; i < ci.NGlobals; i++ {
 		w := word.Undef
 		_ = w
-		m.pushGlobal(micro.MBuilt, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BNop2, Data: true})
+		m.pushGlobal(micro.MBuilt, word.Undef, micro.Sig1(micro.ModeConst)|micro.SigBr(micro.BNop2)|micro.SigData)
 	}
 	_ = ginit
 	lfNew := m.allocLocalFrame(ci.NLocals)
 
 	ok := true
 	for i := 0; i < len(head) && ok; i++ {
-		hw := m.read(micro.MBuilt, start.Add(1+i), micro.Cycle{Dest: micro.ModeWF10, Branch: micro.BNop2})
+		hw := m.read(micro.MBuilt, start.Add(1+i), micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BNop2))
 		hv := m.resolveArg(micro.MBuilt, hw, lfNew, gfNew)
 		ok = m.unify(hv, head[i])
 	}

@@ -53,7 +53,7 @@ func (m *Machine) subSolve(goal val, each func() bool) {
 
 	// A code stub in the heap metacalls the goal value: the goal is
 	// parked in a one-cell frame on the global stack.
-	gcell := m.pushGlobal(micro.MBuilt, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BNop2, Data: true})
+	gcell := m.pushGlobal(micro.MBuilt, word.Undef, micro.Sig1(micro.ModeConst)|micro.SigBr(micro.BNop2)|micro.SigData)
 	m.bind(micro.MBuilt, gcell, goal)
 	stub := m.heapTop
 	m.heapTop += 3
@@ -127,7 +127,7 @@ func (m *Machine) encodeTermVars(t *term.Term, vars map[string]val) val {
 		if v, ok := vars[t.Name]; ok && t.Name != "_" {
 			return v
 		}
-		cell := m.pushGlobal(micro.MBuilt, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BNop2, Data: true})
+		cell := m.pushGlobal(micro.MBuilt, word.Undef, micro.Sig1(micro.ModeConst)|micro.SigBr(micro.BNop2)|micro.SigData)
 		v := val{W: word.Undef, Addr: cell}
 		if t.Name != "_" {
 			vars[t.Name] = v

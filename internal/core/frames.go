@@ -34,41 +34,42 @@ func (m *Machine) bufIndex(off uint32) int {
 
 // readLocal reads a local-stack cell, through a frame buffer when the
 // cell is cached there.
-func (m *Machine) readLocal(mod micro.Module, a word.Addr, c micro.Cycle) word.Word {
+func (m *Machine) readLocal(mod micro.Module, a word.Addr, sig uint32) word.Word {
 	off := a.Offset()
 	if bi := m.bufIndex(off); bi >= 0 {
 		b := &m.ctx.buf[bi]
-		c.Module = mod
-		// Head arguments reach the frame buffer base-relative through
-		// PDR/CDR; the interpreter's own accesses go through WFAR1.
+		// A buffer hit is a register-only cycle. Head arguments reach
+		// the frame buffer base-relative through PDR/CDR; the
+		// interpreter's own accesses go through WFAR1.
+		sig &^= micro.Sig1(7)
 		if mod == micro.MUnify {
-			c.Src1 = micro.ModePCDR
+			sig |= micro.Sig1(micro.ModePCDR)
 		} else {
-			c.Src1 = micro.ModeWFAR1
+			sig |= micro.Sig1(micro.ModeWFAR1)
 		}
-		m.tick(c)
+		m.aluTick((uint32(mod) | sig) + 1)
 		return m.wf.GetFrame(bi, int(off-b.base))
 	}
-	return m.read(mod, a, c)
+	return m.read(mod, a, sig)
 }
 
 // writeLocal writes a local-stack cell, through a frame buffer when
 // cached.
-func (m *Machine) writeLocal(mod micro.Module, a word.Addr, w word.Word, c micro.Cycle) {
+func (m *Machine) writeLocal(mod micro.Module, a word.Addr, w word.Word, sig uint32) {
 	off := a.Offset()
 	if bi := m.bufIndex(off); bi >= 0 {
 		b := &m.ctx.buf[bi]
-		c.Module = mod
+		sig &^= micro.SigD(7)
 		if mod == micro.MUnify {
-			c.Dest = micro.ModePCDR
+			sig |= micro.SigD(micro.ModePCDR)
 		} else {
-			c.Dest = micro.ModeWFAR1
+			sig |= micro.SigD(micro.ModeWFAR1)
 		}
-		m.tick(c)
+		m.aluTick((uint32(mod) | sig) + 1)
 		m.wf.SetFrame(bi, int(off-b.base), w)
 		return
 	}
-	m.write(mod, a, w, c)
+	m.write(mod, a, w, sig)
 }
 
 // flushBuf writes a frame buffer back to the local stack and invalidates
@@ -83,7 +84,7 @@ func (m *Machine) flushBuf(bi int) {
 	for i := 0; i < b.size; i++ {
 		w := m.wf.GetWFAR1(+1)
 		m.push(micro.MControl, word.MakeAddr(m.ctx.local, b.base+uint32(i)), w,
-			micro.Cycle{Src1: micro.ModeWFAR1, Branch: micro.BCondNot, Data: true})
+			micro.Sig1(micro.ModeWFAR1)|micro.SigBr(micro.BCondNot)|micro.SigData)
 	}
 	b.valid = false
 }
@@ -137,14 +138,14 @@ func (m *Machine) allocLocalFrame(n int) word.Addr {
 		for i := 0; i < n; i++ {
 			m.wf.SetWFAR1(word.Undef, +1)
 		}
-		m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF00, Dest: micro.ModeWF00, Branch: micro.BCond, Data: true})
+		m.alu(micro.MControl, micro.Sig1(micro.ModeWF00)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BCond)|micro.SigData)
 		return addr
 	}
 	// Oversized frames live on the local stack directly.
 	for i := 0; i < n; i++ {
 		m.mem.Write(addr.Add(i), word.Undef)
 	}
-	m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF00, Dest: micro.ModeWF00, Branch: micro.BCond, Data: true})
+	m.alu(micro.MControl, micro.Sig1(micro.ModeWF00)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BCond)|micro.SigData)
 	return addr
 }
 
@@ -156,11 +157,11 @@ func (m *Machine) popLocalFrame(base uint32) {
 }
 
 // pushGlobal pushes one word onto the global stack.
-func (m *Machine) pushGlobal(mod micro.Module, w word.Word, c micro.Cycle) word.Addr {
+func (m *Machine) pushGlobal(mod micro.Module, w word.Word, sig uint32) word.Addr {
 	a := word.MakeAddr(m.ctx.global, m.ctx.globalTop)
 	m.ctx.globalTop++
-	c.Src2 = micro.ModeWF00 // global-top register
-	m.push(mod, a, w, c)
+	sig |= micro.Sig2(micro.ModeWF00) // global-top register
+	m.push(mod, a, w, sig)
 	return a
 }
 
@@ -174,14 +175,14 @@ func (m *Machine) trailPush(a word.Addr) {
 		ta := word.MakeAddr(m.ctx.trail, m.ctx.trailTop)
 		m.ctx.trailTop++
 		m.push(micro.MTrail, ta, word.New(word.TagRef, uint32(a)),
-			micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCondNot, Data: true})
+			micro.Sig1(micro.ModeWF10)|micro.SigBr(micro.BCondNot)|micro.SigData)
 		return
 	}
 	if m.ctx.trailBuf == trailBufCap {
 		m.flushTrailBuf()
 	}
 	m.wf.WFAR2 = uint16(wf.TrailBufBase + m.ctx.trailBuf)
-	m.alu(micro.MTrail, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWFAR2, Branch: micro.BCond, Data: true})
+	m.alu(micro.MTrail, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWFAR2)|micro.SigBr(micro.BCond)|micro.SigData)
 	m.wf.SetWFAR2(word.New(word.TagRef, uint32(a)), 0)
 	m.ctx.trailBuf++
 }
@@ -193,7 +194,7 @@ func (m *Machine) flushTrailBuf() {
 		w := m.wf.GetWFAR2(0)
 		a := word.MakeAddr(m.ctx.trail, m.ctx.trailTop)
 		m.ctx.trailTop++
-		m.push(micro.MTrail, a, w, micro.Cycle{Src1: micro.ModeWFAR2, Branch: micro.BCondNot, Data: true})
+		m.push(micro.MTrail, a, w, micro.Sig1(micro.ModeWFAR2)|micro.SigBr(micro.BCondNot)|micro.SigData)
 	}
 	m.ctx.trailBuf = 0
 }
@@ -210,13 +211,13 @@ func (m *Machine) trailUnwind(mark uint32) {
 		m.ctx.trailBuf--
 		m.wf.WFAR2 = uint16(wf.TrailBufBase + m.ctx.trailBuf)
 		w := m.wf.GetWFAR2(0)
-		m.alu(micro.MTrail, micro.Cycle{Src1: micro.ModeWFAR2, Branch: micro.BNop2, Data: true})
+		m.alu(micro.MTrail, micro.Sig1(micro.ModeWFAR2)|micro.SigBr(micro.BNop2)|micro.SigData)
 		m.resetCell(w.Addr())
 	}
 	for m.ctx.trailTop > mark {
 		m.ctx.trailTop--
 		w := m.read(micro.MTrail, word.MakeAddr(m.ctx.trail, m.ctx.trailTop),
-			micro.Cycle{Branch: micro.BCondNot})
+			micro.SigBr(micro.BCondNot))
 		m.resetCell(w.Addr())
 	}
 }
@@ -224,8 +225,8 @@ func (m *Machine) trailUnwind(mark uint32) {
 // resetCell restores a cell to unbound during trail unwinding.
 func (m *Machine) resetCell(a word.Addr) {
 	if a.Area().Kind() == word.AreaLocal {
-		m.writeLocal(micro.MTrail, a, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BGoto2, Data: true})
+		m.writeLocal(micro.MTrail, a, word.Undef, micro.Sig1(micro.ModeConst)|micro.SigBr(micro.BGoto2)|micro.SigData)
 		return
 	}
-	m.write(micro.MTrail, a, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BGoto2, Data: true})
+	m.write(micro.MTrail, a, word.Undef, micro.Sig1(micro.ModeConst)|micro.SigBr(micro.BGoto2)|micro.SigData)
 }

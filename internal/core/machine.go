@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/cache"
 	"repro/internal/engine"
@@ -56,6 +57,14 @@ type Config struct {
 	ProgressEvery int64
 	// MaxSteps aborts runaway executions (0 = no limit).
 	MaxSteps int64
+	// Fast requests the fast accounting mode: when no per-cycle consumer
+	// is armed (Trace, Profile, Progress, Fault), the machine skips the
+	// micro.Sink funnel and batch-increments its Stats counters directly.
+	// The simulated cycle stream is identical — answers, statistics,
+	// cache behaviour and simulated time match the exact mode bit for
+	// bit; only the host-side bookkeeping is cheaper. When any per-cycle
+	// consumer is armed the machine silently runs the exact path.
+	Fast bool
 	// Features selects machine-feature ablations and the PSI-II
 	// extensions.
 	Features Features
@@ -141,6 +150,12 @@ type Machine struct {
 
 	stats micro.Stats
 	sink  micro.Sink
+	fast  bool
+	// fastTab is the fast mode's deferred-accounting signature table
+	// (see fastacct.go). Allocated on first fast-mode configuration and
+	// kept across Reset; always fully drained (all-zero) outside a
+	// running Solutions.Step.
+	fastTab []fastSlot
 
 	// Simulated-workload profiling state: the profile sink (nil unless
 	// profiling), its optional miss-notification half, and the predicate
@@ -166,6 +181,10 @@ type Machine struct {
 
 	inferences int64
 	maxSteps   int64
+	// stepStop is the fast path's step-limit sentinel: maxSteps when a
+	// limit is set, MaxInt64 otherwise, so the per-cycle check is one
+	// branch-free compare.
+	stepStop int64
 
 	// failed marks that the current path failed and the main loop must
 	// backtrack; kept on the machine so deep failure chains stay
@@ -277,6 +296,11 @@ func (m *Machine) Reset(prog *kl0.Program, cfg Config) bool {
 	}
 	m.mem.Reset()
 	m.wf.Reset()
+	if m.fastTab != nil {
+		// Normally already drained by the last Step's flush; cleared
+		// here so a reused machine never inherits deferred counts.
+		clear(m.fastTab)
+	}
 	m.prog = prog
 	m.loaded = 0
 	m.out = cfg.Out
@@ -354,6 +378,27 @@ func (m *Machine) configureSinks(cfg Config) {
 		m.hbEvery = DefaultProgressEvery
 	}
 	m.hbLeft = m.hbEvery
+	// Fast accounting is only sound when nothing consumes individual
+	// cycles: a trace or profile sink needs every record, the heartbeat
+	// counts down per cycle, and the fault injector's trace-FIFO site
+	// fires per record. Any of them forces the exact path.
+	m.fast = cfg.Fast &&
+		cfg.Trace == nil && cfg.Profile == nil && cfg.Progress == nil && cfg.Fault == nil
+	if m.fast && m.fastTab == nil {
+		m.fastTab = make([]fastSlot, fastTabSize)
+	}
+	m.stepStop = cfg.MaxSteps
+	if m.stepStop <= 0 {
+		m.stepStop = math.MaxInt64
+	}
+}
+
+// stepLimitPanic raises the step-limit abort out of line, keeping the
+// fast tick small enough to stay cheap.
+//
+//go:noinline
+func stepLimitPanic(limit int64) {
+	panic(&RunError{Msg: fmt.Sprintf("step limit %d exceeded", limit), Class: engine.ErrStepLimit})
 }
 
 // configureFault wires (or with nil unwires) the fault injector into the
@@ -381,7 +426,21 @@ func (m *Machine) load() {
 }
 
 // Stats returns the accumulated microcycle statistics.
-func (m *Machine) Stats() *micro.Stats { return &m.stats }
+func (m *Machine) Stats() *micro.Stats {
+	m.fastFlush()
+	return &m.stats
+}
+
+// AccountingMode reports the effective cycle-accounting path:
+// engine.ModeFast when the batched fast path is active, engine.ModeExact
+// otherwise — including when Config.Fast was requested but a per-cycle
+// consumer (trace, profile, progress, fault) forced the exact path.
+func (m *Machine) AccountingMode() string {
+	if m.fast {
+		return engine.ModeFast
+	}
+	return engine.ModeExact
+}
 
 // Processes reports the number of process contexts the machine was built
 // with (the shape of its memory areas, fixed for the machine's lifetime).
@@ -435,25 +494,19 @@ func (m *Machine) SetInterruptHandler(process int, q *kl0.Query) error {
 
 // ---- microcycle emission helpers -------------------------------------
 
-// tick emits one microcycle.
-func (m *Machine) tick(c micro.Cycle) {
-	m.sink.Cycle(c)
-	if m.inj != nil {
-		// Every microcycle is one COLLECT trace record; the hook models
-		// the trace FIFO overrunning.
-		m.inj.TraceRecord()
-	}
-	if m.hb != nil {
-		m.hbLeft--
-		if m.hbLeft <= 0 {
-			m.hbLeft = m.hbEvery
-			m.hb(Heartbeat{Steps: m.stats.Steps, SimNS: m.TimeNS(), Inferences: m.inferences})
-		}
-	}
-	if m.maxSteps > 0 && m.stats.Steps > m.maxSteps {
-		panic(&RunError{Msg: fmt.Sprintf("step limit %d exceeded", m.maxSteps), Class: engine.ErrStepLimit})
-	}
-}
+// Every microcycle flows through aluTick (register-only cycles) or
+// memTick (cycles with a cache command); both identify the cycle by its
+// packed accounting signature (micro.Sig* layout, offset by one so the
+// key doubles as the signature-table key). In fast mode the cycle is
+// counted with one table bump and the totals expand later (see
+// fastacct.go); Steps stays live so the budget slicing and the
+// step-limit abort happen at exactly the same cycle as in the exact
+// mode, and the limit check runs after the slot update because the
+// exact path, too, accounts the cycle that crosses the limit before
+// aborting. The exact per-cycle tail (sink, trace-FIFO fault hook,
+// heartbeat, step limit) is duplicated between the two rather than
+// shared through a helper: the extra call level is measurable at this
+// frequency.
 
 // enterPred records that the code pointer now executes inside predicate
 // p, notifying the profiler on changes. Called only when profiling.
@@ -482,45 +535,118 @@ func (m *Machine) memAccess(op micro.CacheOp, a word.Addr) {
 	}
 }
 
-// read performs a memory read microcycle and returns the word.
-func (m *Machine) read(mod micro.Module, a word.Addr, c micro.Cycle) word.Word {
-	c.Module = mod
-	c.Cache = micro.OpRead
-	c.Addr = a
-	m.tick(c)
-	m.memAccess(micro.OpRead, a)
+// read performs a memory read microcycle and returns the word. Like
+// alu, it takes the cycle's packed accounting signature (micro.Sig*)
+// instead of a Cycle struct: the signature is a compile-time constant
+// at nearly every call site, and the cache command and address kind are
+// OR'd in here.
+func (m *Machine) read(mod micro.Module, a word.Addr, sig uint32) word.Word {
+	m.memTick((uint32(mod)|sig)+1, micro.OpRead, a)
 	return m.mem.Read(a)
 }
 
 // write performs a memory write microcycle.
-func (m *Machine) write(mod micro.Module, a word.Addr, w word.Word, c micro.Cycle) {
-	c.Module = mod
-	c.Cache = micro.OpWrite
-	c.Addr = a
-	m.tick(c)
-	m.memAccess(micro.OpWrite, a)
+func (m *Machine) write(mod micro.Module, a word.Addr, w word.Word, sig uint32) {
+	m.memTick((uint32(mod)|sig)+1, micro.OpWrite, a)
 	m.mem.Write(a, w)
 }
 
 // push performs a write-stack microcycle (no block read-in on miss).
 // With the Write-Stack command ablated, it degrades to a plain write.
-func (m *Machine) push(mod micro.Module, a word.Addr, w word.Word, c micro.Cycle) {
+func (m *Machine) push(mod micro.Module, a word.Addr, w word.Word, sig uint32) {
 	op := micro.OpWriteStack
 	if m.feat.NoWriteStack {
 		op = micro.OpWrite
 	}
-	c.Module = mod
-	c.Cache = op
-	c.Addr = a
-	m.tick(c)
-	m.memAccess(op, a)
+	m.memTick((uint32(mod)|sig)+1, op, a)
 	m.mem.Write(a, w)
 }
 
-// alu emits a register-only microcycle.
-func (m *Machine) alu(mod micro.Module, c micro.Cycle) {
-	c.Module = mod
-	m.tick(c)
+// memTick counts one memory microcycle — key is the packed register
+// signature (offset by one), op the cache command — and then drives the
+// cache. In fast mode the command and area kind complete the signature
+// key (their bits are zero in a register signature) for a single table
+// bump; otherwise the full cycle is rebuilt for the exact per-cycle
+// path.
+func (m *Machine) memTick(key uint32, op micro.CacheOp, a word.Addr) {
+	if m.fast {
+		key |= uint32(op)<<12 | uint32(a.Area().Kind())<<19
+		m.stats.Steps++
+		sl := &m.fastTab[(key*0x9E3779B1)>>(32-fastTabBits)]
+		if sl.key != key {
+			m.fastEvict(sl, key)
+		}
+		sl.n++
+		if m.stats.Steps > m.stepStop {
+			stepLimitPanic(m.maxSteps)
+		}
+	} else {
+		c := micro.SigCycle(key - 1)
+		c.Cache = op
+		c.Addr = a
+		m.sink.Cycle(c)
+		if m.inj != nil {
+			// Every microcycle is one COLLECT trace record; the hook
+			// models the trace FIFO overrunning.
+			m.inj.TraceRecord()
+		}
+		if m.hb != nil {
+			m.hbLeft--
+			if m.hbLeft <= 0 {
+				m.hbLeft = m.hbEvery
+				m.hb(Heartbeat{Steps: m.stats.Steps, SimNS: m.TimeNS(), Inferences: m.inferences})
+			}
+		}
+		if m.maxSteps > 0 && m.stats.Steps > m.maxSteps {
+			stepLimitPanic(m.maxSteps)
+		}
+	}
+	m.memAccess(op, a)
+}
+
+// alu emits a register-only microcycle, described by its packed
+// accounting signature (see the micro.Sig* helpers). Taking the
+// signature as a scalar keeps alu within the inlining budget, so at
+// call sites that OR literal Sig* values the whole key folds to an
+// immediate — which is what makes the fast mode's per-cycle cost a
+// single table bump.
+func (m *Machine) alu(mod micro.Module, sig uint32) {
+	m.aluTick((uint32(mod) | sig) + 1)
+}
+
+// aluTick counts one register-only cycle, identified by its packed
+// signature key (offset by one, matching the signature-table encoding):
+// against the signature table in fast mode, or through the exact
+// per-cycle path after reconstructing the cycle — a register-only cycle
+// is fully determined by its signature (Cache is OpNone, Addr is zero),
+// so the rebuilt value is identical to the one the caller described.
+func (m *Machine) aluTick(key uint32) {
+	if m.fast {
+		m.stats.Steps++
+		sl := &m.fastTab[(key*0x9E3779B1)>>(32-fastTabBits)]
+		if sl.key != key {
+			m.fastEvict(sl, key)
+		}
+		sl.n++
+		if m.stats.Steps > m.stepStop {
+			stepLimitPanic(m.maxSteps)
+		}
+		return
+	}
+	m.sink.Cycle(micro.SigCycle(key - 1))
+	if m.inj != nil {
+		m.inj.TraceRecord()
+	}
+	if m.hb != nil {
+		m.hbLeft--
+		if m.hbLeft <= 0 {
+			m.hbLeft = m.hbEvery
+			m.hb(Heartbeat{Steps: m.stats.Steps, SimNS: m.TimeNS(), Inferences: m.inferences})
+		}
+	}
+	if m.maxSteps > 0 && m.stats.Steps > m.maxSteps {
+		stepLimitPanic(m.maxSteps)
+	}
 }
 
 // RunError reports an abnormal termination (resource exhaustion or a

@@ -165,6 +165,12 @@ func (s *Solutions) Step(budget int64) engine.Status {
 		}
 		found, yielded = m.runSteps(limit)
 	}()
+	// Drain the fast mode's deferred accounting: from here on the
+	// statistics are observable (reports, metrics, the next budget
+	// computation) and must equal the exact mode's bit for bit. Runs
+	// after the containment recovery above, so aborted and faulted runs
+	// flush too.
+	m.fastFlush()
 	switch {
 	case s.err != nil:
 		return engine.Failed
@@ -196,7 +202,7 @@ func (m *Machine) startQuery(q *kl0.Query) word.Addr {
 	// Allocate the query's global frame.
 	gf := word.MakeAddr(ctx.global, ctx.globalTop)
 	for i := 0; i < q.NGlobals; i++ {
-		m.pushGlobal(micro.MControl, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BCondNot, Data: true})
+		m.pushGlobal(micro.MControl, word.Undef, micro.Sig1(micro.ModeConst)|micro.SigBr(micro.BCondNot)|micro.SigData)
 	}
 	// Sentinel environment: contCode 0 marks query success.
 	sent := [ctrlFrameWords]word.Word{
@@ -255,8 +261,8 @@ func (m *Machine) runSteps(limit int64) (found, yielded bool) {
 			m.enterPred(m.prog.ProcAt(int(ctx.code.Offset())))
 		}
 		// Instruction fetch, decode, then opcode dispatch.
-		w := m.read(micro.MControl, ctx.code, micro.Cycle{Branch: micro.BNop2})
-		m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF00, Branch: micro.BCaseOp, Data: true})
+		w := m.read(micro.MControl, ctx.code, micro.SigBr(micro.BNop2))
+		m.alu(micro.MControl, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BCaseOp)|micro.SigData)
 		switch w.Tag() {
 		case word.TagGoal:
 			m.inferences++
@@ -290,7 +296,7 @@ func (m *Machine) runSteps(limit int64) (found, yielded bool) {
 func (m *Machine) fetchGoalArgs(mod micro.Module, gAddr word.Addr, arity int, lf, gf word.Addr) []val {
 	args := make([]val, arity)
 	for i := 0; i < arity; i++ {
-		aw := m.read(mod, gAddr.Add(1+i), micro.Cycle{Dest: micro.ModeWF10, Branch: micro.BNop2})
+		aw := m.read(mod, gAddr.Add(1+i), micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BNop2))
 		args[i] = m.resolveArg(mod, aw, lf, gf)
 	}
 	return args
@@ -364,7 +370,7 @@ func (m *Machine) dispatchCall(procIdx int, gAddr, after word.Addr, args []val, 
 			ctx.lf = retLF
 			ctx.gf = retGF
 			// Environment release bookkeeping.
-			m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF00, Dest: micro.ModeWF00, Branch: micro.BGoto, Data: true})
+			m.alu(micro.MControl, micro.Sig1(micro.ModeWF00)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BGoto)|micro.SigData)
 		}
 	}
 
@@ -379,31 +385,41 @@ func (m *Machine) selectClauses(procIdx int, proc *kl0.Proc, args []val) []int {
 	}
 	ix := m.prog.Index(procIdx)
 	// The dispatch itself: a tag dispatch plus a table probe.
-	m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCaseTag, Data: true})
-	m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF00, Branch: micro.BGotoJR, Data: true})
+	m.alu(micro.MControl, micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BCaseTag)|micro.SigData)
+	m.alu(micro.MControl, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BGotoJR)|micro.SigData)
 	a0 := args[0]
 	switch a0.W.Tag() {
 	case word.TagAtom, word.TagInt, word.TagNil:
-		return ix.SelectConst(a0.W)
+		return m.dropDead(proc, ix.SelectConst(a0.W))
 	case word.TagSkel:
-		f := m.read(micro.MControl, a0.W.Addr(), micro.Cycle{Branch: micro.BGoto2})
-		return ix.SelectStruct(f.Data())
+		f := m.read(micro.MControl, a0.W.Addr(), micro.SigBr(micro.BGoto2))
+		return m.dropDead(proc, ix.SelectStruct(f.Data()))
 	default:
 		return m.aliveClauses(proc)
 	}
 }
 
+// dropDead filters retracted clauses out of an index bucket. Retraction
+// marks clauses dead in place without invalidating the index (live
+// choice points keep their clause numbers), so buckets can list dead
+// clauses; the O(1) NDead check keeps the common static case free.
+func (m *Machine) dropDead(proc *kl0.Proc, candidates []int) []int {
+	if proc.NDead() == 0 {
+		return candidates
+	}
+	out := make([]int, 0, len(candidates))
+	for _, i := range candidates {
+		if !proc.Clauses[i].Dead {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // aliveClauses lists the non-retracted clause numbers (the common case —
 // no retractions — reuses cached identity slices).
 func (m *Machine) aliveClauses(proc *kl0.Proc) []int {
-	dead := false
-	for i := range proc.Clauses {
-		if proc.Clauses[i].Dead {
-			dead = true
-			break
-		}
-	}
-	if !dead {
+	if proc.NDead() == 0 {
 		return allClauses(len(proc.Clauses))
 	}
 	out := make([]int, 0, len(proc.Clauses))
@@ -448,7 +464,7 @@ func (m *Machine) globalizeUnsafe(a word.Addr) val {
 	if !v.isUnbound() || v.Addr != a {
 		return v
 	}
-	g := m.pushGlobal(micro.MControl, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BCondNot, Data: true})
+	g := m.pushGlobal(micro.MControl, word.Undef, micro.Sig1(micro.ModeConst)|micro.SigBr(micro.BCondNot)|micro.SigData)
 	m.writeCell(micro.MControl, a, word.Ref(g))
 	return val{W: word.Undef, Addr: g}
 }
@@ -458,11 +474,11 @@ func (m *Machine) globalizeUnsafe(a word.Addr) val {
 func (m *Machine) tryClause(ci kl0.ClauseInfo, args []val, retCode, retE, retLF, retGF, barrier word.Addr) {
 	ctx := m.ctx
 	start := heapA(ci.Start)
-	info := m.read(micro.MControl, start, micro.Cycle{Dest: micro.ModeWF10, Branch: micro.BGosub, Data: true})
+	info := m.read(micro.MControl, start, micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BGosub)|micro.SigData)
 	// Frame-size decode (loading JR with the arity as loop counter) and
 	// the stack-overflow checks.
-	m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF00, Branch: micro.BLoadJR, Data: true})
-	m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF10, Src2: micro.ModeWF00, Branch: micro.BCondNot, Data: true})
+	m.alu(micro.MControl, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BLoadJR)|micro.SigData)
+	m.alu(micro.MControl, micro.Sig1(micro.ModeWF10)|micro.Sig2(micro.ModeWF00)|micro.SigBr(micro.BCondNot)|micro.SigData)
 	arity := info.InfoArity()
 
 	// Allocate the global frame: only the cells a shared skeleton may
@@ -472,7 +488,7 @@ func (m *Machine) tryClause(ci kl0.ClauseInfo, args []val, retCode, retE, retLF,
 	ginit := info.InfoGInit()
 	gfNew := word.MakeAddr(ctx.global, ctx.globalTop)
 	for i := 0; i < ginit; i++ {
-		m.pushGlobal(micro.MControl, word.Undef, micro.Cycle{Src1: micro.ModeConst, Branch: micro.BCondNot, Data: true})
+		m.pushGlobal(micro.MControl, word.Undef, micro.Sig1(micro.ModeConst)|micro.SigBr(micro.BCondNot)|micro.SigData)
 	}
 	if rest := ci.NGlobals - ginit; rest > 0 {
 		for i := 0; i < rest; i++ {
@@ -480,7 +496,7 @@ func (m *Machine) tryClause(ci kl0.ClauseInfo, args []val, retCode, retE, retLF,
 		}
 		ctx.globalTop += uint32(rest)
 		// Pointer bump only (with the overflow check).
-		m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF00, Dest: micro.ModeWF00, Branch: micro.BCond, Data: true})
+		m.alu(micro.MControl, micro.Sig1(micro.ModeWF00)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BCond)|micro.SigData)
 	}
 	// Allocate the local frame.
 	lfBase := ctx.localTop
@@ -488,7 +504,7 @@ func (m *Machine) tryClause(ci kl0.ClauseInfo, args []val, retCode, retE, retLF,
 
 	// Head unification.
 	for i := 0; i < arity; i++ {
-		hw := m.read(micro.MUnify, start.Add(1+i), micro.Cycle{Dest: micro.ModeWF10, Branch: micro.BNop2})
+		hw := m.read(micro.MUnify, start.Add(1+i), micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BNop2))
 		hv := m.resolveArg(micro.MUnify, hw, lfNew, gfNew)
 		if !m.unify(hv, args[i]) {
 			m.failed = true
@@ -502,7 +518,7 @@ func (m *Machine) tryClause(ci kl0.ClauseInfo, args []val, retCode, retE, retLF,
 		// nothing can reference it (bindings only ever point from younger
 		// to older cells) and any choice point for this call saved a
 		// local top at or below its base.
-		m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BReturn, Data: true})
+		m.alu(micro.MControl, micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BReturn)|micro.SigData)
 		m.popLocalFrame(lfBase)
 		ctx.code = retCode
 		ctx.e = retE
@@ -529,7 +545,7 @@ func (m *Machine) tryClause(ci kl0.ClauseInfo, args []val, retCode, retE, retLF,
 	ctx.gf = gfNew
 	ctx.code = bodyStart
 	// Transfer of control into the body.
-	m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF00, Dest: micro.ModeWF00, Branch: micro.BGoto2, Data: true})
+	m.alu(micro.MControl, micro.Sig1(micro.ModeWF00)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BGoto2)|micro.SigData)
 }
 
 // createCP pushes a 10-word choice-point frame into the WF choice-point
@@ -565,7 +581,7 @@ func (m *Machine) createCP(gAddr word.Addr, procIdx, nextClause int) {
 func (m *Machine) backtrack() bool {
 	ctx := m.ctx
 	m.failed = false
-	m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCondNot})
+	m.alu(micro.MControl, micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BCondNot))
 	if ctx.b == 0 {
 		return false
 	}
@@ -577,7 +593,7 @@ func (m *Machine) backtrack() bool {
 		// The newest choice point is register-resident: the redo state is
 		// already at hand, costing only a few register cycles.
 		for i := 0; i < 4; i++ {
-			m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF00, Branch: micro.BCond, Data: true})
+			m.alu(micro.MControl, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BCond)|micro.SigData)
 		}
 		goalCode = buf.words[cpGoalCode].Addr()
 		goalLF = buf.words[cpGoalLF].Addr()
@@ -607,12 +623,12 @@ func (m *Machine) backtrack() bool {
 	// bound nothing and allocated nothing, there is nothing to restore.
 	shallow := m.trailDepth() == savedTrail &&
 		ctx.localTop == savedLTop && ctx.globalTop == savedGTop
-	m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BCond, Data: true})
+	m.alu(micro.MControl, micro.Sig1(micro.ModeWF00)|micro.Sig2(micro.ModeWF00)|micro.SigBr(micro.BCond)|micro.SigData)
 	if !shallow {
 		m.trailUnwind(savedTrail)
 		// Restore the stack-top registers.
 		for i := 0; i < 3; i++ {
-			m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF00, Branch: micro.BCond, Data: true})
+			m.alu(micro.MControl, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BCond)|micro.SigData)
 		}
 		ctx.localTop = savedLTop
 		m.invalidateBufsAbove(savedLTop)
@@ -665,7 +681,7 @@ func (m *Machine) reloadMarks() {
 // index next.
 func (m *Machine) redo(procIdx int, gAddr word.Addr, next int, cpKept bool) {
 	ctx := m.ctx
-	w := m.read(micro.MControl, gAddr, micro.Cycle{Branch: micro.BCaseOp, Data: true})
+	w := m.read(micro.MControl, gAddr, micro.SigBr(micro.BCaseOp)|micro.SigData)
 	switch w.Tag() {
 	case word.TagGoal:
 		// Retries of the same goal are not new logical inferences.
@@ -691,10 +707,10 @@ func (m *Machine) cut() {
 	// accumulate — the expensive part of cut on the PSI.
 	for cp := ctx.b; cp != 0 && cp.Offset() > barrier.Offset(); {
 		next := m.readCtrl(micro.MCut, cp, cpSavedB).Addr()
-		m.alu(micro.MCut, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BCond, Data: true})
-		m.alu(micro.MCut, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF00, Branch: micro.BGoto2, Data: true})
+		m.alu(micro.MCut, micro.Sig1(micro.ModeWF00)|micro.Sig2(micro.ModeWF00)|micro.SigBr(micro.BCond)|micro.SigData)
+		m.alu(micro.MCut, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BGoto2)|micro.SigData)
 		for i := 0; i < 6; i++ {
-			m.alu(micro.MCut, micro.Cycle{Src1: micro.ModeWF10, Src2: micro.ModeWF00, Dest: micro.ModeWF10, Branch: micro.BCondNot, Data: true})
+			m.alu(micro.MCut, micro.Sig1(micro.ModeWF10)|micro.Sig2(micro.ModeWF00)|micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BCondNot)|micro.SigData)
 		}
 		cp = next
 	}
@@ -708,7 +724,7 @@ func (m *Machine) cut() {
 		ctx.controlTop = top
 		m.dropCtrlAbove(top)
 	}
-	m.alu(micro.MCut, micro.Cycle{Src1: micro.ModeWF00, Dest: micro.ModeWF00, Branch: micro.BNop1, Data: true})
+	m.alu(micro.MCut, micro.Sig1(micro.ModeWF00)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BNop1)|micro.SigData)
 }
 
 // ret finishes a clause body: continue at the continuation recorded in
@@ -733,8 +749,8 @@ func (m *Machine) ret() bool {
 		ctx.controlTop = ctx.e.Offset()
 		m.dropCtrlAbove(ctx.controlTop)
 	}
-	m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF10, Src2: micro.ModeWF00, Branch: micro.BCond, Data: true})
-	m.alu(micro.MControl, micro.Cycle{Src1: micro.ModeWF00, Dest: micro.ModeWF00, Branch: micro.BReturn, Data: true})
+	m.alu(micro.MControl, micro.Sig1(micro.ModeWF10)|micro.Sig2(micro.ModeWF00)|micro.SigBr(micro.BCond)|micro.SigData)
+	m.alu(micro.MControl, micro.Sig1(micro.ModeWF00)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BReturn)|micro.SigData)
 	ctx.code = cont.Addr()
 	ctx.e = contEnv
 	ctx.lf = contLF

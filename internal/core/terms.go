@@ -32,8 +32,8 @@ func (p psiTerms) Kind(v val) builtin.Kind {
 	}
 }
 
-func (p psiTerms) Int(v val) int32        { return v.W.Int() }
-func (p psiTerms) AtomName(v val) string  { return p.atomName(v.W) }
+func (p psiTerms) Int(v val) int32               { return v.W.Int() }
+func (p psiTerms) AtomName(v val) string         { return p.atomName(v.W) }
 func (p psiTerms) FunctorName(sym uint32) string { return p.m.prog.Syms.Name(sym) }
 
 // atomName renders an atomic value's name for ordering.
@@ -76,18 +76,18 @@ func (p psiTerms) SameCompound(x, y val) bool {
 // fetches it on the fall-through path (BGoto2, no work-file source); the
 // other builtins stage the operand first (WF00, BNop2).
 func (p psiTerms) Functor(t val, op builtin.Op) (uint32, int) {
-	var c micro.Cycle
+	var c uint32
 	if op == builtin.OpCompare {
-		c = micro.Cycle{Branch: micro.BGoto2}
+		c = micro.SigBr(micro.BGoto2)
 	} else {
-		c = micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2}
+		c = micro.Sig1(micro.ModeWF00) | micro.SigBr(micro.BNop2)
 	}
 	f := p.m.read(micro.MBuilt, t.W.Addr(), c)
 	return f.FuncSym(), f.FuncArity()
 }
 
 func (p psiTerms) Arg1(t val, i int, op builtin.Op) val {
-	aw := p.m.read(micro.MBuilt, t.W.Addr().Add(i), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2})
+	aw := p.m.read(micro.MBuilt, t.W.Addr().Add(i), micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BNop2))
 	return p.m.resolveSkelArg(micro.MBuilt, aw, t.Frame)
 }
 
@@ -95,18 +95,18 @@ func (p psiTerms) Arg1(t val, i int, op builtin.Op) val {
 // resolving either — the firmware's access order, which the cache model
 // observes.
 func (p psiTerms) ArgPair(x, y val, i int, op builtin.Op) (val, val) {
-	var c micro.Cycle
+	var c uint32
 	if op == builtin.OpCompare {
-		c = micro.Cycle{Branch: micro.BCondNot}
+		c = micro.SigBr(micro.BCondNot)
 	} else {
-		c = micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop2}
+		c = micro.Sig1(micro.ModeWF00) | micro.SigBr(micro.BNop2)
 	}
 	ax := p.m.read(micro.MBuilt, x.W.Addr().Add(i), c)
 	ay := p.m.read(micro.MBuilt, y.W.Addr().Add(i), c)
 	return p.m.resolveSkelArg(micro.MBuilt, ax, x.Frame), p.m.resolveSkelArg(micro.MBuilt, ay, y.Frame)
 }
 
-func (p psiTerms) Deref(v val) val    { return p.m.derefVal(micro.MBuilt, v) }
+func (p psiTerms) Deref(v val) val     { return p.m.derefVal(micro.MBuilt, v) }
 func (p psiTerms) Unify(x, y val) bool { return p.m.unify(x, y) }
 
 // UnifyVoid unifies against an anonymous variable: always succeeds,
@@ -114,11 +114,11 @@ func (p psiTerms) Unify(x, y val) bool { return p.m.unify(x, y) }
 func (p psiTerms) UnifyVoid(t val) bool { return p.m.unify(t, voidVal) }
 
 func (p psiTerms) TypeMiss() {
-	p.m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCondNot})
+	p.m.alu(micro.MBuilt, micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BCondNot))
 }
 
 func (p psiTerms) VisitNode(op builtin.Op) {
-	p.m.alu(micro.MBuilt, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BCaseTag, Data: true})
+	p.m.alu(micro.MBuilt, micro.Sig1(micro.ModeWF00)|micro.Sig2(micro.ModeWF00)|micro.SigBr(micro.BCaseTag)|micro.SigData)
 }
 
 func (p psiTerms) MkAtomSym(sym uint32) val { return val{W: word.Atom(sym)} }
@@ -132,5 +132,5 @@ func (p psiTerms) MkCompound(sym uint32, n int, args []val) val {
 	return sk
 }
 
-func (p psiTerms) MkList(elems []val) val          { return p.m.makeList(elems) }
-func (p psiTerms) ListElems(l val) ([]val, bool)   { return p.m.listVals(l) }
+func (p psiTerms) MkList(elems []val) val        { return p.m.makeList(elems) }
+func (p psiTerms) ListElems(l val) ([]val, bool) { return p.m.listVals(l) }

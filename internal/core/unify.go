@@ -25,18 +25,18 @@ var voidVal = val{W: word.Undef}
 // locals).
 func (m *Machine) readCell(mod micro.Module, a word.Addr) word.Word {
 	if a.Area().Kind() == word.AreaLocal {
-		return m.readLocal(mod, a, micro.Cycle{Branch: micro.BNop2})
+		return m.readLocal(mod, a, micro.SigBr(micro.BNop2))
 	}
-	return m.read(mod, a, micro.Cycle{Branch: micro.BCondNot})
+	return m.read(mod, a, micro.SigBr(micro.BCondNot))
 }
 
 // writeCell writes a runtime cell.
 func (m *Machine) writeCell(mod micro.Module, a word.Addr, w word.Word) {
 	if a.Area().Kind() == word.AreaLocal {
-		m.writeLocal(mod, a, w, micro.Cycle{Branch: micro.BNop2, Data: true})
+		m.writeLocal(mod, a, w, micro.SigBr(micro.BNop2)|micro.SigData)
 		return
 	}
-	m.write(mod, a, w, micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCond, Data: true})
+	m.write(mod, a, w, micro.Sig1(micro.ModeWF10)|micro.SigBr(micro.BCond)|micro.SigData)
 }
 
 // resolveArg turns an instruction-code argument word into a runtime
@@ -45,8 +45,8 @@ func (m *Machine) writeCell(mod micro.Module, a word.Addr, w word.Word) {
 func (m *Machine) resolveArg(mod micro.Module, w word.Word, lf, gf word.Addr) val {
 	// Argument-register setup, then dispatch on the argument kind (the
 	// packed-operand tag dispatch).
-	m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF00, Branch: micro.BNop3, Data: true})
-	m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCaseIRN, Data: true})
+	m.alu(mod, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BNop3)|micro.SigData)
+	m.alu(mod, micro.Sig1(micro.ModeWF10)|micro.SigBr(micro.BCaseIRN)|micro.SigData)
 	switch w.Tag() {
 	case word.TagLocal:
 		a := lf.Add(w.VarIndex())
@@ -77,8 +77,8 @@ func (m *Machine) derefCell(mod micro.Module, a word.Addr) val {
 	for {
 		w := m.readCell(mod, a)
 		// Address formation and tag extraction, then the tag dispatch.
-		m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BGoto2, Data: true})
-		m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCaseTag, Data: true})
+		m.alu(mod, micro.Sig1(micro.ModeWF10)|micro.SigBr(micro.BGoto2)|micro.SigData)
+		m.alu(mod, micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BCaseTag)|micro.SigData)
 		switch w.Tag() {
 		case word.TagRef:
 			a = w.Addr()
@@ -86,8 +86,8 @@ func (m *Machine) derefCell(mod micro.Module, a word.Addr) val {
 			return val{W: word.Undef, Addr: a}
 		case word.TagMol:
 			// Fetch the two-word molecule: skeleton and frame.
-			sk := m.read(mod, w.Addr(), micro.Cycle{Branch: micro.BGoto2})
-			fr := m.read(mod, w.Addr().Add(1), micro.Cycle{Branch: micro.BReturn})
+			sk := m.read(mod, w.Addr(), micro.SigBr(micro.BGoto2))
+			fr := m.read(mod, w.Addr().Add(1), micro.SigBr(micro.BReturn))
 			return val{W: sk, Frame: fr.Addr()}
 		default:
 			return val{W: w}
@@ -108,15 +108,15 @@ func (m *Machine) derefVal(mod micro.Module, v val) val {
 // is older than the newest choice point.
 func (m *Machine) bind(mod micro.Module, a word.Addr, v val) {
 	// Value formation (tag merge) before the store.
-	m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Src2: micro.ModeWF00, Branch: micro.BGoto2, Data: true})
+	m.alu(mod, micro.Sig1(micro.ModeWF10)|micro.Sig2(micro.ModeWF00)|micro.SigBr(micro.BGoto2)|micro.SigData)
 	var w word.Word
 	switch {
 	case v.isUnbound():
 		w = word.Ref(v.Addr)
 	case v.W.Tag() == word.TagSkel:
 		// Materialize a molecule on the global stack.
-		mol := m.pushGlobal(mod, v.W, micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCondNot, Data: true})
-		m.pushGlobal(mod, word.New(word.TagFrame, uint32(v.Frame)), micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCondNot, Data: true})
+		mol := m.pushGlobal(mod, v.W, micro.Sig1(micro.ModeWF10)|micro.SigBr(micro.BCondNot)|micro.SigData)
+		m.pushGlobal(mod, word.New(word.TagFrame, uint32(v.Frame)), micro.Sig1(micro.ModeWF10)|micro.SigBr(micro.BCondNot)|micro.SigData)
 		w = word.Mol(mol)
 	default:
 		w = v.W
@@ -131,7 +131,7 @@ func (m *Machine) bind(mod micro.Module, a word.Addr, v val) {
 // backtracking: only cells older than the newest choice point.
 func (m *Machine) needsTrail(a word.Addr) bool {
 	// Condition check cycle.
-	m.alu(micro.MTrail, micro.Cycle{Src1: micro.ModeWF10, Src2: micro.ModeWF00, Branch: micro.BCondNot})
+	m.alu(micro.MTrail, micro.Sig1(micro.ModeWF10)|micro.Sig2(micro.ModeWF00)|micro.SigBr(micro.BCondNot))
 	if m.ctx.b == 0 && !m.forceTrail {
 		return false
 	}
@@ -152,7 +152,7 @@ func (m *Machine) needsTrail(a word.Addr) bool {
 // global to the local stack.
 func (m *Machine) bindVarVar(mod micro.Module, x, y val) {
 	// Direction decision.
-	m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BCond, Data: true})
+	m.alu(mod, micro.Sig1(micro.ModeWF00)|micro.Sig2(micro.ModeWF00)|micro.SigBr(micro.BCond)|micro.SigData)
 	xa, ya := x.Addr, y.Addr
 	xLocal := xa.Area().Kind() == word.AreaLocal
 	yLocal := ya.Area().Kind() == word.AreaLocal
@@ -174,10 +174,10 @@ func (m *Machine) unify(x, y val) bool {
 	const mod = micro.MUnify
 	// Operand staging into PDR/CDR (two moves), the mode/trap checks, and
 	// the tag-pair dispatch.
-	m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF00, Branch: micro.BCond, Data: true})
-	m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF00, Branch: micro.BGosub, Data: true})
-	m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BIfTag, Data: true})
-	m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BCaseTag, Data: true})
+	m.alu(mod, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BCond)|micro.SigData)
+	m.alu(mod, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BGosub)|micro.SigData)
+	m.alu(mod, micro.Sig1(micro.ModeWF00)|micro.Sig2(micro.ModeWF00)|micro.SigBr(micro.BIfTag)|micro.SigData)
+	m.alu(mod, micro.Sig1(micro.ModeWF00)|micro.Sig2(micro.ModeWF00)|micro.SigBr(micro.BCaseTag)|micro.SigData)
 
 	if x.isVoid() || y.isVoid() {
 		return true
@@ -199,17 +199,17 @@ func (m *Machine) unify(x, y val) bool {
 
 	xt, yt := x.W.Tag(), y.W.Tag()
 	if xt != yt {
-		m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BCondNot})
+		m.alu(mod, micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BCondNot))
 		return false
 	}
 	switch xt {
 	case word.TagAtom, word.TagInt:
-		m.alu(mod, micro.Cycle{Src1: micro.ModeConst, Src2: micro.ModeWF00, Branch: micro.BCond, Data: true})
+		m.alu(mod, micro.Sig1(micro.ModeConst)|micro.Sig2(micro.ModeWF00)|micro.SigBr(micro.BCond)|micro.SigData)
 		return x.W.Data() == y.W.Data()
 	case word.TagNil:
 		return true
 	case word.TagVec:
-		m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BCond, Data: true})
+		m.alu(mod, micro.Sig1(micro.ModeWF00)|micro.Sig2(micro.ModeWF00)|micro.SigBr(micro.BCond)|micro.SigData)
 		return x.W.Data() == y.W.Data()
 	case word.TagSkel:
 		return m.unifySkel(x, y)
@@ -224,13 +224,13 @@ func (m *Machine) unifySkel(x, y val) bool {
 	const mod = micro.MUnify
 	if x.W.Addr() == y.W.Addr() && x.Frame == y.Frame {
 		// Identical molecule.
-		m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Branch: micro.BCond})
+		m.alu(mod, micro.Sig1(micro.ModeWF00)|micro.Sig2(micro.ModeWF00)|micro.SigBr(micro.BCond))
 		return true
 	}
-	fx := m.read(mod, x.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop3})
-	fy := m.read(mod, y.W.Addr(), micro.Cycle{Src1: micro.ModeWF00, Branch: micro.BNop3})
+	fx := m.read(mod, x.W.Addr(), micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BNop3))
+	fy := m.read(mod, y.W.Addr(), micro.Sig1(micro.ModeWF00)|micro.SigBr(micro.BNop3))
 	// Functor/arity comparison; JR is loaded with the arity.
-	m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Src2: micro.ModeWF00, Branch: micro.BLoadJR, Data: true})
+	m.alu(mod, micro.Sig1(micro.ModeWF10)|micro.Sig2(micro.ModeWF00)|micro.SigBr(micro.BLoadJR)|micro.SigData)
 	if fx != fy {
 		return false
 	}
@@ -238,10 +238,10 @@ func (m *Machine) unifySkel(x, y val) bool {
 	for i := 1; i <= arity; i++ {
 		// Loop bookkeeping (JR used as loop counter) plus the argument
 		// pointer advance on both sides.
-		m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Dest: micro.ModeWF10, Branch: micro.BCond, Data: true})
-		m.alu(mod, micro.Cycle{Src1: micro.ModeWF00, Src2: micro.ModeWF00, Dest: micro.ModeWF00, Branch: micro.BNop3, Data: true})
-		ax := m.read(mod, x.W.Addr().Add(i), micro.Cycle{Branch: micro.BCondNot})
-		ay := m.read(mod, y.W.Addr().Add(i), micro.Cycle{Branch: micro.BCondNot})
+		m.alu(mod, micro.Sig1(micro.ModeWF10)|micro.SigD(micro.ModeWF10)|micro.SigBr(micro.BCond)|micro.SigData)
+		m.alu(mod, micro.Sig1(micro.ModeWF00)|micro.Sig2(micro.ModeWF00)|micro.SigD(micro.ModeWF00)|micro.SigBr(micro.BNop3)|micro.SigData)
+		ax := m.read(mod, x.W.Addr().Add(i), micro.SigBr(micro.BCondNot))
+		ay := m.read(mod, y.W.Addr().Add(i), micro.SigBr(micro.BCondNot))
 		vx := m.resolveSkelArg(mod, ax, x.Frame)
 		vy := m.resolveSkelArg(mod, ay, y.Frame)
 		if !m.unify(vx, vy) {
@@ -255,7 +255,7 @@ func (m *Machine) unifySkel(x, y val) bool {
 // variables, voids or nested skeletons — locals never occur inside
 // compound terms).
 func (m *Machine) resolveSkelArg(mod micro.Module, w word.Word, frame word.Addr) val {
-	m.alu(mod, micro.Cycle{Src1: micro.ModeWF10, Branch: micro.BCaseTag, Data: true})
+	m.alu(mod, micro.Sig1(micro.ModeWF10)|micro.SigBr(micro.BCaseTag)|micro.SigData)
 	switch w.Tag() {
 	case word.TagGlobal:
 		// Skeleton slots always hold eagerly-initialized globals.

@@ -150,6 +150,29 @@ type Options struct {
 	// MaxSteps aborts the run with ErrStepLimit after this many machine
 	// steps (0 = no bound).
 	MaxSteps int64
+	// Mode selects the cycle-accounting mode (ModeExact or ModeFast; ""
+	// means ModeExact). Engines without a fast mode ignore it: the mode
+	// never changes answers, only how the host aggregates statistics.
+	Mode string
+}
+
+// Accounting modes. ModeFast batches per-cycle statistics updates in
+// engines that support it (the PSI core); results are bit-identical to
+// ModeExact, which funnels every cycle through the micro.Sink interface.
+const (
+	ModeExact = "exact"
+	ModeFast  = "fast"
+)
+
+// ParseMode validates an -engine flag value ("" defaults to exact).
+func ParseMode(s string) (string, error) {
+	switch s {
+	case "", ModeExact:
+		return ModeExact, nil
+	case ModeFast:
+		return ModeFast, nil
+	}
+	return "", fmt.Errorf("engine: unknown mode %q (want %q or %q)", s, ModeExact, ModeFast)
 }
 
 // Program is a compiled artifact an Engine can open sessions on.

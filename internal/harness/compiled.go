@@ -150,6 +150,7 @@ type runOpts struct {
 	ctx      context.Context    // deadline/cancel bound (nil = unbounded)
 	maxSteps int64              // step bound override (0 = harness default)
 	fault    *fault.Plan        // fault-injection plan (nil = no injection)
+	fast     bool               // request the fast accounting mode
 }
 
 // sinkPair duplicates the cycle stream to two sinks (collect + tap runs).
@@ -165,7 +166,7 @@ func (c *Compiled) run(ro runOpts) (*PSIRun, error) {
 	if steps <= 0 {
 		steps = maxSteps
 	}
-	cfg := core.Config{Processes: c.Procs, MaxSteps: steps, Features: ro.feat}
+	cfg := core.Config{Processes: c.Procs, MaxSteps: steps, Features: ro.feat, Fast: ro.fast}
 	if ro.fault != nil {
 		label := ro.cell
 		if label == "" {

@@ -1,0 +1,52 @@
+package harness
+
+import "testing"
+
+// Fast-mode parallel determinism smoke: the fast accounting mode must
+// be invisible in the published tables — byte-identical to the exact
+// serial output at any worker count. Runs under the race detector in
+// `make race` (the Table 2 pass is cheap enough for -short; the full
+// Table 1 sweep joins in when -short is off).
+
+func TestFastModeWorkerDeterminism(t *testing.T) {
+	table2 := func(o Options) string {
+		rows, err := Table2With(o)
+		if err != nil {
+			t.Fatalf("Table2With(%+v): %v", o, err)
+		}
+		return FormatTable2(rows)
+	}
+	want := table2(Options{Workers: 1})
+	for _, o := range []Options{
+		{Workers: 1, Fast: true},
+		{Workers: 8, Fast: true},
+	} {
+		if got := table2(o); got != want {
+			line, a, b := firstDiffLine(want, got)
+			t.Fatalf("Table 2 with %+v differs from exact serial at line %d:\n exact: %q\n fast:  %q", o, line, a, b)
+		}
+	}
+}
+
+func TestFastModeWorkerDeterminismTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 1 sweep skipped in -short mode")
+	}
+	table1 := func(o Options) string {
+		rows, err := Table1With(o)
+		if err != nil {
+			t.Fatalf("Table1With(%+v): %v", o, err)
+		}
+		return FormatTable1(rows)
+	}
+	want := table1(Options{Workers: 1})
+	for _, o := range []Options{
+		{Workers: 1, Fast: true},
+		{Workers: 8, Fast: true},
+	} {
+		if got := table1(o); got != want {
+			line, a, b := firstDiffLine(want, got)
+			t.Fatalf("Table 1 with %+v differs from exact serial at line %d:\n exact: %q\n fast:  %q", o, line, a, b)
+		}
+	}
+}

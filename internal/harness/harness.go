@@ -43,6 +43,14 @@ func RunPSI(b progs.Benchmark, collect bool) (*PSIRun, error) {
 	return c.Run(collect, core.Features{})
 }
 
+// RunPSIWith is RunPSI with Options threaded through — the entry point
+// for callers that need the fast accounting mode, fault plans or step
+// bounds on a single benchmark run (the differential suite drives both
+// engine modes through it).
+func RunPSIWith(o Options, b progs.Benchmark, collect bool) (*PSIRun, error) {
+	return runPSIWith(o, b.Name, b, collect)
+}
+
 // runPSIWith is RunPSI with the observability extras of Options threaded
 // through: heartbeats are tagged with the evaluation cell (e.g.
 // "table5/window-1") so `psibench -v` can show where the run is.
@@ -59,6 +67,7 @@ func runPSIWith(o Options, cell string, b progs.Benchmark, collect bool) (*PSIRu
 		ctx:      o.Ctx,
 		maxSteps: o.MaxSteps,
 		fault:    o.Fault,
+		fast:     o.Fast,
 	})
 }
 
@@ -79,6 +88,7 @@ func runPSIInto(o Options, cell string, b progs.Benchmark, sink micro.Sink) erro
 		ctx:      o.Ctx,
 		maxSteps: o.MaxSteps,
 		fault:    o.Fault,
+		fast:     o.Fast,
 	})
 	if err != nil {
 		return err

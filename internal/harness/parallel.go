@@ -61,6 +61,14 @@ type Options struct {
 	// EvaluationWith allocates one automatically; callers driving
 	// sections individually supply their own to read the entries back.
 	Degraded *DegradedLog
+
+	// Fast requests the fast accounting engine mode (core.Config.Fast)
+	// for every run. The evaluation output is byte-identical to the
+	// exact mode — the fast path only batches the host-side cycle
+	// accounting — and any run that arms a per-cycle consumer (progress
+	// heartbeats, fault injection, profiling, trace collection) silently
+	// falls back to the exact path.
+	Fast bool
 }
 
 func (o Options) maxSteps() int64 {

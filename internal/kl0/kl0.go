@@ -53,7 +53,11 @@ type ClauseInfo struct {
 func (p *Program) RetractClause(procIdx, k int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.Procs[procIdx].Clauses[k].Dead = true
+	proc := p.Procs[procIdx]
+	if !proc.Clauses[k].Dead {
+		proc.Clauses[k].Dead = true
+		proc.nDead++
+	}
 }
 
 // Proc is one user predicate.
@@ -63,10 +67,18 @@ type Proc struct {
 	Arity   int
 	Clauses []ClauseInfo
 	index   atomic.Pointer[ClauseIndex]
+	nDead   int // retracted clauses, maintained by RetractClause
 }
 
 // Indicator returns name/arity.
 func (p *Proc) Indicator() string { return fmt.Sprintf("%s/%d", p.Name, p.Arity) }
+
+// NDead reports how many of the procedure's clauses are retracted, so
+// dispatch can decide in O(1) whether a candidate list needs dead-clause
+// filtering. Like the clause lists themselves, it is only mutated on
+// programs owned by a single machine (see the sharing contract on
+// Program).
+func (p *Proc) NDead() int { return p.nDead }
 
 // Query is a compiled top-level goal. All query variables are global so
 // that answers survive until extraction.
@@ -265,6 +277,18 @@ func (p *Program) addClauses(clauses []*term.Term) error {
 	for _, w := range work {
 		if err := p.compileClause(w.src, w.head, w.body, w.owner); err != nil {
 			return err
+		}
+	}
+
+	// Pass 3: build the first-argument index of every predicate the
+	// batch defined or extended, so static code never pays the lazy
+	// build (or its lock) at call time. Dynamically asserted clauses
+	// still invalidate and rebuild through Index.
+	built := make(map[int]bool, len(work))
+	for _, w := range work {
+		if !built[w.owner] {
+			built[w.owner] = true
+			p.buildIndex(w.owner)
 		}
 	}
 	return nil

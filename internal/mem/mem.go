@@ -16,12 +16,20 @@ import (
 // PageWords is the translation granularity in words.
 const PageWords = 1024
 
+// pageShift is log2(PageWords), for the translation address math.
+const pageShift = 10
+
 // Memory is the logical memory of one PSI machine instance.
 type Memory struct {
-	areas     [][]word.Word
-	pageTable map[uint32]uint32 // logical page key -> physical page number
-	nextPhys  uint32
-	inj       *fault.Injector // nil outside chaos runs
+	areas [][]word.Word
+	// pages is the hardware address translation table: per area, the
+	// physical page number + 1 for each logical page (0 = not yet
+	// mapped). A dense slice per area replaces the obvious hash map —
+	// translation runs once per simulated memory access, making it one
+	// of the hottest loads in the whole simulator.
+	pages    [][]uint32
+	nextPhys uint32
+	inj      *fault.Injector // nil outside chaos runs
 }
 
 // SetInjector attaches (or with nil detaches) the fault injector whose
@@ -34,13 +42,15 @@ func (m *Memory) SetInjector(inj *fault.Injector) { m.inj = inj }
 // (heap plus four stack areas each).
 func New(processes int) *Memory {
 	return &Memory{
-		areas:     make([][]word.Word, word.NumAreas(processes)),
-		pageTable: make(map[uint32]uint32),
+		areas: make([][]word.Word, word.NumAreas(processes)),
+		pages: make([][]uint32, word.NumAreas(processes)),
 	}
 }
 
-// ensure grows area storage to cover offset.
-func (m *Memory) ensure(area word.AreaID, offset uint32) {
+// grow extends area storage to cover offset and returns the grown
+// slice. Kept out of the Read/Write hot path so those inline: the
+// common case is a two-compare bounds probe.
+func (m *Memory) grow(area word.AreaID, offset uint32) []word.Word {
 	if int(area) >= len(m.areas) {
 		// Invariant panic: area ids come from the machine's own context
 		// setup, never from user input. Reaching this is a simulator
@@ -48,9 +58,6 @@ func (m *Memory) ensure(area word.AreaID, offset uint32) {
 		panic(fmt.Sprintf("mem: area %d out of range", area))
 	}
 	a := m.areas[area]
-	if int(offset) < len(a) {
-		return
-	}
 	n := len(a)
 	if n == 0 {
 		n = PageWords
@@ -61,37 +68,74 @@ func (m *Memory) ensure(area word.AreaID, offset uint32) {
 	grown := make([]word.Word, n)
 	copy(grown, a)
 	m.areas[area] = grown
+	return grown
+}
+
+// ensure grows area storage to cover offset.
+func (m *Memory) ensure(area word.AreaID, offset uint32) {
+	if int(area) >= len(m.areas) || int(offset) >= len(m.areas[area]) {
+		m.grow(area, offset)
+	}
 }
 
 // Read returns the word at a logical address.
 func (m *Memory) Read(a word.Addr) word.Word {
-	m.ensure(a.Area(), a.Offset())
+	area, off := a.Area(), a.Offset()
+	s := m.areas[area]
+	if uint32(len(s)) <= off {
+		s = m.grow(area, off)
+	}
 	if m.inj != nil {
 		m.inj.MemAccess(a)
 	}
-	return m.areas[a.Area()][a.Offset()]
+	return s[off]
 }
 
 // Write stores a word at a logical address.
 func (m *Memory) Write(a word.Addr, w word.Word) {
-	m.ensure(a.Area(), a.Offset())
+	area, off := a.Area(), a.Offset()
+	s := m.areas[area]
+	if uint32(len(s)) <= off {
+		s = m.grow(area, off)
+	}
 	if m.inj != nil {
 		m.inj.MemAccess(a)
 	}
-	m.areas[a.Area()][a.Offset()] = w
+	s[off] = w
 }
 
 // Translate maps a logical address to a physical word address through the
 // address translation table, allocating physical pages on first touch.
 func (m *Memory) Translate(a word.Addr) uint32 {
-	key := uint32(a) / PageWords
-	phys, ok := m.pageTable[key]
-	if !ok {
-		phys = m.nextPhys
-		m.nextPhys++
-		m.pageTable[key] = phys
+	off := a.Offset()
+	pg := off >> pageShift
+	t := m.pages[a.Area()]
+	if uint32(len(t)) <= pg {
+		t = m.growPages(a.Area(), pg)
 	}
-	return phys*PageWords + a.Offset()%PageWords
+	phys := t[pg]
+	if phys == 0 {
+		m.nextPhys++
+		phys = m.nextPhys
+		t[pg] = phys
+	}
+	return (phys-1)*PageWords + off&(PageWords-1)
+}
+
+// growPages extends one area's translation slice to cover page pg.
+func (m *Memory) growPages(area word.AreaID, pg uint32) []uint32 {
+	t := m.pages[area]
+	n := uint32(len(t))
+	if n == 0 {
+		n = 8
+	}
+	for n <= pg {
+		n *= 2
+	}
+	grown := make([]uint32, n)
+	copy(grown, t)
+	m.pages[area] = grown
+	return grown
 }
 
 // Reset returns the memory to its post-New state while keeping the area
@@ -106,7 +150,9 @@ func (m *Memory) Reset() {
 			m.areas[i] = a
 		}
 	}
-	clear(m.pageTable)
+	for _, t := range m.pages {
+		clear(t)
+	}
 	m.nextPhys = 0
 }
 

@@ -158,6 +158,47 @@ type Cycle struct {
 	Data   bool // cycle performs data manipulation alongside the branch
 }
 
+// Packed register-only cycle signatures.
+//
+// A register-only cycle (no cache command, no address) is fully
+// determined by its module, work-file field modes, branch operation and
+// data flag, which together fit in 19 bits. The interpreter core hands
+// such cycles to its accounting as a packed signature instead of a
+// Cycle struct: Sig1/Sig2/SigD/SigBr compile to a single shift, so a
+// call site that ORs them over literal arguments folds the whole
+// signature to an immediate — which is what lets the fast engine mode
+// account a register-only cycle with one table increment. The module id
+// occupies bits 0..2 and is OR'd in by the machine. SigCycle inverts
+// the packing for the exact path.
+
+// Sig1 packs the ALU input-1 field mode (bits 3..5).
+func Sig1(m WFMode) uint32 { return uint32(m) << 3 }
+
+// Sig2 packs the ALU input-2 field mode (bits 6..8).
+func Sig2(m WFMode) uint32 { return uint32(m) << 6 }
+
+// SigD packs the ALU output field mode (bits 9..11).
+func SigD(m WFMode) uint32 { return uint32(m) << 9 }
+
+// SigBr packs the branch-field operation (bits 14..17). Bits 12..13
+// hold the cache command, always OpNone for a register-only cycle.
+func SigBr(b BranchOp) uint32 { return uint32(b) << 14 }
+
+// SigData flags data manipulation alongside the branch (bit 18).
+const SigData uint32 = 1 << 18
+
+// SigCycle rebuilds the register-only cycle a packed signature encodes.
+func SigCycle(sig uint32) Cycle {
+	return Cycle{
+		Module: Module(sig & 7),
+		Src1:   WFMode(sig >> 3 & 7),
+		Src2:   WFMode(sig >> 6 & 7),
+		Dest:   WFMode(sig >> 9 & 7),
+		Branch: BranchOp(sig >> 14 & 15),
+		Data:   sig>>18&1 == 1,
+	}
+}
+
 // Sink receives executed cycles; Stats and the trace collector implement
 // it.
 type Sink interface {
@@ -219,6 +260,29 @@ func (s *Stats) Cycle(c Cycle) {
 	s.CacheOps[c.Cache]++
 	if c.Cache != OpNone {
 		s.AreaOps[c.Addr.Area().Kind()][c.Cache]++
+	}
+}
+
+// Add accumulates n identical cycles in one step — the fast engine
+// mode's batched-accounting primitive. Add(c, 1) is exactly Cycle(c);
+// Add(c, n) equals n Cycle(c) calls. The field indices are masked
+// against the array sizes (all powers of two except ModuleSteps, which
+// keeps its range check) so the hot path carries no bounds checks.
+func (s *Stats) Add(c Cycle, n int64) {
+	s.Steps += n
+	if c.Module < NumModules {
+		s.ModuleSteps[c.Module] += n
+	}
+	s.Branch[c.Branch&(NumBranchOps-1)] += n
+	if c.Data && !c.Branch.IsNop() {
+		s.BranchData += n
+	}
+	s.Src1[c.Src1&(NumWFModes-1)] += n
+	s.Src2[c.Src2&(NumWFModes-1)] += n
+	s.Dest[c.Dest&(NumWFModes-1)] += n
+	s.CacheOps[c.Cache&(NumCacheOps-1)] += n
+	if c.Cache != OpNone {
+		s.AreaOps[c.Addr.Area().Kind()][c.Cache&(NumCacheOps-1)] += n
 	}
 }
 

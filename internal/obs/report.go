@@ -93,8 +93,12 @@ type HostReport struct {
 // machine accounted, assembled from micro.Stats, the cache model, the
 // work-file mode counters and the memory areas.
 type RunReport struct {
-	Schema      string  `json:"schema"`
-	Engine      string  `json:"engine"`
+	Schema string `json:"schema"`
+	Engine string `json:"engine"`
+	// Mode is the effective cycle-accounting mode ("exact" or "fast"):
+	// what the machine actually ran, not what was requested — a fast
+	// request with a per-cycle consumer armed reports "exact".
+	Mode        string  `json:"mode"`
 	Termination string  `json:"termination"`
 	Workload    string  `json:"workload,omitempty"`
 	MicroCycles int64   `json:"micro_cycles"`
@@ -131,6 +135,7 @@ func NewRunReport(m *core.Machine, workload string, host *HostReport) *RunReport
 	r := &RunReport{
 		Schema:      ReportSchema,
 		Engine:      core.EngineName,
+		Mode:        m.AccountingMode(),
 		Termination: engine.ClassName(nil),
 		Workload:    workload,
 		MicroCycles: s.Steps,

@@ -234,13 +234,19 @@ func (a AreaID) String() string {
 	return areaNames[k]
 }
 
+// kindTab maps an area id (4 address bits, so at most 16 areas) to its
+// base kind: 0, then 1-4 cycling for the per-process stack areas. A
+// table lookup instead of arithmetic keeps Kind branch-free — it runs
+// on every simulated memory access, where the heap-or-stack branch of
+// the arithmetic form mispredicts constantly.
+var kindTab = [16]AreaID{
+	0, 1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3,
+}
+
 // Kind reduces a per-process area id to its base kind (heap, global,
 // local, control or trail).
 func (a AreaID) Kind() AreaID {
-	if a == AreaHeap {
-		return AreaHeap
-	}
-	return (a-1)%4 + 1
+	return kindTab[a&15]
 }
 
 // Process reports which process a stack area belongs to (heap returns 0).

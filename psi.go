@@ -61,6 +61,12 @@ type Options struct {
 	Out io.Writer
 	// Collect attaches a COLLECT trace to the run.
 	Collect bool
+	// Fast requests the fast accounting engine mode: batched statistics
+	// updates instead of the per-cycle sink funnel, with bit-identical
+	// answers, statistics and simulated time. Runs that arm a per-cycle
+	// consumer (Collect, Profile, Progress, Fault) silently fall back to
+	// the exact path; see Machine.AccountingMode.
+	Fast bool
 	// MaxSteps bounds the simulation (0 = 4e9 steps).
 	MaxSteps int64
 	// Features ablates individual hardware features or enables the
@@ -115,6 +121,7 @@ func LoadProgram(source string, opts Options) (*Machine, error) {
 		MaxSteps:  opts.MaxSteps,
 		NoCache:   opts.NoCache,
 		Features:  opts.Features,
+		Fast:      opts.Fast,
 	}
 	if opts.Fault != nil {
 		cfg.Fault = opts.Fault.New()
@@ -237,6 +244,11 @@ func (m *Machine) Steps() int64 { return m.m.Stats().Steps }
 
 // Stats exposes the full microcycle statistics.
 func (m *Machine) Stats() *micro.Stats { return m.m.Stats() }
+
+// AccountingMode reports the effective cycle-accounting mode, "exact"
+// or "fast": what the machine actually runs, not what Options.Fast
+// requested — arming a per-cycle consumer silently forces "exact".
+func (m *Machine) AccountingMode() string { return m.m.AccountingMode() }
 
 // CacheHitRatio reports the overall cache hit ratio (1 when the cache is
 // disabled or untouched).
