@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz chaos golden bench bench-pmms bench-engine bench-fast cover staticcheck profile verify
+.PHONY: build vet test race fuzz chaos telemetry golden bench bench-pmms bench-engine bench-fast bench-obs cover staticcheck profile verify
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,15 @@ fuzz:
 chaos:
 	$(GO) test -race -short -count=1 -run 'TestChaos|TestFaultedPool|TestKeepGoing|TestInjector|TestSweep|TestCorruptTrace' ./internal/fault ./internal/harness -v
 
+# Telemetry gates: the sampling-vs-exact differential suite on the
+# Table 1 programs (per-predicate shares within telemetry.ShareTolerance
+# of the exact profiler, totals exact), the byte-identity of fast-mode
+# output with the sampler and spans attached, the flight-recorder dump
+# on the fault path, and the in-suite sampling overhead guard.
+telemetry:
+	$(GO) test -count=1 -run 'TestSamplingDifferentialTable1|TestSamplingOverheadGuard|TestFastSamplingProfilerKeepsFastByteIdentical|TestFaultReportCarriesFlightDump' -v .
+	$(GO) test -count=1 -run 'TestOptionsSpansByteIdentical' -v ./internal/harness
+
 # Rewrite the golden files under docs/ from the current output (only
 # after an intended simulator change).
 golden:
@@ -61,6 +70,14 @@ bench-engine:
 bench-fast:
 	$(GO) run ./cmd/benchengine -fast
 
+# Refresh BENCH_obs.json: measure the sampling profiler's overhead on
+# the fast engine (budget: <= 10% vs bare fast) and its per-predicate
+# accuracy against the exact profiler on every Table 1 program
+# (tolerance: telemetry.ShareTolerance absolute share); exits nonzero
+# when either bound is missed.
+bench-obs:
+	$(GO) run ./cmd/benchobs
+
 # Aggregate statement coverage over every package.
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out ./...
@@ -78,4 +95,4 @@ profile:
 	$(GO) run ./cmd/psibench -cpuprofile psibench.pprof 1 > /dev/null
 	@echo "wrote psibench.pprof; inspect with: $(GO) tool pprof psibench.pprof"
 
-verify: build race test fuzz chaos
+verify: build race test fuzz chaos telemetry

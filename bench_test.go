@@ -348,6 +348,74 @@ func TestProfilerOverheadGuard(t *testing.T) {
 	}
 }
 
+// BenchmarkSamplingProfilerOverhead compares a bare fast-mode run
+// against the same run with the sampling profiler attached — the
+// telemetry layer's headline promise is that this costs at most 10%
+// (the precise gate is `make bench-obs`, which interleaves the lanes;
+// BENCH_obs.json records the measured number).
+func BenchmarkSamplingProfilerOverhead(b *testing.B) {
+	b.Run("fast-bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := harness.RunPSIWith(harness.Options{Fast: true}, progs.NReverse, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.Release()
+		}
+	})
+	b.Run("fast-sampled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.SampleProfile(progs.NReverse, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestSamplingOverheadGuard keeps the sampler affordable in-suite: the
+// tight 10% budget is enforced by the interleaved `make bench-obs`
+// gate; here a generous 1.5x bound catches gross regressions (an
+// accidental per-cycle hook, a lost fast path) without being flaky on
+// noisy shared hosts.
+func TestSamplingOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead guard skipped in -short mode")
+	}
+	// Warm the compile cache and machine pool so neither side pays
+	// one-time costs.
+	if _, err := harness.SampleProfile(progs.NReverse, 0); err != nil {
+		t.Fatal(err)
+	}
+	best := func(sampled bool) time.Duration {
+		min := time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			if sampled {
+				if _, err := harness.SampleProfile(progs.NReverse, 0); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				r, err := harness.RunPSIWith(harness.Options{Fast: true}, progs.NReverse, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r.Release()
+			}
+			if d := time.Since(start); d < min {
+				min = d
+			}
+		}
+		return min
+	}
+	base := best(false)
+	samp := best(true)
+	t.Logf("fast-bare %v, fast-sampled %v (%.2fx)", base, samp, float64(samp)/float64(base))
+	if float64(samp) > 1.5*float64(base) {
+		t.Errorf("sampling overhead %.2fx exceeds the 1.5x guard (bare %v, sampled %v)",
+			float64(samp)/float64(base), base, samp)
+	}
+}
+
 // BenchmarkAblations regenerates the design-choice ablation study:
 // simulated-time deltas for each hardware feature removed (and for the
 // PSI-II indexing extension added).

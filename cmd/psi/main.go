@@ -29,6 +29,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -53,7 +54,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this wall-clock `duration` (exit 5)")
 	steps := flag.Int64("steps", 0, "bound the simulation to this many steps (0 = default 4e9; exit 4 when exceeded)")
 	faultSpec := flag.String("fault", "", "inject a deterministic seeded fault, e.g. `site=mem,after=1000,seed=1` (exit 7 when detected)")
-	engineMode := flag.String("engine", "exact", "accounting engine `mode`: exact (per-cycle) or fast (batched; identical output, silently exact when -profile, -v or -fault is armed)")
+	engineMode := flag.String("engine", "exact", "accounting engine `mode`: exact (per-cycle) or fast (batched; identical output; -profile samples, -v stays fast, only -fault and trace collection force exact — a warning names the cause)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON span trace to this `file` (view in Perfetto)")
 	flag.Parse()
 
 	var faultPlan *fault.Plan
@@ -147,8 +149,18 @@ func main() {
 	if *verbose {
 		opts.Progress = obs.NewProgressPrinter(os.Stderr).Event
 	}
+	var spanLog *telemetry.SpanLog
+	if *traceOut != "" {
+		spanLog = telemetry.NewSpanLog()
+		opts.Spans = spanLog
+	}
 	m, err := psi.LoadProgram(source, opts)
 	die(err)
+	if mode == engine.ModeFast {
+		if reason := m.ModeDowngradeReason(); reason != "" {
+			fmt.Fprintf(os.Stderr, "psi: -engine fast downgraded to exact accounting: %s needs the per-cycle record stream\n", reason)
+		}
+	}
 	workload := "<stdin>"
 	if flag.NArg() == 1 {
 		workload = flag.Arg(0)
@@ -195,7 +207,25 @@ func main() {
 		die(err)
 		die(os.WriteFile(*jsonPath, b, 0o644))
 	}
+	if spanLog != nil {
+		// Like the JSON report, the trace is written even for aborted
+		// runs — the spans up to the failure are the interesting ones.
+		die(writeTrace(*traceOut, spanLog))
+	}
 	die(runErr)
+}
+
+// writeTrace dumps the span log as a Chrome trace-event JSON document.
+func writeTrace(path string, log *telemetry.SpanLog) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := log.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // repl reads goals from stdin and enumerates their answers on demand.

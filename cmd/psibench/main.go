@@ -20,6 +20,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/progs"
+	"repro/internal/telemetry"
 )
 
 func usage() {
@@ -55,7 +56,8 @@ func main() {
 	steps := flag.Int64("steps", 0, "bound each simulated run to this many steps (0 = default 4e9; exit 4 when exceeded)")
 	faultSpec := flag.String("fault", "", "inject a deterministic seeded fault into matching cells, e.g. `site=mem,after=1000,seed=1,only=nreverse` (exit 7, or 8 with -keep-going)")
 	keepGoing := flag.Bool("keep-going", false, "report failing workloads as degraded and keep evaluating the rest (exit 8 when any run degraded)")
-	engineMode := flag.String("engine", "exact", "accounting engine `mode`: exact (per-cycle) or fast (batched; byte-identical output, silently exact where -v or -fault arms a per-cycle consumer)")
+	engineMode := flag.String("engine", "exact", "accounting engine `mode`: exact (per-cycle) or fast (batched; byte-identical output; -v stays fast, cells arming a per-cycle consumer — -fault matches, trace taps — run exact, with a startup warning)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON span trace of the evaluation cells to this `file` (view in Perfetto)")
 	flag.Usage = usage
 	flag.Parse()
 	if *jFlag < 0 {
@@ -110,6 +112,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "psibench: -json covers the full evaluation; use it with the %q selector (got %q)\n", "all", which)
 		os.Exit(2)
 	}
+	if *traceOut != "" {
+		o.Spans = telemetry.NewSpanLog()
+	}
+	// The fast engine is downgraded per cell, never silently: name every
+	// per-cycle consumer the selected evaluation arms up front.
+	if mode == engine.ModeFast {
+		if o.Fault != nil {
+			fmt.Fprintln(os.Stderr, "psibench: -engine fast: cells matching the -fault plan run with exact accounting (fault injection needs the per-cycle stream)")
+		}
+		if which == "all" || which == "fig1" {
+			fmt.Fprintln(os.Stderr, "psibench: -engine fast: the Figure 1 cache sweep runs with exact accounting (its PMMS replay taps the per-cycle stream)")
+		}
+		if which == "all" || which == "6" {
+			fmt.Fprintln(os.Stderr, "psibench: -engine fast: the Table 6 cell runs with exact accounting (MAP analysis needs a collected trace)")
+		}
+	}
 	defer func() { check(obs.WriteMemProfile(*memProfile)) }()
 	switch which {
 	case "calib":
@@ -124,6 +142,7 @@ func main() {
 			check(err)
 			check(os.WriteFile(*jsonPath, b, 0o644))
 		}
+		writeTrace(*traceOut, o.Spans)
 		exitDegraded(o)
 		return
 	case "1", "2", "3", "4", "5", "6", "7", "fig1", "ablate":
@@ -183,7 +202,23 @@ func main() {
 			fmt.Print(harness.FormatDegraded(runs))
 		}
 	}
+	writeTrace(*traceOut, o.Spans)
 	exitDegraded(o)
+}
+
+// writeTrace dumps the span log as a Chrome trace-event JSON document,
+// one row per evaluation cell. No-op when -trace-out was not given.
+func writeTrace(path string, log *telemetry.SpanLog) {
+	if path == "" || log == nil {
+		return
+	}
+	f, err := os.Create(path)
+	check(err)
+	if err := log.WriteJSON(f); err != nil {
+		f.Close()
+		check(err)
+	}
+	check(f.Close())
 }
 
 // exitDegraded ends a keep-going run whose degraded log is non-empty

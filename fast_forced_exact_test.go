@@ -1,10 +1,13 @@
 package psi
 
 // Regression tests for the fast mode's forced-exact fallback: any
-// consumer that needs the per-cycle stream — the profiler, a COLLECT
-// trace, progress heartbeats, a fault-injection plan — must silently
-// push a Fast request back onto the exact path, and the output of such
-// a run must be byte-identical whether or not Fast was requested.
+// consumer that needs the per-cycle record stream — a COLLECT trace or
+// a fault-injection plan — must push a Fast request back onto the exact
+// path (naming itself in ModeDowngradeReason), and the output of such a
+// run must be byte-identical whether or not Fast was requested. The
+// telemetry hooks (sampling profiler, progress heartbeats, spans, the
+// flight recorder) ride the fast path's event boundary instead and must
+// NOT downgrade it.
 
 import (
 	"bytes"
@@ -33,16 +36,20 @@ func solveAll(t *testing.T, m *Machine, query string) error {
 
 func TestFastForcedExactByConsumers(t *testing.T) {
 	cases := []struct {
-		name string
-		opts Options
-		want string
+		name       string
+		opts       Options
+		want       string
+		wantReason string
 	}{
-		{"plain-fast", Options{Fast: true}, "fast"},
-		{"plain-exact", Options{}, "exact"},
-		{"profiler", Options{Fast: true, Profile: true}, "exact"},
-		{"collect", Options{Fast: true, Collect: true}, "exact"},
-		{"progress", Options{Fast: true, Progress: func(obs.Progress) {}}, "exact"},
-		{"fault", Options{Fast: true, Fault: &fault.Plan{Site: fault.SiteMem, After: 1 << 40, Seed: 1}}, "exact"},
+		{"plain-fast", Options{Fast: true}, "fast", ""},
+		{"plain-exact", Options{}, "exact", ""},
+		// The sampling profiler and progress heartbeats are telemetry:
+		// they attach to the fast path's event boundary, no downgrade.
+		{"profiler", Options{Fast: true, Profile: true}, "fast", ""},
+		{"progress", Options{Fast: true, Progress: func(obs.Progress) {}}, "fast", ""},
+		{"collect", Options{Fast: true, Collect: true}, "exact", "trace"},
+		{"fault", Options{Fast: true, Fault: &fault.Plan{Site: fault.SiteMem, After: 1 << 40, Seed: 1}}, "exact", "fault"},
+		{"collect-profile", Options{Fast: true, Collect: true, Profile: true}, "exact", "trace+profile"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -53,45 +60,65 @@ func TestFastForcedExactByConsumers(t *testing.T) {
 			if got := m.AccountingMode(); got != c.want {
 				t.Fatalf("AccountingMode with %s armed: got %q, want %q", c.name, got, c.want)
 			}
+			if got := m.ModeDowngradeReason(); got != c.wantReason {
+				t.Fatalf("ModeDowngradeReason with %s armed: got %q, want %q", c.name, got, c.wantReason)
+			}
 			if err := solveAll(t, m, "app(X, Y, [a, b, c])"); err != nil {
 				t.Fatal(err)
 			}
-			// The run report records the effective mode, not the request.
-			if rep := m.RunReport("t", nil); rep.Mode != c.want {
+			// The run report records the effective mode, not the request,
+			// plus what (if anything) forced the downgrade.
+			rep := m.RunReport("t", nil)
+			if rep.Mode != c.want {
 				t.Fatalf("RunReport.Mode: got %q, want %q", rep.Mode, c.want)
+			}
+			if rep.ModeDowngradeReason != c.wantReason {
+				t.Fatalf("RunReport.ModeDowngradeReason: got %q, want %q", rep.ModeDowngradeReason, c.wantReason)
 			}
 		})
 	}
 }
 
-// TestFastProfilerByteIdentical runs the profiler with and without a
-// Fast request: the fallback must make the two runs the same run, so
-// the formatted profile and the structured run report must match byte
-// for byte.
-func TestFastProfilerByteIdentical(t *testing.T) {
-	run := func(fastReq bool) (profile, report []byte) {
-		m, err := LoadProgram(diffSrc, Options{Profile: true, Fast: fastReq})
+// TestFastSamplingProfilerKeepsFastByteIdentical runs the fast engine
+// bare and with the sampling profiler attached: the profiler must not
+// change the accounting mode, and the structured run report — every
+// simulated statistic — must match byte for byte, because sampling only
+// reads the live step counter at event boundaries.
+func TestFastSamplingProfilerKeepsFastByteIdentical(t *testing.T) {
+	run := func(profile bool) (*Machine, []byte) {
+		m, err := LoadProgram(diffSrc, Options{Fast: true, Profile: profile})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := solveAll(t, m, "flat([a, [b, [c, d]], [], [[e]]], R)"); err != nil {
 			t.Fatal(err)
 		}
-		var buf bytes.Buffer
-		m.Profile("t").Format(&buf, 0)
 		rep, err := m.RunReport("t", nil).JSON()
 		if err != nil {
 			t.Fatal(err)
 		}
-		return buf.Bytes(), rep
+		return m, rep
 	}
-	exactProf, exactRep := run(false)
-	fastProf, fastRep := run(true)
-	if !bytes.Equal(exactProf, fastProf) {
-		t.Errorf("profiler output diverges between exact and fast+fallback:\n--- exact\n%s\n--- fast request\n%s", exactProf, fastProf)
+	_, bareRep := run(false)
+	m, sampledRep := run(true)
+	if got := m.AccountingMode(); got != "fast" {
+		t.Fatalf("sampling profiler downgraded the fast engine to %q", got)
 	}
-	if !bytes.Equal(exactRep, fastRep) {
-		t.Errorf("run report diverges between exact and fast+fallback:\n--- exact\n%s\n--- fast request\n%s", exactRep, fastRep)
+	if !bytes.Equal(bareRep, sampledRep) {
+		t.Errorf("run report diverges between bare fast and fast+sampler:\n--- bare\n%s\n--- sampled\n%s", bareRep, sampledRep)
+	}
+	// The sampled profile is statistical per predicate, but its total is
+	// exact: the sampler flushes its partial stride at the observation
+	// boundary, so attributed cycles sum to Stats().Steps.
+	rp := m.Profile("t")
+	if rp == nil || !rp.Sampled {
+		t.Fatalf("Profile() under fast: got %+v, want a sampled profile", rp)
+	}
+	if rp.TotalCycles != m.Steps() {
+		t.Errorf("sampled TotalCycles = %d, want exactly Steps = %d", rp.TotalCycles, m.Steps())
+	}
+	if rp.SampleStride <= 0 || len(rp.Entries) == 0 {
+		t.Errorf("sampled profile missing metadata or entries: %+v", rp)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/engine"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/kl0"
 	"repro/internal/mem"
 	"repro/internal/micro"
+	"repro/internal/telemetry"
 	"repro/internal/wf"
 	"repro/internal/word"
 )
@@ -58,13 +60,36 @@ type Config struct {
 	// MaxSteps aborts runaway executions (0 = no limit).
 	MaxSteps int64
 	// Fast requests the fast accounting mode: when no per-cycle consumer
-	// is armed (Trace, Profile, Progress, Fault), the machine skips the
-	// micro.Sink funnel and batch-increments its Stats counters directly.
-	// The simulated cycle stream is identical — answers, statistics,
-	// cache behaviour and simulated time match the exact mode bit for
-	// bit; only the host-side bookkeeping is cheaper. When any per-cycle
-	// consumer is armed the machine silently runs the exact path.
+	// is armed (Trace, Profile, Fault), the machine skips the micro.Sink
+	// funnel and batch-increments its Stats counters directly. The
+	// simulated cycle stream is identical — answers, statistics, cache
+	// behaviour and simulated time match the exact mode bit for bit;
+	// only the host-side bookkeeping is cheaper. When a per-cycle
+	// consumer is armed the machine runs the exact path and
+	// ModeDowngradeReason names the consumers that forced it. Progress
+	// heartbeats and the telemetry hooks below (Sample, Spans, Flight)
+	// do not downgrade: they fire from the fast path's event boundary.
 	Fast bool
+	// Sample, when non-nil, receives statistical profiler samples: every
+	// SampleEvery cycles (plus a tail sample at each accounting flush,
+	// so sampled totals sum to Stats().Steps at observation boundaries)
+	// the machine attributes the cycles since the previous sample to the
+	// predicate the code pointer executes in. Compatible with Fast.
+	Sample micro.SampleSink
+	// SampleEvery is the sampling stride in cycles
+	// (0 = telemetry.DefaultSampleStride).
+	SampleEvery int64
+	// Spans, when non-nil, records a host-time span for every
+	// Solutions.Step slice (Chrome trace-event export; see -trace-out).
+	Spans *telemetry.SpanLog
+	// SpanName labels the Step spans (e.g. the workload); "" = "step".
+	SpanName string
+	// SpanTID is the trace row the Step spans render on.
+	SpanTID int64
+	// Flight, when non-nil, is the session flight recorder: Step slices,
+	// heartbeats, downgrades and faults land in its ring, and fault
+	// reports dump it as a post-mortem. Compatible with Fast.
+	Flight *telemetry.Flight
 	// Features selects machine-feature ablations and the PSI-II
 	// extensions.
 	Features Features
@@ -165,10 +190,31 @@ type Machine struct {
 	curPred  int
 
 	// Live-progress state: hb is the heartbeat callback (nil when
-	// disabled), hbEvery the period in cycles, hbLeft the countdown.
+	// disabled), hbEvery the period in cycles, hbLeft the exact path's
+	// countdown, hbAt the fast path's next-heartbeat Steps value (both
+	// fire at the same cycle numbers).
 	hb      func(Heartbeat)
 	hbEvery int64
 	hbLeft  int64
+	hbAt    int64
+
+	// Sampling-profiler state: sample is the sink (nil unless sampling),
+	// sampleEvery the stride in cycles, sampleAt the Steps value of the
+	// next sample, sampleLast the Steps value already attributed.
+	sample      micro.SampleSink
+	sampleEvery int64
+	sampleAt    int64
+	sampleLast  int64
+
+	// Telemetry attachments: Step-slice spans and the session flight
+	// recorder (see run.go), plus the mode-downgrade reason.
+	spans    *telemetry.SpanLog
+	spanName string
+	spanTID  int64
+	flight   *telemetry.Flight
+	// downgrade names the per-cycle consumers that forced the exact path
+	// despite Config.Fast ("" when fast ran or was never requested).
+	downgrade string
 
 	// noCacheStall accumulates memory latency when the cache is disabled.
 	noCacheStall int64
@@ -181,9 +227,11 @@ type Machine struct {
 
 	inferences int64
 	maxSteps   int64
-	// stepStop is the fast path's step-limit sentinel: maxSteps when a
-	// limit is set, MaxInt64 otherwise, so the per-cycle check is one
-	// branch-free compare.
+	// stepStop is the fast path's event-boundary sentinel: the largest
+	// Steps value needing no attention — min over the step limit, the
+	// next profiler sample and the next heartbeat (MaxInt64 with none
+	// armed), so the per-cycle check is one branch-free compare. Kept by
+	// fastStop; crossing it dispatches through fastBoundary.
 	stepStop int64
 
 	// failed marks that the current path failed and the main loop must
@@ -372,25 +420,140 @@ func (m *Machine) configureSinks(cfg Config) {
 		m.missSink, _ = cfg.Profile.(micro.MissSink)
 	}
 	m.curPred = micro.NoPredicate
+	m.flight = cfg.Flight
 	m.hb = cfg.Progress
+	if m.hb != nil && m.flight != nil {
+		// Heartbeats are telemetry events too: mirror each one into the
+		// flight recorder (covers both accounting paths, since both fire
+		// the same callback).
+		inner, fl := m.hb, m.flight
+		m.hb = func(h Heartbeat) {
+			fl.Record(h.Steps, "heartbeat", "")
+			inner(h)
+		}
+	}
 	m.hbEvery = cfg.ProgressEvery
 	if m.hbEvery <= 0 {
 		m.hbEvery = DefaultProgressEvery
 	}
 	m.hbLeft = m.hbEvery
+	m.hbAt = m.hbEvery
+	m.sample = cfg.Sample
+	m.sampleEvery = cfg.SampleEvery
+	if m.sampleEvery <= 0 {
+		m.sampleEvery = telemetry.DefaultSampleStride
+	}
+	m.sampleLast = 0
+	m.sampleAt = m.sampleEvery
+	m.spans = cfg.Spans
+	m.spanName = cfg.SpanName
+	if m.spanName == "" {
+		m.spanName = "step"
+	}
+	m.spanTID = cfg.SpanTID
 	// Fast accounting is only sound when nothing consumes individual
-	// cycles: a trace or profile sink needs every record, the heartbeat
-	// counts down per cycle, and the fault injector's trace-FIFO site
-	// fires per record. Any of them forces the exact path.
-	m.fast = cfg.Fast &&
-		cfg.Trace == nil && cfg.Profile == nil && cfg.Progress == nil && cfg.Fault == nil
+	// cycle records: a trace or profile sink needs every record, and the
+	// fault injector's trace-FIFO site fires per record. Any of them
+	// forces the exact path (and names itself in ModeDowngradeReason).
+	// The telemetry hooks — sampler, heartbeat, spans, flight — need only
+	// a cycle count or host time, so they ride the fast path's event
+	// boundary (fastBoundary) without downgrading it.
+	m.fast = cfg.Fast && cfg.Trace == nil && cfg.Profile == nil && cfg.Fault == nil
+	m.downgrade = ""
+	if cfg.Fast && !m.fast {
+		var why []string
+		if cfg.Trace != nil {
+			why = append(why, "trace")
+		}
+		if cfg.Profile != nil {
+			why = append(why, "profile")
+		}
+		if cfg.Fault != nil {
+			why = append(why, "fault")
+		}
+		m.downgrade = strings.Join(why, "+")
+		telemetry.Default.Counter("psi_mode_downgrades_total",
+			"fast-engine requests downgraded to exact accounting by a per-cycle consumer").Inc()
+		if m.flight != nil {
+			m.flight.Record(0, "mode-downgrade", m.downgrade)
+		}
+	}
 	if m.fast && m.fastTab == nil {
 		m.fastTab = make([]fastSlot, fastTabSize)
 	}
-	m.stepStop = cfg.MaxSteps
-	if m.stepStop <= 0 {
-		m.stepStop = math.MaxInt64
+	m.maxSteps = cfg.MaxSteps
+	m.fastStop()
+}
+
+// fastStop recomputes the fast path's event-boundary sentinel: the
+// largest Steps value that needs no attention. The per-cycle fast tick
+// compares Steps against it once; crossing it funnels into
+// fastBoundary, which dispatches whichever events are due (profiler
+// sample, heartbeat, step-limit abort) and moves the sentinel forward.
+// With no telemetry armed the sentinel is the step limit alone, so the
+// bare fast tick is exactly what it was before sampling support: one
+// compare per cycle.
+func (m *Machine) fastStop() {
+	stop := m.maxSteps
+	if stop <= 0 {
+		stop = math.MaxInt64
 	}
+	if m.sample != nil && m.sampleAt-1 < stop {
+		stop = m.sampleAt - 1
+	}
+	if m.hb != nil && m.hbAt-1 < stop {
+		stop = m.hbAt - 1
+	}
+	m.stepStop = stop
+}
+
+// fastBoundary services a fast-path event boundary: the cycle stream
+// crossed stepStop, so at least one of the events the sentinel guards
+// is (usually) due. Out of line so the per-cycle tick stays within the
+// inlining budget; the event order matches the exact path's per-cycle
+// tail (sample, heartbeat, then the step-limit abort — which therefore
+// trips at the identical cycle in both modes).
+//
+//go:noinline
+func (m *Machine) fastBoundary() {
+	if m.sample != nil && m.stats.Steps >= m.sampleAt {
+		m.takeSample()
+	}
+	if m.hb != nil && m.stats.Steps >= m.hbAt {
+		m.hbAt += m.hbEvery
+		m.hb(Heartbeat{Steps: m.stats.Steps, SimNS: m.TimeNS(), Inferences: m.inferences})
+	}
+	if m.maxSteps > 0 && m.stats.Steps > m.maxSteps {
+		stepLimitPanic(m.maxSteps)
+	}
+	m.fastStop()
+}
+
+// takeSample attributes every cycle since the previous sample to the
+// current predicate — the statistical half of the sampling profiler: a
+// whole stride is charged to the predicate observed at its end. The
+// current predicate is the same notion the exact profiler attributes
+// by (curPred, maintained at instruction dispatch and procedure entry),
+// so head unification and choice-point work charge the callee in both.
+func (m *Machine) takeSample() {
+	if cycles := m.stats.Steps - m.sampleLast; cycles > 0 {
+		m.sample.Sample(m.curPred, cycles)
+		m.sampleLast = m.stats.Steps
+	}
+	m.sampleAt = m.stats.Steps + m.sampleEvery
+}
+
+// sampleFlush attributes the tail of the cycle stream (the partial
+// stride since the last sample) at an observation boundary, so the
+// sampler's Total matches Stats().Steps exactly whenever statistics are
+// observable — the sampling error lives in the attribution, never in
+// the total. Called next to fastFlush at the Solutions.Step boundary.
+func (m *Machine) sampleFlush() {
+	if m.sample == nil {
+		return
+	}
+	m.takeSample()
+	m.fastStop()
 }
 
 // stepLimitPanic raises the step-limit abort out of line, keeping the
@@ -434,13 +597,23 @@ func (m *Machine) Stats() *micro.Stats {
 // AccountingMode reports the effective cycle-accounting path:
 // engine.ModeFast when the batched fast path is active, engine.ModeExact
 // otherwise — including when Config.Fast was requested but a per-cycle
-// consumer (trace, profile, progress, fault) forced the exact path.
+// consumer (trace, profile, fault) forced the exact path. The telemetry
+// hooks (Sample, Progress, Spans, Flight) never change the mode.
 func (m *Machine) AccountingMode() string {
 	if m.fast {
 		return engine.ModeFast
 	}
 	return engine.ModeExact
 }
+
+// ModeDowngradeReason names the per-cycle consumers ("trace",
+// "profile", "fault", joined with "+") that forced exact accounting
+// despite Config.Fast being set; "" when the fast path ran or fast was
+// never requested.
+func (m *Machine) ModeDowngradeReason() string { return m.downgrade }
+
+// Flight returns the session flight recorder (nil unless configured).
+func (m *Machine) Flight() *telemetry.Flight { return m.flight }
 
 // Processes reports the number of process contexts the machine was built
 // with (the shape of its memory areas, fixed for the machine's lifetime).
@@ -509,11 +682,16 @@ func (m *Machine) SetInterruptHandler(process int, q *kl0.Query) error {
 // frequency.
 
 // enterPred records that the code pointer now executes inside predicate
-// p, notifying the profiler on changes. Called only when profiling.
+// p, notifying the profiler on changes. Called only when the exact
+// profiler or the sampling profiler is attached: both attribute by the
+// same current-predicate notion, so their per-predicate splits agree up
+// to sampling error.
 func (m *Machine) enterPred(p int) {
 	if p != m.curPred {
 		m.curPred = p
-		m.profile.EnterPredicate(p)
+		if m.profile != nil {
+			m.profile.EnterPredicate(p)
+		}
 	}
 }
 
@@ -578,7 +756,7 @@ func (m *Machine) memTick(key uint32, op micro.CacheOp, a word.Addr) {
 		}
 		sl.n++
 		if m.stats.Steps > m.stepStop {
-			stepLimitPanic(m.maxSteps)
+			m.fastBoundary()
 		}
 	} else {
 		c := micro.SigCycle(key - 1)
@@ -589,6 +767,9 @@ func (m *Machine) memTick(key uint32, op micro.CacheOp, a word.Addr) {
 			// Every microcycle is one COLLECT trace record; the hook
 			// models the trace FIFO overrunning.
 			m.inj.TraceRecord()
+		}
+		if m.sample != nil && m.stats.Steps >= m.sampleAt {
+			m.takeSample()
 		}
 		if m.hb != nil {
 			m.hbLeft--
@@ -629,13 +810,16 @@ func (m *Machine) aluTick(key uint32) {
 		}
 		sl.n++
 		if m.stats.Steps > m.stepStop {
-			stepLimitPanic(m.maxSteps)
+			m.fastBoundary()
 		}
 		return
 	}
 	m.sink.Cycle(micro.SigCycle(key - 1))
 	if m.inj != nil {
 		m.inj.TraceRecord()
+	}
+	if m.sample != nil && m.stats.Steps >= m.sampleAt {
+		m.takeSample()
 	}
 	if m.hb != nil {
 		m.hbLeft--

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
+	"strconv"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/fault"
@@ -115,6 +118,18 @@ func (s *Solutions) Step(budget int64) engine.Status {
 	if budget > 0 {
 		limit = m.stats.Steps + budget
 	}
+	// Telemetry bookends. The span measures host time (it never touches
+	// simulated state); the flight event is keyed by the simulated step
+	// count, so the recorded stream is deterministic for a given program
+	// and fault plan.
+	stepsBefore := m.stats.Steps
+	var spanStart time.Time
+	if m.spans != nil {
+		spanStart = time.Now()
+	}
+	if m.flight != nil {
+		m.flight.Record(stepsBefore, "step", "budget="+strconv.FormatInt(budget, 10))
+	}
 	var found, yielded bool
 	func() {
 		// The containment boundary: no panic raised while the machine
@@ -169,20 +184,56 @@ func (s *Solutions) Step(budget int64) engine.Status {
 	// statistics are observable (reports, metrics, the next budget
 	// computation) and must equal the exact mode's bit for bit. Runs
 	// after the containment recovery above, so aborted and faulted runs
-	// flush too.
+	// flush too. The sampler flushes at the same boundary, so its total
+	// equals Stats().Steps whenever statistics are observable.
 	m.fastFlush()
+	m.sampleFlush()
+	var st engine.Status
 	switch {
 	case s.err != nil:
-		return engine.Failed
+		st = engine.Failed
 	case yielded:
 		s.resume = true
-		return engine.Yielded
+		st = engine.Yielded
 	case found:
 		s.resume = false
-		return engine.Solution
+		st = engine.Solution
 	default:
 		s.done = true
-		return engine.Exhausted
+		st = engine.Exhausted
+	}
+	if m.flight != nil {
+		s.recordOutcome(st)
+	}
+	if m.spans != nil {
+		m.spans.Complete(m.spanName, "step", m.spanTID, spanStart, map[string]string{
+			"budget": strconv.FormatInt(budget, 10),
+			"steps":  strconv.FormatInt(m.stats.Steps-stepsBefore, 10),
+			"status": st.String(),
+		})
+	}
+	return st
+}
+
+// recordOutcome appends the Step slice's outcome to the flight
+// recorder: the status on a clean slice, the fault site or the error
+// text otherwise.
+func (s *Solutions) recordOutcome(st engine.Status) {
+	m := s.m
+	switch {
+	case s.err != nil:
+		var fe *engine.FaultError
+		if errors.As(s.err, &fe) {
+			m.flight.Record(m.stats.Steps, "fault", fe.Site)
+		} else {
+			m.flight.Record(m.stats.Steps, "error", s.err.Error())
+		}
+	case st == engine.Solution:
+		m.flight.Record(m.stats.Steps, "solution", "")
+	case st == engine.Yielded:
+		m.flight.Record(m.stats.Steps, "yield", "")
+	default:
+		m.flight.Record(m.stats.Steps, "exhausted", "")
 	}
 }
 
@@ -254,7 +305,7 @@ func (m *Machine) runSteps(limit int64) (found, yielded bool) {
 			continue
 		}
 		ctx := m.ctx
-		if m.profile != nil {
+		if m.profile != nil || m.sample != nil {
 			// Attribute the upcoming cycles to the predicate owning the
 			// code pointer (clause bodies, continuations after returns,
 			// redone goals); -1 covers query pseudo-clauses and stubs.
@@ -321,7 +372,7 @@ func (m *Machine) dispatchCall(procIdx int, gAddr, after word.Addr, args []val, 
 		m.failed = true
 		return
 	}
-	if m.profile != nil {
+	if m.profile != nil || m.sample != nil {
 		// From here on the firmware works on the callee's behalf: choice
 		// point, frame allocation and head unification charge to it.
 		m.enterPred(procIdx)

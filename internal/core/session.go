@@ -101,5 +101,6 @@ func (s *session) Metrics() engine.Metrics {
 		Steps:      s.m.Stats().Steps,
 		TimeNS:     s.m.TimeNS(),
 		Inferences: s.m.Inferences(),
+		Mode:       s.m.AccountingMode(),
 	}
 }

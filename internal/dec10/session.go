@@ -97,5 +97,6 @@ func (s *session) Metrics() engine.Metrics {
 		Steps:      s.m.Units(),
 		TimeNS:     s.m.TimeNS(),
 		Inferences: s.m.Calls(),
+		Mode:       engine.ModeExact,
 	}
 }

@@ -141,6 +141,7 @@ type Metrics struct {
 	Steps      int64  // microcycles (PSI) or cost units (DEC-10)
 	TimeNS     int64  // simulated time
 	Inferences int64  // logical inferences (calls)
+	Mode       string // effective accounting mode (ModeExact or ModeFast)
 }
 
 // Options configures a new session.

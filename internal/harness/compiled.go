@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dec10"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parse"
 	"repro/internal/progs"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -140,17 +142,21 @@ func (c *Compiled) Run(collect bool, feat core.Features) (*PSIRun, error) {
 // runOpts carries the observability extras of one run alongside the
 // classic (collect, features) pair. The zero value reproduces Run.
 type runOpts struct {
-	collect  bool
-	tap      micro.Sink         // extra cycle sink, e.g. a pmms.Sweeper
-	feat     core.Features
-	cell     string             // evaluation cell label for heartbeats
-	progress func(obs.Progress) // nil = no heartbeats
-	every    int64              // heartbeat period in cycles (0 = default)
-	profile  micro.PredSink     // per-predicate attribution sink
-	ctx      context.Context    // deadline/cancel bound (nil = unbounded)
-	maxSteps int64              // step bound override (0 = harness default)
-	fault    *fault.Plan        // fault-injection plan (nil = no injection)
-	fast     bool               // request the fast accounting mode
+	collect     bool
+	tap         micro.Sink // extra cycle sink, e.g. a pmms.Sweeper
+	feat        core.Features
+	cell        string             // evaluation cell label for heartbeats
+	progress    func(obs.Progress) // nil = no heartbeats
+	every       int64              // heartbeat period in cycles (0 = default)
+	profile     micro.PredSink     // per-predicate attribution sink
+	ctx         context.Context    // deadline/cancel bound (nil = unbounded)
+	maxSteps    int64              // step bound override (0 = harness default)
+	fault       *fault.Plan        // fault-injection plan (nil = no injection)
+	fast        bool               // request the fast accounting mode
+	sample      micro.SampleSink   // sampling-profiler sink (fast-compatible)
+	sampleEvery int64              // sampling stride in cycles (0 = default)
+	spans       *telemetry.SpanLog // Step-slice span log (nil = no tracing)
+	spanTID     int64              // trace row for this run's spans
 }
 
 // sinkPair duplicates the cycle stream to two sinks (collect + tap runs).
@@ -195,6 +201,16 @@ func (c *Compiled) run(ro runOpts) (*PSIRun, error) {
 		}
 	}
 	cfg.Profile = ro.profile
+	cfg.Sample = ro.sample
+	cfg.SampleEvery = ro.sampleEvery
+	if ro.spans != nil {
+		cfg.Spans = ro.spans
+		cfg.SpanName = ro.cell
+		if cfg.SpanName == "" {
+			cfg.SpanName = c.name
+		}
+		cfg.SpanTID = ro.spanTID
+	}
 	if ro.progress != nil {
 		cell := ro.cell
 		fn := ro.progress
@@ -211,6 +227,7 @@ func (c *Compiled) run(ro runOpts) (*PSIRun, error) {
 		}
 	}
 	sess := core.NewSession(m, c.Query)
+	start := time.Now()
 	if st, err := sess.Next(ro.ctx); st != engine.Solution {
 		releaseMachine(m)
 		if err != nil {
@@ -218,7 +235,12 @@ func (c *Compiled) run(ro runOpts) (*PSIRun, error) {
 		}
 		return nil, fmt.Errorf("%s: query %q failed", c.name, c.qsrc)
 	}
-	obs.RecordRun(m.Stats().Steps)
+	var cacheHits, cacheAccesses int64
+	if ch := m.Cache(); ch != nil {
+		cacheHits, cacheAccesses = ch.Total.Hits, ch.Total.Accesses
+	}
+	obs.RecordRun(m.Stats().Steps, m.Inferences(), cacheHits, cacheAccesses,
+		time.Since(start).Nanoseconds())
 	return &PSIRun{Machine: m, Trace: log}, nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/micro"
 	"repro/internal/obs"
 	"repro/internal/progs"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -68,6 +69,7 @@ func runPSIWith(o Options, cell string, b progs.Benchmark, collect bool) (*PSIRu
 		maxSteps: o.MaxSteps,
 		fault:    o.Fault,
 		fast:     o.Fast,
+		spans:    o.Spans,
 	})
 }
 
@@ -89,6 +91,7 @@ func runPSIInto(o Options, cell string, b progs.Benchmark, sink micro.Sink) erro
 		maxSteps: o.MaxSteps,
 		fault:    o.Fault,
 		fast:     o.Fast,
+		spans:    o.Spans,
 	})
 	if err != nil {
 		return err
@@ -112,6 +115,31 @@ func Profile(b progs.Benchmark) (*obs.RunProfile, error) {
 		return nil, err
 	}
 	rp := p.Profile(c.Prog, b.Name)
+	r.Release()
+	return rp, nil
+}
+
+// SampleProfile executes a benchmark under the fast accounting engine
+// with the sampling profiler attached (stride <= 0 selects
+// telemetry.DefaultSampleStride) and returns the statistical
+// per-predicate profile. The run keeps AccountingMode "fast" — sampling
+// rides the fast path's event boundary instead of the per-cycle sink —
+// and the profile's TotalCycles still equals the run's
+// micro.Stats.Steps exactly, because the sampler attributes its partial
+// tail at the observation boundary. Individual predicate shares are
+// estimates; the differential suite bounds them against the exact
+// profiler within telemetry.ShareTolerance on the Table 1 programs.
+func SampleProfile(b progs.Benchmark, stride int64) (*obs.RunProfile, error) {
+	c, err := Compile(b)
+	if err != nil {
+		return nil, err
+	}
+	sp := telemetry.NewSamplingProfiler(stride)
+	r, err := c.run(runOpts{fast: true, sample: sp, sampleEvery: stride})
+	if err != nil {
+		return nil, err
+	}
+	rp := obs.SampledProfile(sp, c.Prog, b.Name)
 	r.Release()
 	return rp, nil
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 // Options configures how the evaluation is computed. The zero value
@@ -65,10 +66,19 @@ type Options struct {
 	// Fast requests the fast accounting engine mode (core.Config.Fast)
 	// for every run. The evaluation output is byte-identical to the
 	// exact mode — the fast path only batches the host-side cycle
-	// accounting — and any run that arms a per-cycle consumer (progress
-	// heartbeats, fault injection, profiling, trace collection) silently
-	// falls back to the exact path.
+	// accounting — and any run that arms a per-cycle consumer (fault
+	// injection, profiling, trace collection) falls back to the exact
+	// path; `psibench` warns once per downgrade cause. Progress
+	// heartbeats no longer downgrade: they fire from the fast path's
+	// event boundary.
 	Fast bool
+
+	// Spans, when non-nil, records a host-time span for every evaluation
+	// cell (one trace row per cell within a section) and for single
+	// benchmark runs driven through RunPSIWith. The resulting log exports
+	// as a Chrome trace-event document (`psibench -trace-out`). Spans
+	// measure the host only; evaluation output stays byte-identical.
+	Spans *telemetry.SpanLog
 }
 
 func (o Options) maxSteps() int64 {
@@ -169,6 +179,8 @@ type DegradedLog struct {
 func NewDegradedLog() *DegradedLog { return &DegradedLog{} }
 
 func (l *DegradedLog) add(r DegradedRun) {
+	telemetry.Default.Counter("psi_degraded_cells_total",
+		"evaluation cells dropped under -keep-going").Inc()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.runs = append(l.runs, r)
@@ -203,7 +215,26 @@ func (o Options) degrade(section, cell string, err error) {
 // failing cells are dropped, recorded in the degraded log (in cell
 // order, after the section barrier) and the surviving rows returned.
 func runCells[T, R any](o Options, section string, items []T, name func(T) string, fn func(T) (R, error)) ([]R, error) {
-	out, errs := parMapErrs(o.workers(), items, fn)
+	idxs := make([]int, len(items))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	out, errs := parMapErrs(o.workers(), idxs, func(i int) (R, error) {
+		if o.Spans == nil {
+			return fn(items[i])
+		}
+		// One span per cell, one trace row per cell index: a section's
+		// cells render as parallel lanes in the trace viewer, named by
+		// the cell label, with the outcome class in args.
+		done := o.Spans.Start(section+"/"+name(items[i]), "cell", int64(i+1))
+		r, err := fn(items[i])
+		st := "ok"
+		if err != nil {
+			st = engine.ClassName(err)
+		}
+		done(map[string]string{"status": st})
+		return r, err
+	})
 	var joined []error
 	kept := out[:0]
 	for i, err := range errs {

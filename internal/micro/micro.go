@@ -229,6 +229,17 @@ type MissSink interface {
 	CacheMiss()
 }
 
+// SampleSink receives statistical profiler samples instead of the
+// per-cycle stream: at a fixed cycle stride (plus a tail sample at
+// every accounting flush), the machine attributes all cycles executed
+// since the previous sample to the predicate the code pointer is in
+// (NoPredicate for query glue and stubs). Because nothing is called per
+// cycle, a SampleSink — unlike a PredSink — is compatible with the fast
+// accounting mode. The telemetry sampling profiler implements it.
+type SampleSink interface {
+	Sample(pred int, cycles int64)
+}
+
 // Stats aggregates cycle records into the dynamic counts behind
 // Tables 2, 3, 4, 6 and 7.
 type Stats struct {

@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // Host profiling hooks: the simulator is itself a program worth
@@ -41,12 +43,35 @@ func exported() (*expvar.Int, *expvar.Int) {
 	return expCycles, expRuns
 }
 
+// sessionDurationBounds buckets session wall times from sub-millisecond
+// micro-benchmarks up to multi-second simulations.
+var sessionDurationBounds = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30,
+}
+
 // RecordRun accumulates one finished run into the process-wide expvar
-// counters (visible at /debug/vars when the debug listener is enabled).
-func RecordRun(cycles int64) {
+// counters (visible at /debug/vars when the debug listener is enabled)
+// and the telemetry metrics registry (scraped at /metrics). Pass zero
+// for counters the caller did not measure (cacheAccesses 0 leaves the
+// hit-ratio gauge untouched; wallNS 0 skips the duration histogram).
+func RecordRun(cycles, inferences, cacheHits, cacheAccesses, wallNS int64) {
 	c, r := exported()
 	c.Add(cycles)
 	r.Add(1)
+	reg := telemetry.Default
+	reg.Counter("psi_runs_total", "simulation runs completed").Inc()
+	reg.Counter("psi_cycles_simulated_total", "microcycles simulated across all runs").Add(cycles)
+	reg.Counter("psi_inferences_total", "logical inferences executed across all runs").Add(inferences)
+	if cacheAccesses > 0 {
+		reg.Counter("psi_cache_hits_total", "simulated cache hits across all runs").Add(cacheHits)
+		reg.Counter("psi_cache_accesses_total", "simulated cache accesses across all runs").Add(cacheAccesses)
+		reg.Gauge("psi_cache_hit_ratio", "cache hit ratio of the most recent run").
+			Set(float64(cacheHits) / float64(cacheAccesses))
+	}
+	if wallNS > 0 {
+		reg.Histogram("psi_session_duration_seconds", "host wall time per session",
+			sessionDurationBounds).Observe(float64(wallNS) / 1e9)
+	}
 }
 
 // RecordSweep accumulates one finished multi-configuration cache sweep:
@@ -115,8 +140,30 @@ func WriteMemProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
+// metricsOnce guards the /metrics registration on the default mux
+// (http.Handle panics on duplicate patterns).
+var metricsOnce sync.Once
+
+// registerFamilies pre-registers the always-present metric families so a
+// scrape that lands before the first run completes (e.g. mid-simulation)
+// sees them zero-valued instead of an empty exposition. Help strings
+// must match the ones at the increment sites — the registry keeps the
+// first it sees.
+func registerFamilies() {
+	reg := telemetry.Default
+	reg.Counter("psi_runs_total", "simulation runs completed")
+	reg.Counter("psi_cycles_simulated_total", "microcycles simulated across all runs")
+	reg.Counter("psi_inferences_total", "logical inferences executed across all runs")
+	reg.Counter("psi_mode_downgrades_total",
+		"fast-engine requests downgraded to exact accounting by a per-cycle consumer")
+	reg.Counter("psi_degraded_cells_total", "evaluation cells dropped under -keep-going")
+	reg.Histogram("psi_session_duration_seconds", "host wall time per session",
+		sessionDurationBounds)
+}
+
 // ServeDebug starts an HTTP listener on addr exposing /debug/pprof (via
-// net/http/pprof) and /debug/vars (expvar, including the psi_* counters).
+// net/http/pprof), /debug/vars (expvar, including the psi_* counters)
+// and /metrics (the telemetry registry in Prometheus text exposition).
 // It returns the bound address — pass ":0" for an ephemeral port — and
 // serves until the process exits. With an empty addr it is a no-op.
 func ServeDebug(addr string) (string, error) {
@@ -124,6 +171,10 @@ func ServeDebug(addr string) (string, error) {
 		return "", nil
 	}
 	exported() // make sure the psi_* counters exist before first scrape
+	metricsOnce.Do(func() {
+		registerFamilies()
+		http.Handle("/metrics", telemetry.Default.Handler())
+	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err

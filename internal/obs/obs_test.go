@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -297,7 +298,7 @@ func TestHostProfilesAndCounters(t *testing.T) {
 		t.Errorf("empty ServeDebug: %q, %v", addr, err)
 	}
 
-	RecordRun(1234)
+	RecordRun(1234, 56, 90, 100, 1_000_000)
 	addr, err := ServeDebug("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -316,5 +317,32 @@ func TestHostProfilesAndCounters(t *testing.T) {
 	}
 	if vars.Cycles < 1234 || vars.Runs < 1 {
 		t.Errorf("expvar counters not updated: %+v", vars)
+	}
+
+	// The same listener serves the telemetry registry at /metrics in the
+	// Prometheus text exposition, fed by the RecordRun above.
+	mresp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE psi_runs_total counter",
+		"psi_cycles_simulated_total",
+		"psi_inferences_total",
+		"psi_cache_hit_ratio 0.9",
+		"# TYPE psi_session_duration_seconds histogram",
+		"psi_session_duration_seconds_count",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/kl0"
 	"repro/internal/micro"
+	"repro/internal/telemetry"
 )
 
 // Profiler is a micro.PredSink that attributes the cycle stream to the
@@ -86,14 +87,22 @@ type PredProfile struct {
 	MemAccesses int64   `json:"mem_accesses"`
 	CacheMisses int64   `json:"cache_misses"`
 	// ModuleSteps orders cycles by firmware module (Table 2 rows).
-	ModuleSteps []NamedCount `json:"module_steps"`
+	// Omitted in sampled profiles: a sample carries no module context.
+	ModuleSteps []NamedCount `json:"module_steps,omitempty"`
 }
 
 // RunProfile is a per-predicate flat profile of one simulated run.
 type RunProfile struct {
-	Workload    string        `json:"workload,omitempty"`
-	TotalCycles int64         `json:"total_cycles"`
-	Entries     []PredProfile `json:"entries"` // cycles desc, then name asc
+	Workload    string `json:"workload,omitempty"`
+	TotalCycles int64  `json:"total_cycles"`
+	// Sampled marks a statistical profile (telemetry.SamplingProfiler
+	// under the fast engine): totals are exact, but each predicate's
+	// cycles are a stride-sampled estimate; SampleStride and Samples
+	// quantify the resolution.
+	Sampled      bool          `json:"sampled,omitempty"`
+	SampleStride int64         `json:"sample_stride,omitempty"`
+	Samples      int64         `json:"samples,omitempty"`
+	Entries      []PredProfile `json:"entries"` // cycles desc, then name asc
 }
 
 // Profile resolves the collected buckets against the program's procedure
@@ -118,6 +127,39 @@ func (p *Profiler) Profile(prog *kl0.Program, workload string) *RunProfile {
 		rp.TotalCycles += b.cycles
 		rp.Entries = append(rp.Entries, e)
 	}
+	rp.finish()
+	return rp
+}
+
+// SampledProfile resolves a sampling profiler's per-predicate cycle
+// attribution against the program's procedure table, in the same shape
+// as Profiler.Profile so formatting and reporting handle both. The
+// memory and module columns stay empty: a sample carries no cache or
+// module context — that breakdown is the exact profiler's province.
+func SampledProfile(sp *telemetry.SamplingProfiler, prog *kl0.Program, workload string) *RunProfile {
+	rp := &RunProfile{
+		Workload:     workload,
+		Sampled:      true,
+		SampleStride: sp.Stride(),
+		Samples:      sp.Samples(),
+	}
+	sp.Each(func(pred int, cycles int64) {
+		if cycles == 0 {
+			return
+		}
+		rp.TotalCycles += cycles
+		rp.Entries = append(rp.Entries, PredProfile{
+			Name:   prog.ProcName(pred),
+			Cycles: cycles,
+		})
+	})
+	rp.finish()
+	return rp
+}
+
+// finish computes the shares and applies the canonical ordering
+// (cycles desc, then name asc).
+func (rp *RunProfile) finish() {
 	for i := range rp.Entries {
 		if rp.TotalCycles > 0 {
 			rp.Entries[i].Share = float64(rp.Entries[i].Cycles) / float64(rp.TotalCycles)
@@ -130,7 +172,6 @@ func (p *Profiler) Profile(prog *kl0.Program, workload string) *RunProfile {
 		}
 		return a.Name < b.Name
 	})
-	return rp
 }
 
 // Format writes the flat profile as aligned text, top-N entries (all of
@@ -145,7 +186,12 @@ func (rp *RunProfile) Format(w io.Writer, topN int) {
 	if rp.Workload != "" {
 		fmt.Fprintf(w, ": %s", rp.Workload)
 	}
-	fmt.Fprintf(w, " (%d micro-cycles, %d predicates)\n", rp.TotalCycles, len(rp.Entries))
+	if rp.Sampled {
+		fmt.Fprintf(w, " (%d micro-cycles, %d predicates; sampled, stride %d, %d samples)\n",
+			rp.TotalCycles, len(rp.Entries), rp.SampleStride, rp.Samples)
+	} else {
+		fmt.Fprintf(w, " (%d micro-cycles, %d predicates)\n", rp.TotalCycles, len(rp.Entries))
+	}
 	fmt.Fprintf(w, "%8s %8s %12s %12s %10s  %s\n",
 		"flat%", "cum%", "cycles", "mem", "misses", "predicate")
 	var cum int64

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/micro"
+	"repro/internal/telemetry"
 	"repro/internal/word"
 )
 
@@ -72,12 +73,17 @@ type MemoryReport struct {
 // hardware (or the panic-containment boundary) detected it, at which
 // machine step, and with what diagnostic. Stack is the Go stack captured
 // at recovery — diagnostic only, omitted when empty so deterministic
-// comparisons can strip it with one field.
+// comparisons can strip it with one field. Flight, when the session
+// carried a flight recorder, dumps the last telemetry events leading up
+// to the fault (Step slices, heartbeats, downgrades) — a post-mortem
+// keyed by simulated step counts, so it is as deterministic as the
+// fault itself.
 type FaultReport struct {
-	Site  string `json:"site"`
-	Step  int64  `json:"step"`
-	Error string `json:"error"`
-	Stack string `json:"stack,omitempty"`
+	Site   string                  `json:"site"`
+	Step   int64                   `json:"step"`
+	Error  string                  `json:"error"`
+	Stack  string                  `json:"stack,omitempty"`
+	Flight []telemetry.FlightEvent `json:"flight,omitempty"`
 }
 
 // HostReport captures what the simulation cost the Go host. The fields
@@ -97,14 +103,17 @@ type RunReport struct {
 	Engine string `json:"engine"`
 	// Mode is the effective cycle-accounting mode ("exact" or "fast"):
 	// what the machine actually ran, not what was requested — a fast
-	// request with a per-cycle consumer armed reports "exact".
-	Mode        string  `json:"mode"`
-	Termination string  `json:"termination"`
-	Workload    string  `json:"workload,omitempty"`
-	MicroCycles int64   `json:"micro_cycles"`
-	SimulatedNS int64   `json:"simulated_ns"`
-	Inferences  int64   `json:"inferences"`
-	KLIPS       float64 `json:"klips"`
+	// request with a per-cycle consumer armed reports "exact", and
+	// ModeDowngradeReason then names the consumers that forced it
+	// ("trace", "profile", "fault", joined with "+").
+	Mode                string  `json:"mode"`
+	ModeDowngradeReason string  `json:"mode_downgrade_reason,omitempty"`
+	Termination         string  `json:"termination"`
+	Workload            string  `json:"workload,omitempty"`
+	MicroCycles         int64   `json:"micro_cycles"`
+	SimulatedNS         int64   `json:"simulated_ns"`
+	Inferences          int64   `json:"inferences"`
+	KLIPS               float64 `json:"klips"`
 
 	ModuleSteps []NamedCount `json:"module_steps"`
 	WFModes     WFModeCounts `json:"wf_modes"`
@@ -116,6 +125,11 @@ type RunReport struct {
 	Memory MemoryReport `json:"memory"`
 	Fault  *FaultReport `json:"fault,omitempty"` // set when termination is "fault"
 	Host   *HostReport  `json:"host,omitempty"`
+
+	// flight is the session's flight recorder, captured at assembly time;
+	// SetTermination dumps its events into the fault block when the run
+	// ended in a contained fault.
+	flight *telemetry.Flight
 }
 
 // modeCounts renders one WF field's mode counters (skipping ModeNone:
@@ -133,15 +147,17 @@ func modeCounts(c *[micro.NumWFModes]int64) []NamedCount {
 func NewRunReport(m *core.Machine, workload string, host *HostReport) *RunReport {
 	s := m.Stats()
 	r := &RunReport{
-		Schema:      ReportSchema,
-		Engine:      core.EngineName,
-		Mode:        m.AccountingMode(),
-		Termination: engine.ClassName(nil),
-		Workload:    workload,
-		MicroCycles: s.Steps,
-		SimulatedNS: m.TimeNS(),
-		Inferences:  m.Inferences(),
-		Host:        host,
+		Schema:              ReportSchema,
+		Engine:              core.EngineName,
+		Mode:                m.AccountingMode(),
+		ModeDowngradeReason: m.ModeDowngradeReason(),
+		Termination:         engine.ClassName(nil),
+		Workload:            workload,
+		MicroCycles:         s.Steps,
+		SimulatedNS:         m.TimeNS(),
+		Inferences:          m.Inferences(),
+		Host:                host,
+		flight:              m.Flight(),
 	}
 	if r.SimulatedNS > 0 {
 		r.KLIPS = float64(r.Inferences) / (float64(r.SimulatedNS) / 1e9) / 1000
@@ -212,6 +228,9 @@ func (r *RunReport) SetTermination(err error) {
 			Step:  fe.Step,
 			Error: fe.Error(),
 			Stack: fe.Stack,
+		}
+		if r.flight != nil {
+			r.Fault.Flight = r.flight.Events()
 		}
 	}
 }

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSweepStatsConcurrentWriters hammers the sweep counters from
+// parallel writers with interleaved readers — the PMMS sweeps record
+// from the harness worker pool — and checks no update is lost; run
+// with -race. The counters are process-global expvars, so the test
+// asserts on deltas, not absolute values.
+func TestSweepStatsConcurrentWriters(t *testing.T) {
+	before := ReadSweepStats()
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				RecordSweep(3, 1000, 7)
+			}
+		}()
+	}
+	// Interleaved readers must always observe a consistent snapshot type
+	// (no torn reads flagged by the race detector) and monotonic counts.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := before.Sweeps
+		for i := 0; i < 100; i++ {
+			s := ReadSweepStats()
+			if s.Sweeps < last {
+				t.Error("sweep counter went backwards")
+				return
+			}
+			last = s.Sweeps
+		}
+	}()
+	wg.Wait()
+	after := ReadSweepStats()
+	const n = writers * perWriter
+	if got := after.Sweeps - before.Sweeps; got != n {
+		t.Errorf("Sweeps delta = %d, want %d", got, n)
+	}
+	if got := after.Lanes - before.Lanes; got != 3*n {
+		t.Errorf("Lanes delta = %d, want %d", got, 3*n)
+	}
+	if got := after.Records - before.Records; got != 1000*n {
+		t.Errorf("Records delta = %d, want %d", got, 1000*n)
+	}
+	if got := after.WallNS - before.WallNS; got != 7*n {
+		t.Errorf("WallNS delta = %d, want %d", got, 7*n)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/micro"
 	"repro/internal/obs"
 	"repro/internal/parse"
+	"repro/internal/telemetry"
 	"repro/internal/term"
 	"repro/internal/trace"
 	"repro/internal/word"
@@ -64,18 +65,31 @@ type Options struct {
 	// Fast requests the fast accounting engine mode: batched statistics
 	// updates instead of the per-cycle sink funnel, with bit-identical
 	// answers, statistics and simulated time. Runs that arm a per-cycle
-	// consumer (Collect, Profile, Progress, Fault) silently fall back to
-	// the exact path; see Machine.AccountingMode.
+	// consumer (Collect, Fault, or Profile without Fast surviving) fall
+	// back to the exact path — Machine.ModeDowngradeReason names the
+	// cause. Progress, Spans and the flight recorder never downgrade,
+	// and Profile under a surviving Fast switches to the sampling
+	// profiler; see Machine.AccountingMode.
 	Fast bool
 	// MaxSteps bounds the simulation (0 = 4e9 steps).
 	MaxSteps int64
 	// Features ablates individual hardware features or enables the
 	// PSI-II extensions (see core.Features).
 	Features Features
-	// Profile attaches the simulated-workload profiler: every
-	// micro-cycle is attributed to the predicate executing it (see
-	// Machine.Profile).
+	// Profile attaches the simulated-workload profiler. On the exact
+	// engine every micro-cycle is attributed to the predicate executing
+	// it; under a surviving Fast request the statistical sampling
+	// profiler is attached instead, keeping the accounting mode "fast"
+	// (see Machine.Profile — the returned profile says which it was).
 	Profile bool
+	// SampleStride sets the sampling profiler's stride in micro-cycles
+	// (0 = telemetry.DefaultSampleStride). Only meaningful with Profile
+	// and Fast together.
+	SampleStride int64
+	// Spans, when non-nil, records a host-time span for every
+	// Solutions.Step slice into the given log, for Chrome trace-event
+	// export (`psi -trace-out`). Never affects simulated output.
+	Spans *telemetry.SpanLog
 	// Progress, when non-nil, receives periodic heartbeats while a
 	// query runs. The callback runs on the simulation path and must be
 	// cheap. ProgressEvery sets the period in micro-cycles (0 = the
@@ -95,10 +109,12 @@ type Features = core.Features
 
 // Machine is a loaded PSI machine.
 type Machine struct {
-	m    *core.Machine
-	prog *kl0.Program
-	log  *trace.Log
-	prof *obs.Profiler
+	m      *core.Machine
+	prog   *kl0.Program
+	log    *trace.Log
+	prof   *obs.Profiler
+	samp   *telemetry.SamplingProfiler
+	flight *telemetry.Flight
 }
 
 // Solutions enumerates query answers; see (*Machine).Solve.
@@ -148,9 +164,23 @@ func LoadProgram(source string, opts Options) (*Machine, error) {
 		cfg.Trace = mm.log
 	}
 	if opts.Profile {
-		mm.prof = obs.NewProfiler()
-		cfg.Profile = mm.prof
+		if opts.Fast && !opts.Collect && opts.Fault == nil {
+			// The fast engine survives: profile statistically from its
+			// event boundary instead of downgrading to the per-cycle sink.
+			mm.samp = telemetry.NewSamplingProfiler(opts.SampleStride)
+			cfg.Sample = mm.samp
+			cfg.SampleEvery = opts.SampleStride
+		} else {
+			mm.prof = obs.NewProfiler()
+			cfg.Profile = mm.prof
+		}
 	}
+	cfg.Spans = opts.Spans
+	// The flight recorder is always on: a fixed-size ring of recent
+	// telemetry events per session, dumped into the report's fault block
+	// when a run ends in a contained fault.
+	mm.flight = telemetry.NewFlight(0)
+	cfg.Flight = mm.flight
 	if opts.Progress != nil {
 		fn := opts.Progress
 		cfg.Progress = func(hb core.Heartbeat) {
@@ -247,8 +277,20 @@ func (m *Machine) Stats() *micro.Stats { return m.m.Stats() }
 
 // AccountingMode reports the effective cycle-accounting mode, "exact"
 // or "fast": what the machine actually runs, not what Options.Fast
-// requested — arming a per-cycle consumer silently forces "exact".
+// requested — arming a per-cycle consumer forces "exact" (see
+// ModeDowngradeReason).
 func (m *Machine) AccountingMode() string { return m.m.AccountingMode() }
+
+// ModeDowngradeReason names the per-cycle consumers ("trace",
+// "profile", "fault", joined with "+") that forced exact accounting
+// despite Options.Fast; "" when fast ran or was never requested.
+func (m *Machine) ModeDowngradeReason() string { return m.m.ModeDowngradeReason() }
+
+// FlightEvents returns the flight recorder's retained telemetry events,
+// oldest first — the session's recent Step slices, heartbeats and
+// faults. The same events appear in the run report's fault block when a
+// run ends in a contained fault.
+func (m *Machine) FlightEvents() []telemetry.FlightEvent { return m.flight.Events() }
 
 // CacheHitRatio reports the overall cache hit ratio (1 when the cache is
 // disabled or untouched).
@@ -267,9 +309,15 @@ func (m *Machine) Trace() *trace.Log { return m.log }
 
 // Profile resolves the simulated-workload profile collected so far (nil
 // unless Options.Profile was set). The profile's TotalCycles equals
-// Stats().Steps exactly: every micro-cycle is attributed to precisely
-// one predicate, with query glue and runtime stubs under "<main>".
+// Stats().Steps exactly. On the exact engine every micro-cycle is
+// attributed to precisely one predicate, with query glue and runtime
+// stubs under "<main>"; under a surviving fast request the profile is
+// statistical (its Sampled field is set) with per-predicate cycles
+// estimated by stride sampling.
 func (m *Machine) Profile(workload string) *obs.RunProfile {
+	if m.samp != nil {
+		return obs.SampledProfile(m.samp, m.prog, workload)
+	}
 	if m.prof == nil {
 		return nil
 	}
