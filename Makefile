@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz chaos telemetry golden bench bench-pmms bench-engine bench-fast bench-obs cover staticcheck profile verify
+.PHONY: build vet test race fuzz chaos telemetry serve golden bench bench-pmms bench-engine bench-fast bench-obs bench-serve cover staticcheck profile verify
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,14 @@ telemetry:
 	$(GO) test -count=1 -run 'TestSamplingDifferentialTable1|TestSamplingOverheadGuard|TestFastSamplingProfilerKeepsFastByteIdentical|TestFaultReportCarriesFlightDump' -v .
 	$(GO) test -count=1 -run 'TestOptionsSpansByteIdentical' -v ./internal/harness
 
+# Serving battery under the race detector: the psid end-to-end suite
+# (admission, budgets, fault containment, streaming, drain), the
+# concurrency/byte-identity tests and the Table-1 differential against
+# the psi library, plus the process-level SIGTERM drain tests.
+serve:
+	$(GO) test -race -count=1 ./internal/serve
+	$(GO) test -count=1 -run 'TestPsid' .
+
 # Rewrite the golden files under docs/ from the current output (only
 # after an intended simulator change).
 golden:
@@ -78,6 +86,18 @@ bench-fast:
 bench-obs:
 	$(GO) run ./cmd/benchobs
 
+# Refresh BENCH_serve.json: hammer a self-hosted psid with 8 concurrent
+# clients replaying the seeded Table-1 + error/fault mix and record
+# p50/p99 latency and throughput. SMOKE=1 runs a small validated pass
+# (the CI gate: schema-valid record, no transport errors, no timing
+# assertions).
+bench-serve:
+ifdef SMOKE
+	$(GO) run ./cmd/loadgen -self -n 4 -per 5 -seed 1 -out BENCH_serve.json
+else
+	$(GO) run ./cmd/loadgen -self -n 8 -per 25 -seed 1 -out BENCH_serve.json
+endif
+
 # Aggregate statement coverage over every package.
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out ./...
@@ -95,4 +115,4 @@ profile:
 	$(GO) run ./cmd/psibench -cpuprofile psibench.pprof 1 > /dev/null
 	@echo "wrote psibench.pprof; inspect with: $(GO) tool pprof psibench.pprof"
 
-verify: build race test fuzz chaos telemetry
+verify: build race test fuzz chaos telemetry serve

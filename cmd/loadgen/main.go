@@ -1,0 +1,83 @@
+// Command loadgen hammers a psid daemon with N concurrent clients
+// drawing a deterministic seeded mix of Table-1 corpus jobs plus
+// malformed, step-limited and fault-injected requests, and writes the
+// aggregate p50/p99 latency and throughput record to BENCH_serve.json.
+//
+// Usage:
+//
+//	loadgen -self -n 8 -per 25                  # self-hosted daemon
+//	loadgen -addr http://127.0.0.1:8131 -n 8    # running daemon
+//
+// The client mix replays identically for a given -seed: client i sends
+// exactly the sequence Mix.Jobs(seed+i, per). The record is validated
+// before it is written (populated latency summary, throughput, response
+// breakdown, no transport errors); the command exits nonzero otherwise,
+// which is what `make bench-serve` gates on in CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base `URL` of a running psid (e.g. http://127.0.0.1:8131)")
+	self := flag.Bool("self", false, "spin up an in-process daemon on an ephemeral port and load it")
+	clients := flag.Int("n", 8, "concurrent clients")
+	perClient := flag.Int("per", 25, "requests per client")
+	seed := flag.Uint64("seed", 1, "mix seed (client i replays seed+i)")
+	out := flag.String("out", "BENCH_serve.json", "write the benchmark record to this `file`")
+	workers := flag.Int("workers", 0, "self-hosted daemon workers (default: one per client)")
+	flag.Parse()
+
+	base := *addr
+	if *self == (base != "") {
+		fmt.Fprintln(os.Stderr, "loadgen: need exactly one of -self or -addr")
+		os.Exit(2)
+	}
+	if *self {
+		// Default the self-hosted daemon to one worker per client: the
+		// bench measures service latency under full concurrency, not the
+		// backpressure path (which has its own tests and shows up here
+		// anyway if the daemon is deliberately undersized via -workers).
+		if *workers == 0 {
+			*workers = *clients
+		}
+		s := serve.New(serve.Config{Workers: *workers})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: s.Handler()}
+		go srv.Serve(ln) //nolint:errcheck // torn down with the process
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "loadgen: self-hosted psid on %s\n", base)
+	}
+
+	hc := &http.Client{Timeout: 5 * time.Minute}
+	rep := serve.RunLoad(hc, base, *clients, *perClient, *seed, serve.DefaultMix())
+	if err := rep.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loadgen: %d requests, %.1f req/s, p50 %.2fms p99 %.2fms -> %s\n",
+		rep.Requests, rep.ThroughputRPS,
+		float64(rep.Latency.P50NS)/1e6, float64(rep.Latency.P99NS)/1e6, *out)
+}

@@ -243,6 +243,27 @@ func ClassName(err error) string {
 	}
 }
 
+// Classes enumerates every error-class name of the taxonomy, in
+// exit-code order: the seven names ClassName can return plus
+// "degraded", the evaluation-level class that has an exit code
+// (ExitDegraded) but no single error value. Any layer that maps classes
+// onto another namespace — the CLI exit codes here, the HTTP statuses in
+// internal/serve — is tested exhaustively against this list, so adding a
+// class to the taxonomy without extending every mapping fails a test
+// instead of silently falling through to a default.
+func Classes() []string {
+	return []string{
+		"ok",         // ExitOK
+		"error",      // ExitFailure (generic: parse errors, I/O, failed query)
+		"malformed",  // ExitMalformed
+		"step-limit", // ExitStepLimit
+		"deadline",   // ExitDeadline
+		"canceled",   // ExitCanceled
+		"fault",      // ExitFault
+		"degraded",   // ExitDegraded
+	}
+}
+
 // Exit codes: each error class gets a distinct nonzero code so scripts
 // and supervisors can branch on how a run ended.
 const (

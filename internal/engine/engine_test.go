@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// sentinels lists one representative error per abnormal class. A new
+// sentinel added to the taxonomy must be added here (and to Classes),
+// which is what keeps downstream mappings honest.
+var sentinels = []error{
+	ErrStepLimit,
+	ErrCanceled,
+	ErrDeadline,
+	ErrMalformed,
+	ErrFault,
+	&FaultError{Site: "mem", Step: 1, Msg: "parity"},
+	fmt.Errorf("wrapped: %w", ErrStepLimit),
+	errors.New("generic failure"),
+	nil,
+}
+
+// TestClassNamesEnumerated pins ClassName's range to Classes(): every
+// classification result must appear in the canonical enumeration, so a
+// new class cannot exist without being visible to exhaustiveness tests
+// elsewhere (e.g. the HTTP status table in internal/serve).
+func TestClassNamesEnumerated(t *testing.T) {
+	known := map[string]bool{}
+	for _, c := range Classes() {
+		if known[c] {
+			t.Fatalf("Classes() lists %q twice", c)
+		}
+		known[c] = true
+	}
+	for _, err := range sentinels {
+		if c := ClassName(err); !known[c] {
+			t.Errorf("ClassName(%v) = %q, not in Classes()", err, c)
+		}
+	}
+}
+
+// TestExitCodesDistinct pins the class → exit-code contract: every
+// class in Classes() has a distinct exit code, strictly increasing in
+// enumeration order (ExitUsage sits between "error" and "malformed" —
+// it is a CLI concept, not an error class, so it has no entry).
+func TestExitCodesDistinct(t *testing.T) {
+	codeFor := map[string]int{}
+	for _, err := range sentinels {
+		codeFor[ClassName(err)] = ExitCode(err)
+	}
+	codeFor["degraded"] = ExitDegraded
+	prev := -1
+	for _, class := range Classes() {
+		code, ok := codeFor[class]
+		if !ok {
+			t.Errorf("no sentinel exercises class %q", class)
+			continue
+		}
+		if code <= prev {
+			t.Errorf("class %q: exit code %d not above predecessor's %d", class, code, prev)
+		}
+		prev = code
+	}
+}

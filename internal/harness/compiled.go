@@ -57,11 +57,26 @@ var progCache sync.Map
 // shared artifacts. Concurrent callers for the same benchmark block on
 // one compile.
 func Compile(b progs.Benchmark) (*Compiled, error) {
-	v, _ := progCache.LoadOrStore(b.Name, &cacheEntry{})
+	return CompileKeyed(b.Name, b)
+}
+
+// CompileKeyed is Compile with an explicit cache key. The evaluation
+// harness keys by benchmark name (the corpus is fixed), but the serving
+// layer compiles arbitrary submitted programs and keys by content hash,
+// so byte-identical job specs share one compiled image while distinct
+// programs never collide on a label.
+func CompileKeyed(key string, b progs.Benchmark) (*Compiled, error) {
+	v, _ := progCache.LoadOrStore(key, &cacheEntry{})
 	e := v.(*cacheEntry)
 	e.once.Do(func() { e.c, e.err = compileBenchmark(b) })
 	return e.c, e.err
 }
+
+// Evict drops a compiled program from the process-wide cache. Machines
+// already running the image keep their reference; the next CompileKeyed
+// for the key recompiles. The serving layer uses this to bound the cache
+// over an unbounded stream of distinct submitted programs.
+func Evict(key string) { progCache.Delete(key) }
 
 func compileBenchmark(b progs.Benchmark) (*Compiled, error) {
 	prog := kl0.NewProgram(nil)

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Live is one open serving run: a pooled machine dressed for a compiled
+// program with a session driving its query. Unlike Compiled.Run, which
+// demands the first solution internally, a Live run hands the resumable
+// engine.Session to the caller — the serving layer streams solutions,
+// applies per-request budgets through the session's context, and decides
+// itself when the run is over. Release returns the machine to the pool;
+// the session must not be used afterwards.
+type Live struct {
+	Machine *core.Machine
+	Session engine.Session
+}
+
+// Open dresses a pooled machine with cfg and starts the compiled query
+// on it. cfg.Processes is overridden by the compiled program's process
+// count (the only machine shape fixed at compile time); everything else
+// — cache geometry, budgets, fault injector, telemetry hooks — is the
+// caller's. A machine obtained here behaves bit-identically to a freshly
+// built one (see Machine.Reset), which is what lets a long-running
+// service return byte-identical reports for byte-identical job specs.
+func (c *Compiled) Open(cfg core.Config) (*Live, error) {
+	cfg.Processes = c.Procs
+	m := acquireMachine(c.Prog, cfg)
+	if c.Handler != nil {
+		if err := m.SetInterruptHandler(1, c.Handler); err != nil {
+			releaseMachine(m)
+			return nil, err
+		}
+	}
+	return &Live{Machine: m, Session: core.NewSession(m, c.Query)}, nil
+}
+
+// Release returns the run's machine to the pool. Safe to call more than
+// once; the machine and session must not be used afterwards.
+func (l *Live) Release() {
+	if l == nil || l.Machine == nil {
+		return
+	}
+	releaseMachine(l.Machine)
+	l.Machine = nil
+	l.Session = nil
+}

@@ -29,7 +29,13 @@ type Memory struct {
 	// of the hottest loads in the whole simulator.
 	pages    [][]uint32
 	nextPhys uint32
-	inj      *fault.Injector // nil outside chaos runs
+	// hi is the per-area high-water mark of words written this run
+	// (offset of the highest write + 1). Unlike the backing storage —
+	// which Reset keeps allocated for reuse — this is per-run state, so
+	// a pooled machine reports the same memory footprint a fresh one
+	// would.
+	hi  []uint32
+	inj *fault.Injector // nil outside chaos runs
 }
 
 // SetInjector attaches (or with nil detaches) the fault injector whose
@@ -44,6 +50,7 @@ func New(processes int) *Memory {
 	return &Memory{
 		areas: make([][]word.Word, word.NumAreas(processes)),
 		pages: make([][]uint32, word.NumAreas(processes)),
+		hi:    make([]uint32, word.NumAreas(processes)),
 	}
 }
 
@@ -97,6 +104,9 @@ func (m *Memory) Write(a word.Addr, w word.Word) {
 	s := m.areas[area]
 	if uint32(len(s)) <= off {
 		s = m.grow(area, off)
+	}
+	if off >= m.hi[area] {
+		m.hi[area] = off + 1
 	}
 	if m.inj != nil {
 		m.inj.MemAccess(a)
@@ -153,15 +163,19 @@ func (m *Memory) Reset() {
 	for _, t := range m.pages {
 		clear(t)
 	}
+	clear(m.hi)
 	m.nextPhys = 0
 }
 
-// AreaSize reports the high-water storage size of an area in words.
+// AreaSize reports the high-water mark of an area in words: the extent
+// of the words written since New or the last Reset. It deliberately
+// ignores the (retained, possibly larger) backing storage so a pooled,
+// reset memory reports exactly what a fresh one would.
 func (m *Memory) AreaSize(area word.AreaID) int {
-	if int(area) >= len(m.areas) {
+	if int(area) >= len(m.hi) {
 		return 0
 	}
-	return len(m.areas[area])
+	return int(m.hi[area])
 }
 
 // PhysicalPages reports how many physical pages have been allocated.

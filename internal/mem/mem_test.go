@@ -42,6 +42,26 @@ func TestGrowth(t *testing.T) {
 	}
 }
 
+// TestAreaSizePerRun pins the pooling contract behind run reports: the
+// high-water mark tracks what this run wrote, not the backing storage a
+// previous (larger) run left allocated, so a reset memory reports the
+// same footprint a fresh one would.
+func TestAreaSizePerRun(t *testing.T) {
+	m := New(1)
+	m.Write(word.MakeAddr(word.AreaHeap, 100000), word.Int32(1))
+	if got := m.AreaSize(word.AreaHeap); got != 100001 {
+		t.Errorf("big run high water = %d, want 100001", got)
+	}
+	m.Reset()
+	if got := m.AreaSize(word.AreaHeap); got != 0 {
+		t.Errorf("post-reset high water = %d, want 0", got)
+	}
+	m.Write(word.MakeAddr(word.AreaHeap, 10), word.Int32(2))
+	if got := m.AreaSize(word.AreaHeap); got != 11 {
+		t.Errorf("small run after big run high water = %d, want 11", got)
+	}
+}
+
 func TestTranslateStable(t *testing.T) {
 	m := New(1)
 	a := word.MakeAddr(word.AreaHeap, 12345)

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/progs"
+)
+
+// The concurrency contract (run this under -race): N clients hammering
+// the daemon at once get independent, reproducible runs. Byte-identical
+// job specs produce byte-identical reports no matter which pooled
+// machine served them or what ran on it before — including fault and
+// budget jobs interleaved with the happy path, which is exactly the
+// scenario where a poisoned pool or shared mutable state would show up.
+func TestConcurrentClientsIndependentReports(t *testing.T) {
+	nrev := progs.Table1()[0]
+	specs := []JobSpec{
+		{Program: nrev.Source, Query: nrev.Query, Workload: nrev.Name},
+		{Program: quickProg, Query: "p(X)", All: true, Workload: "enum"},
+		{Program: loopProg, Steps: 40_000, Workload: "budget"},
+		{Program: nrev.Source, Query: nrev.Query, Workload: "faulty",
+			Fault: "site=mem,after=20000,seed=7"},
+		{Program: boomProg, Workload: "boom"},
+	}
+	wantStatus := []int{
+		http.StatusOK,
+		http.StatusOK,
+		http.StatusUnprocessableEntity,
+		http.StatusInternalServerError,
+		http.StatusUnprocessableEntity,
+	}
+
+	_, ts := newTestServer(t, Config{Workers: 4})
+
+	// Reference bodies, served once before the storm.
+	want := make([][]byte, len(specs))
+	for i, spec := range specs {
+		resp, b := postJob(t, ts, spec)
+		if resp.StatusCode != wantStatus[i] {
+			t.Fatalf("spec %d (%s): status %d, want %d\n%s",
+				i, spec.Workload, resp.StatusCode, wantStatus[i], b)
+		}
+		want[i] = b
+	}
+
+	const clients = 8
+	const rounds = 3
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Every client walks the spec set at its own offset, so
+				// fault, budget and happy jobs interleave across workers.
+				i := (client + r) % len(specs)
+				resp, b := postJob(t, ts, specs[i])
+				if resp.StatusCode != wantStatus[i] {
+					t.Errorf("client %d round %d spec %d: status %d, want %d",
+						client, r, i, resp.StatusCode, wantStatus[i])
+					return
+				}
+				if string(b) != string(want[i]) {
+					t.Errorf("client %d round %d spec %d (%s): report differs from the reference run",
+						client, r, i, specs[i].Workload)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentStreams races streamed and non-streamed jobs to shake
+// out shared state on the streaming path.
+func TestConcurrentStreams(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			if client%2 == 0 {
+				_, b := postJob(t, ts, JobSpec{
+					Program: quickProg, Query: "p(X)", All: true, Stream: true,
+				})
+				n := 0
+				for _, ev := range decodeEvents(t, b) {
+					if ev.Event == "solution" {
+						n++
+					}
+				}
+				if n != 3 {
+					t.Errorf("client %d: streamed %d solutions, want 3", client, n)
+				}
+			} else {
+				resp, _ := postJob(t, ts, JobSpec{Program: quickProg})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("client %d: status %d", client, resp.StatusCode)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}

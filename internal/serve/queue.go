@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission control: a bounded two-stage queue. Workers tokens run
+// concurrently; Queue tokens may wait for a worker; everything beyond
+// that is rejected immediately with the backpressure status. Draining
+// closes the gate: waiting jobs abort, new jobs are refused, running
+// jobs are untouched.
+
+var (
+	// errSaturated: both the worker pool and the waiting room are full.
+	errSaturated = errors.New("serve: queue saturated")
+	// errDraining: the daemon is shutting down.
+	errDraining = errors.New("serve: draining")
+)
+
+type queue struct {
+	sem       chan struct{} // worker tokens (capacity = Workers)
+	waiting   chan struct{} // waiting-room tokens (capacity = Queue; nil when 0)
+	drained   chan struct{} // closed by drain()
+	drainOnce sync.Once
+}
+
+func newQueue(workers, depth int) *queue {
+	q := &queue{
+		sem:     make(chan struct{}, workers),
+		drained: make(chan struct{}),
+	}
+	if depth > 0 {
+		q.waiting = make(chan struct{}, depth)
+	}
+	return q
+}
+
+// acquire admits one job, blocking in the waiting room if necessary.
+// It returns a release function on success; errSaturated when the
+// waiting room is full; errDraining once drain began; or the context's
+// error if the caller gave up while waiting.
+func (q *queue) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case <-q.drained:
+		return nil, errDraining
+	default:
+	}
+	// Fast path: a worker is free.
+	select {
+	case q.sem <- struct{}{}:
+		return func() { <-q.sem }, nil
+	default:
+	}
+	// Slow path: take a waiting-room token, then block for a worker.
+	if q.waiting == nil {
+		return nil, errSaturated
+	}
+	select {
+	case q.waiting <- struct{}{}:
+	default:
+		return nil, errSaturated
+	}
+	defer func() { <-q.waiting }()
+	select {
+	case q.sem <- struct{}{}:
+		return func() { <-q.sem }, nil
+	case <-q.drained:
+		return nil, errDraining
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// drain closes the gate: all waiters abort with errDraining and every
+// later acquire is refused. Idempotent.
+func (q *queue) drain() {
+	q.drainOnce.Do(func() { close(q.drained) })
+}
+
+// depths reports the current (running, waiting) occupancy for metrics.
+func (q *queue) depths() (running, waiting int) {
+	return len(q.sem), len(q.waiting)
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestQueueAdmitsUpToWorkers(t *testing.T) {
+	q := newQueue(2, 0)
+	r1, err := q.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := q.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No waiting room: the third job is refused immediately.
+	if _, err := q.acquire(context.Background()); !errors.Is(err, errSaturated) {
+		t.Fatalf("third acquire = %v, want errSaturated", err)
+	}
+	r1()
+	r3, err := q.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release = %v", err)
+	}
+	r3()
+	r2()
+}
+
+func TestQueueWaitingRoom(t *testing.T) {
+	q := newQueue(1, 1)
+	r1, err := q.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits; it blocks until the worker frees.
+	got := make(chan error, 1)
+	go func() {
+		r, err := q.acquire(context.Background())
+		if err == nil {
+			defer r()
+		}
+		got <- err
+	}()
+	// Wait for the goroutine to occupy the waiting room, then overflow it.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, waiting := q.depths(); waiting == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never entered the waiting room")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := q.acquire(context.Background()); !errors.Is(err, errSaturated) {
+		t.Fatalf("overflow acquire = %v, want errSaturated", err)
+	}
+	r1()
+	if err := <-got; err != nil {
+		t.Fatalf("waiter = %v, want admitted", err)
+	}
+}
+
+func TestQueueWaiterGivesUp(t *testing.T) {
+	q := newQueue(1, 4)
+	r1, err := q.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := q.acquire(ctx)
+		got <- err
+	}()
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter = %v, want context.Canceled", err)
+	}
+	if _, waiting := q.depths(); waiting != 0 {
+		t.Errorf("waiting room not vacated after cancel: %d", waiting)
+	}
+}
+
+func TestQueueDrain(t *testing.T) {
+	q := newQueue(1, 4)
+	r1, err := q.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := q.acquire(context.Background())
+		got <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, waiting := q.depths(); waiting == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never entered the waiting room")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	q.drain()
+	q.drain() // idempotent
+	if err := <-got; !errors.Is(err, errDraining) {
+		t.Fatalf("waiter under drain = %v, want errDraining", err)
+	}
+	if _, err := q.acquire(context.Background()); !errors.Is(err, errDraining) {
+		t.Fatalf("post-drain acquire = %v, want errDraining", err)
+	}
+	// Draining never disturbs a running job's token.
+	r1()
+}

@@ -1,0 +1,461 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/progs"
+)
+
+// The end-to-end battery: every promise the daemon makes, exercised
+// over real HTTP against the full handler stack (admission, pooled
+// execution, status mapping, streaming) — only the TCP listener and
+// process signals are out of frame (cmd/psid's own test covers those).
+
+const (
+	quickProg = "p(1).\np(2).\np(3).\ngo :- p(1).\n"
+	// loopProg never terminates on its own; budgets end it.
+	loopProg = "loop. loop :- loop.\ngo :- loop, fail.\n"
+	// boomProg fails at evaluation time with a type error.
+	boomProg = "go :- X is 1 // 0, X = X.\n"
+	// parseProg fails at compile time.
+	parseProg = "go :- foo(.\n"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec JobSpec) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func decodeReport(t *testing.T, b []byte) *obs.RunReport {
+	t.Helper()
+	var rep obs.RunReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("response is not a report: %v\n%s", err, b)
+	}
+	if rep.Schema != obs.ReportSchema {
+		t.Fatalf("report schema = %q, want %q", rep.Schema, obs.ReportSchema)
+	}
+	return &rep
+}
+
+func decodeEvents(t *testing.T, b []byte) []StreamEvent {
+	t.Helper()
+	var evs []StreamEvent
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev StreamEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+func TestE2EHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, b := postJob(t, ts, JobSpec{Program: quickProg, Workload: "happy"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200\n%s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Psi-Termination"); got != "ok" {
+		t.Errorf("X-Psi-Termination = %q, want ok", got)
+	}
+	if got := resp.Header.Get("X-Psi-Solutions"); got != "1" {
+		t.Errorf("X-Psi-Solutions = %q, want 1", got)
+	}
+	rep := decodeReport(t, b)
+	if rep.Termination != "ok" || rep.Workload != "happy" {
+		t.Errorf("report termination/workload = %q/%q", rep.Termination, rep.Workload)
+	}
+	if rep.MicroCycles <= 0 || rep.Inferences <= 0 {
+		t.Errorf("report not populated: cycles=%d inferences=%d", rep.MicroCycles, rep.Inferences)
+	}
+	if rep.Host != nil {
+		t.Error("host stats present by default; they break report determinism")
+	}
+}
+
+// TestE2EStreamOrdering checks streamed solutions arrive in enumeration
+// order with their bindings, followed by the terminal report event.
+func TestE2EStreamOrdering(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, b := postJob(t, ts, JobSpec{
+		Program: quickProg,
+		Query:   "p(X)",
+		All:     true,
+		Stream:  true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	evs := decodeEvents(t, b)
+	var solutions []StreamEvent
+	for _, ev := range evs {
+		if ev.Event == "solution" {
+			solutions = append(solutions, ev)
+		}
+	}
+	if len(solutions) != 3 {
+		t.Fatalf("got %d solutions, want 3\n%s", len(solutions), b)
+	}
+	for i, ev := range solutions {
+		if ev.N != i+1 {
+			t.Errorf("solution %d has n=%d; order broken", i, ev.N)
+		}
+		if want := fmt.Sprint(i + 1); ev.Bindings["X"] != want {
+			t.Errorf("solution %d bindings = %v, want X=%s", i, ev.Bindings, want)
+		}
+	}
+	last := evs[len(evs)-1]
+	if last.Event != "report" || last.Report == nil || last.Report.Termination != "ok" {
+		t.Errorf("stream did not end with an ok report event: %+v", last)
+	}
+}
+
+func TestE2EStreamLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, b := postJob(t, ts, JobSpec{
+		Program: quickProg, Query: "p(X)", All: true, Limit: 2, Stream: true,
+	})
+	n := 0
+	for _, ev := range decodeEvents(t, b) {
+		if ev.Event == "solution" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("limit 2 streamed %d solutions", n)
+	}
+}
+
+func TestE2ESSE(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body, _ := json.Marshal(&JobSpec{Program: quickProg, Stream: true})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", bytes.NewReader(body))
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+	text := string(b)
+	if !strings.Contains(text, "event: solution\n") || !strings.Contains(text, "event: report\n") {
+		t.Errorf("SSE framing missing:\n%s", text)
+	}
+}
+
+// TestE2EMalformed covers both malformed paths: a compile failure never
+// reaches a machine (error document), a runtime type error produces a
+// full report recording the malformed termination. Both are 422.
+func TestE2EMalformed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, b := postJob(t, ts, JobSpec{Program: parseProg})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("compile failure status = %d, want 422", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Psi-Class"); got != "malformed" {
+		t.Errorf("compile failure class = %q, want malformed", got)
+	}
+	var doc ErrorDoc
+	if err := json.Unmarshal(b, &doc); err != nil || doc.Schema != ErrorSchema {
+		t.Errorf("compile failure should return the error document, got %s", b)
+	}
+
+	resp, b = postJob(t, ts, JobSpec{Program: boomProg})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("runtime failure status = %d, want 422", resp.StatusCode)
+	}
+	if rep := decodeReport(t, b); rep.Termination != "malformed" {
+		t.Errorf("runtime failure termination = %q, want malformed", rep.Termination)
+	}
+}
+
+func TestE2EBadSpec(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, b := postJob(t, ts, JobSpec{}) // no program
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty spec status = %d, want 400\n%s", resp.StatusCode, b)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/solve", nil)
+	resp2, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", resp2.StatusCode)
+	}
+}
+
+func TestE2EStepLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, b := postJob(t, ts, JobSpec{Program: loopProg, Steps: 50_000})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("step-limit status = %d, want 422\n%s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Psi-Termination"); got != "step-limit" {
+		t.Errorf("X-Psi-Termination = %q, want step-limit", got)
+	}
+	rep := decodeReport(t, b)
+	if rep.Termination != "step-limit" {
+		t.Errorf("report termination = %q, want step-limit", rep.Termination)
+	}
+	if rep.MicroCycles <= 0 {
+		t.Error("budget-terminated report should still carry the partial run's accounting")
+	}
+}
+
+func TestE2ETimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, b := postJob(t, ts, JobSpec{Program: loopProg, TimeoutMS: 150})
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("timeout status = %d, want 408\n%s", resp.StatusCode, b)
+	}
+	if rep := decodeReport(t, b); rep.Termination != "deadline" {
+		t.Errorf("report termination = %q, want deadline", rep.Termination)
+	}
+}
+
+// TestE2EFaultContained injects a seeded fault and checks the 500
+// response carries the full forensic report — fault block with the
+// flight-recorder dump, no Go stack — and that the daemon (and the
+// pooled machine behind it) keeps serving afterwards.
+func TestE2EFaultContained(t *testing.T) {
+	nrev := progs.Table1()[0]
+	_, ts := newTestServer(t, Config{})
+	resp, b := postJob(t, ts, JobSpec{
+		Program:  nrev.Source,
+		Query:    nrev.Query,
+		Fault:    "site=mem,after=20000,seed=7",
+		Workload: "faulty",
+	})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("fault status = %d, want 500\n%s", resp.StatusCode, b)
+	}
+	rep := decodeReport(t, b)
+	if rep.Termination != "fault" {
+		t.Fatalf("termination = %q, want fault", rep.Termination)
+	}
+	if rep.Fault == nil {
+		t.Fatal("fault report block missing")
+	}
+	if rep.Fault.Site != "mem" || rep.Fault.Step <= 0 {
+		t.Errorf("fault block not populated: %+v", rep.Fault)
+	}
+	if len(rep.Fault.Flight) == 0 {
+		t.Error("fault.flight empty; the flight recorder should capture the run's last events")
+	}
+	if rep.Fault.Stack != "" {
+		t.Error("fault stack present by default; goroutine ids break report determinism")
+	}
+
+	// Containment: the very next job on the same (pooled) machines is fine.
+	resp, b = postJob(t, ts, JobSpec{Program: quickProg, Workload: "after-fault"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job after fault = %d, want 200\n%s", resp.StatusCode, b)
+	}
+	if rep := decodeReport(t, b); rep.Termination != "ok" {
+		t.Errorf("job after fault terminated %q", rep.Termination)
+	}
+}
+
+// TestE2ESaturation fills the single worker with a long job and checks
+// the next request is refused with 429 + Retry-After, then that capacity
+// recovers once the long job ends.
+func TestE2ESaturation(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, Queue: -1})
+
+	slowBody, _ := json.Marshal(&JobSpec{Program: loopProg, Workload: "slow"})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+			ts.URL+"/v1/solve", bytes.NewReader(slowBody))
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	waitFor(t, func() bool { return s.Stats().Inflight == 1 }, "slow job in flight")
+
+	resp, b := postJob(t, ts, JobSpec{Program: quickProg})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated status = %d, want 429\n%s", resp.StatusCode, b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := resp.Header.Get("X-Psi-Class"); got != ClassSaturated {
+		t.Errorf("saturated class = %q, want %q", got, ClassSaturated)
+	}
+	if s.Stats().Rejected == 0 {
+		t.Error("rejection not counted")
+	}
+
+	// Free the worker; admission recovers.
+	cancel()
+	<-done
+	waitFor(t, func() bool { return s.Stats().Inflight == 0 }, "slow job released")
+	resp, _ = postJob(t, ts, JobSpec{Program: quickProg})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-saturation status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestE2EDrainRefusesNewJobs(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	hr, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain = %d", hr.StatusCode)
+	}
+
+	s.BeginDrain()
+	resp, b := postJob(t, ts, JobSpec{Program: quickProg})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drain status = %d, want 503\n%s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Psi-Class"); got != ClassDraining {
+		t.Errorf("drain class = %q, want %q", got, ClassDraining)
+	}
+	hr, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(hr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable || !st.Draining {
+		t.Errorf("healthz under drain = %d draining=%v, want 503 true", hr.StatusCode, st.Draining)
+	}
+}
+
+// TestE2EStreamHeartbeats runs a budgeted loop with heartbeats and
+// checks the stream interleaves progress with the terminal error +
+// report events carrying the budget class.
+func TestE2EStreamHeartbeats(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, b := postJob(t, ts, JobSpec{
+		Program:         loopProg,
+		Steps:           300_000,
+		Stream:          true,
+		HeartbeatCycles: 20_000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d, want 200 (errors travel in events)", resp.StatusCode)
+	}
+	evs := decodeEvents(t, b)
+	var beats int
+	var errEv, repEv *StreamEvent
+	for i := range evs {
+		switch evs[i].Event {
+		case "heartbeat":
+			beats++
+			if evs[i].Cycles <= 0 {
+				t.Errorf("heartbeat without cycle count: %+v", evs[i])
+			}
+		case "error":
+			errEv = &evs[i]
+		case "report":
+			repEv = &evs[i]
+		}
+	}
+	if beats == 0 {
+		t.Error("no heartbeats on a 300k-step run with a 20k cadence")
+	}
+	if errEv == nil || errEv.Class != "step-limit" || errEv.Status != http.StatusUnprocessableEntity {
+		t.Errorf("terminal error event wrong: %+v", errEv)
+	}
+	if repEv == nil || repEv.Report == nil || repEv.Report.Termination != "step-limit" {
+		t.Errorf("terminal report event wrong: %+v", repEv)
+	}
+}
+
+// TestE2EOpsPlane spot-checks the observability endpoints the daemon
+// mounts: metrics exposition with the psid families, and pprof.
+func TestE2EOpsPlane(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postJob(t, ts, JobSpec{Program: quickProg})
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(b)
+	for _, fam := range []string{"psid_jobs_total", "psid_inflight_jobs", "psid_request_seconds"} {
+		if !strings.Contains(text, fam) {
+			t.Errorf("/metrics missing family %s", fam)
+		}
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof not mounted: %d", resp.StatusCode)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// ErrorSchema identifies the JSON error document returned for requests
+// that never reached a machine (bad specs, saturation, drain).
+const ErrorSchema = "psi-serve-error/v1"
+
+// ErrorDoc is the structured error response.
+type ErrorDoc struct {
+	Schema string `json:"schema"`
+	Status int    `json:"status"`
+	Class  string `json:"class"`
+	Error  string `json:"error"`
+}
+
+// Server is the evaluation service: job admission, pooled execution and
+// the ops plane, exposed as one http.Handler. Construct with New, mount
+// Handler on a listener (cmd/psid) or an httptest server (the e2e
+// battery), and call BeginDrain/HardCancel during shutdown.
+type Server struct {
+	cfg      Config
+	q        *queue
+	programs *programLRU
+
+	// hardCtx cancels every in-flight job when the drain deadline
+	// passes; the jobs end with their own budget class (canceled).
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+	draining   atomic.Bool
+
+	inflight atomic.Int64
+	rejected atomic.Int64
+	jobs     atomic.Int64
+}
+
+// New builds a Server from a config (zero fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	hardCtx, hardCancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		q:          newQueue(cfg.Workers, cfg.Queue),
+		programs:   newProgramLRU(cfg.Programs),
+		hardCtx:    hardCtx,
+		hardCancel: hardCancel,
+	}
+	registerServeFamilies()
+	return s
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Handler builds the daemon's route table: the job endpoint plus the
+// ops plane (/healthz, /metrics, and the /debug/pprof + /debug/vars
+// listener the obs package registers on the default mux).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.Handle("/metrics", telemetry.Default.Handler())
+	mux.Handle("/debug/", http.DefaultServeMux)
+	return mux
+}
+
+// BeginDrain switches the daemon into drain mode: /healthz turns 503,
+// queued jobs abort, and new jobs are refused with 503. In-flight jobs
+// keep running; the caller then uses http.Server.Shutdown to wait for
+// them and HardCancel if the drain deadline passes. Idempotent.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.q.drain()
+}
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// HardCancel cancels every in-flight job; each ends with the canceled
+// class and its report records that termination. Idempotent.
+func (s *Server) HardCancel() { s.hardCancel() }
+
+// Stats is a snapshot of the admission state, served by /healthz and
+// used by tests to synchronize with in-flight work.
+type Stats struct {
+	Draining bool  `json:"draining"`
+	Inflight int64 `json:"inflight"`
+	Queued   int64 `json:"queued"`
+	Rejected int64 `json:"rejected"`
+	Jobs     int64 `json:"jobs"`
+	Programs int   `json:"programs"`
+}
+
+// Stats snapshots the server's admission counters.
+func (s *Server) Stats() Stats {
+	_, waiting := s.q.depths()
+	return Stats{
+		Draining: s.draining.Load(),
+		Inflight: s.inflight.Load(),
+		Queued:   int64(waiting),
+		Rejected: s.rejected.Load(),
+		Jobs:     s.jobs.Load(),
+		Programs: s.programs.Len(),
+	}
+}
+
+// handleHealth reports readiness: 200 with a stats document while
+// serving, 503 once draining.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	code := http.StatusOK
+	if st.Draining {
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(st)
+}
+
+// writeError emits the structured error document for a request that
+// never produced a report.
+func writeError(w http.ResponseWriter, status int, class string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Psi-Class", class)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorDoc{
+		Schema: ErrorSchema,
+		Status: status,
+		Class:  class,
+		Error:  err.Error(),
+	})
+}
+
+// classMetric counts one finished (or refused) job under its class.
+func classMetric(class string) {
+	name := "psid_jobs_" + strings.ReplaceAll(class, "-", "_") + "_total"
+	telemetry.Default.Counter(name, "jobs ended with class "+class).Inc()
+}
+
+// requestDurationBounds buckets request latencies from sub-millisecond
+// cache hits to multi-second simulations.
+var requestDurationBounds = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30,
+}
+
+// registerServeFamilies pre-registers the always-present psid_* metric
+// families so the first scrape sees them zero-valued.
+func registerServeFamilies() {
+	reg := telemetry.Default
+	reg.Counter("psid_jobs_total", "jobs admitted and executed")
+	reg.Counter("psid_rejected_total", "jobs refused by backpressure or drain")
+	reg.Gauge("psid_inflight_jobs", "jobs executing right now")
+	reg.Gauge("psid_queue_depth", "jobs waiting for a worker")
+	reg.Histogram("psid_request_seconds", "wall time per job request", requestDurationBounds)
+}
+
+// handleSolve is POST /v1/solve: decode, admit, execute, respond with a
+// report or a stream.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "error", errors.New("POST a job spec"))
+		return
+	}
+	reg := telemetry.Default
+	if s.draining.Load() {
+		s.rejected.Add(1)
+		reg.Counter("psid_rejected_total", "jobs refused by backpressure or drain").Inc()
+		classMetric(ClassDraining)
+		writeError(w, StatusForClass(ClassDraining), ClassDraining, errDraining)
+		return
+	}
+	spec, err := ParseSpec(r.Body, s.cfg.Defaults)
+	if err != nil {
+		classMetric("error")
+		writeError(w, http.StatusBadRequest, "error", err)
+		return
+	}
+
+	release, err := s.q.acquire(r.Context())
+	updateDepthGauges(s)
+	if err != nil {
+		s.rejected.Add(1)
+		reg.Counter("psid_rejected_total", "jobs refused by backpressure or drain").Inc()
+		class := ClassSaturated
+		switch {
+		case errors.Is(err, errDraining):
+			class = ClassDraining
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			class = "canceled"
+			err = engine.CtxError(err)
+		}
+		classMetric(class)
+		writeError(w, StatusForClass(class), class, err)
+		return
+	}
+	defer release()
+
+	s.jobs.Add(1)
+	s.inflight.Add(1)
+	reg.Counter("psid_jobs_total", "jobs admitted and executed").Inc()
+	updateDepthGauges(s)
+	start := time.Now()
+	defer func() {
+		s.inflight.Add(-1)
+		updateDepthGauges(s)
+		reg.Histogram("psid_request_seconds", "wall time per job request",
+			requestDurationBounds).Observe(time.Since(start).Seconds())
+	}()
+
+	// The job context: the client's context (gone client = canceled) plus
+	// the wall-clock budget, hard-canceled if a drain deadline passes.
+	ctx := r.Context()
+	var cancel context.CancelFunc
+	if t := spec.Timeout(); t > 0 {
+		ctx, cancel = context.WithTimeout(ctx, t)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	stop := context.AfterFunc(s.hardCtx, cancel)
+	defer stop()
+
+	if spec.Stream {
+		s.streamSolve(ctx, w, r, spec)
+		return
+	}
+	s.reportSolve(ctx, w, spec)
+}
+
+// updateDepthGauges publishes the admission occupancy.
+func updateDepthGauges(s *Server) {
+	_, waiting := s.q.depths()
+	reg := telemetry.Default
+	reg.Gauge("psid_inflight_jobs", "jobs executing right now").Set(float64(s.inflight.Load()))
+	reg.Gauge("psid_queue_depth", "jobs waiting for a worker").Set(float64(waiting))
+}
+
+// reportSolve runs the job to completion and answers with the full
+// psi-run-report/v1 document — the same bytes `psi -json` writes for
+// the same job — under the status the termination class maps to.
+func (s *Server) reportSolve(ctx context.Context, w http.ResponseWriter, spec *JobSpec) {
+	res, err := s.execute(ctx, spec, nil, nil)
+	if err != nil {
+		class := engine.ClassName(err)
+		classMetric(class)
+		writeError(w, StatusFor(err), class, err)
+		return
+	}
+	class := engine.ClassName(res.runErr)
+	classMetric(class)
+	b, err := res.report.JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "error", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Psi-Schema", obs.ReportSchema)
+	w.Header().Set("X-Psi-Termination", class)
+	w.Header().Set("X-Psi-Solutions", strconv.Itoa(res.solutions))
+	w.WriteHeader(StatusForClass(class))
+	w.Write(b)
+}
+
+// describeJob labels a run for span logs and diagnostics.
+func describeJob(spec *JobSpec) string {
+	return fmt.Sprintf("%s ?- %s", spec.Workload, spec.Query)
+}

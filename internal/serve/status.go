@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"net/http"
+
+	"repro/internal/engine"
+)
+
+// HTTP status mapping — the single source of truth translating the
+// engine error taxonomy onto response codes, the serving twin of the
+// CLI exit-code contract in internal/engine. TestStatusTableExhaustive
+// fails the build when a class exists in engine.Classes() without an
+// entry here, so a new taxonomy class cannot silently fall through to
+// the 500 fallback.
+
+// StatusClientClosedRequest reports a run ended by the client going away
+// (or by a hard drain cancel); the nginx convention for "the response
+// has no one left to read it".
+const StatusClientClosedRequest = 499
+
+// statusByClass maps every engine error-class name onto its HTTP
+// status. Keep in sync with engine.Classes(); the exhaustiveness test
+// enforces it in both directions.
+var statusByClass = map[string]int{
+	"ok":         http.StatusOK,                  // 200: the run completed
+	"error":      http.StatusBadRequest,          // 400: generic failure (bad spec, failed setup)
+	"malformed":  http.StatusUnprocessableEntity, // 422: program or execution malformed
+	"step-limit": http.StatusUnprocessableEntity, // 422: the steps budget ran out
+	"deadline":   http.StatusRequestTimeout,      // 408: the wall-clock budget ran out
+	"canceled":   StatusClientClosedRequest,      // 499: client gone or drain hard-cancel
+	"fault":      http.StatusInternalServerError, // 500: contained machine fault
+	"degraded":   http.StatusInternalServerError, // 500: degraded evaluation (harness-level)
+}
+
+// Serving-layer statuses outside the engine taxonomy: admission and
+// lifecycle rejections that never reach a machine. The pseudo-class
+// names appear in error documents and per-class metrics.
+const (
+	// ClassSaturated rejects a job because the bounded queue is full
+	// (HTTP 429, the backpressure signal).
+	ClassSaturated = "saturated"
+	// ClassDraining rejects a job because the daemon is shutting down
+	// (HTTP 503).
+	ClassDraining = "draining"
+)
+
+// StatusForClass resolves an engine error-class name (or a serving
+// pseudo-class) to its HTTP status. Unknown names get 500 — the
+// exhaustiveness test guarantees real classes never take that path.
+func StatusForClass(class string) int {
+	switch class {
+	case ClassSaturated:
+		return http.StatusTooManyRequests
+	case ClassDraining:
+		return http.StatusServiceUnavailable
+	}
+	if s, ok := statusByClass[class]; ok {
+		return s
+	}
+	return http.StatusInternalServerError
+}
+
+// StatusFor classifies an error under the engine taxonomy and resolves
+// its HTTP status (nil = 200).
+func StatusFor(err error) int {
+	return StatusForClass(engine.ClassName(err))
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestStatusTableExhaustive is the contract the issue asks for: the
+// class → HTTP status table in status.go is the single source of truth,
+// and it must cover the engine taxonomy exactly. Adding a class to
+// engine.Classes() without mapping it here fails this test; so does a
+// stale entry for a class the engine no longer defines.
+func TestStatusTableExhaustive(t *testing.T) {
+	classes := engine.Classes()
+	known := map[string]bool{}
+	for _, class := range classes {
+		known[class] = true
+		if _, ok := statusByClass[class]; !ok {
+			t.Errorf("engine class %q has no HTTP status mapping", class)
+		}
+	}
+	for class := range statusByClass {
+		if !known[class] {
+			t.Errorf("status table maps %q, which engine.Classes() does not define", class)
+		}
+	}
+}
+
+// TestStatusForErrors pins the mapping for representative errors of
+// every class, including wrapped forms, so the errors.Is-based
+// classification keeps feeding the table correctly.
+func TestStatusForErrors(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, http.StatusOK},
+		{fmt.Errorf("x: %w", engine.ErrMalformed), http.StatusUnprocessableEntity},
+		{fmt.Errorf("x: %w", engine.ErrStepLimit), http.StatusUnprocessableEntity},
+		{fmt.Errorf("x: %w", engine.ErrDeadline), http.StatusRequestTimeout},
+		{engine.CtxError(context.Canceled), StatusClientClosedRequest},
+		{engine.CtxError(context.DeadlineExceeded), http.StatusRequestTimeout},
+		{&engine.FaultError{Site: "mem", Step: 7, Msg: "parity"}, http.StatusInternalServerError},
+		{fmt.Errorf("plain failure"), http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if got := StatusFor(c.err); got != c.want {
+			t.Errorf("StatusFor(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+	if got := StatusForClass(ClassSaturated); got != http.StatusTooManyRequests {
+		t.Errorf("saturated -> %d, want 429", got)
+	}
+	if got := StatusForClass(ClassDraining); got != http.StatusServiceUnavailable {
+		t.Errorf("draining -> %d, want 503", got)
+	}
+}
+
+// TestStatusDistinguishesBudgets documents the budget contract: the two
+// budget classes are distinguishable by status + termination field even
+// though step-limit shares 422 with malformed.
+func TestStatusDistinguishesBudgets(t *testing.T) {
+	if StatusForClass("deadline") == StatusForClass("step-limit") {
+		t.Error("deadline and step-limit should map to distinct statuses (408 vs 422)")
+	}
+	if StatusForClass("ok") != http.StatusOK || StatusForClass("fault") != http.StatusInternalServerError {
+		t.Error("ok/fault anchors moved")
+	}
+}

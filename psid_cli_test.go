@@ -1,0 +1,303 @@
+package psi
+
+// Process-level battery for the psid daemon: the pieces an httptest
+// server cannot exercise — the real TCP listener, the readiness line,
+// SIGTERM drain semantics and the exit code — plus a shelled
+// differential against the psi binary's -json report.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// buildPsid compiles the daemon binary into a temp dir.
+func buildPsid(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI binary builds")
+	}
+	bin := filepath.Join(t.TempDir(), "psid")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/psid")
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/psid: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// psidProc is a running daemon under test.
+type psidProc struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+
+	mu     sync.Mutex
+	stderr strings.Builder
+}
+
+func (p *psidProc) stderrText() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stderr.String()
+}
+
+// startPsid launches the daemon on an ephemeral port and waits for the
+// readiness line — "psid: listening on <addr>" — which is the contract
+// supervisors parse.
+func startPsid(t *testing.T, bin string, extraArgs ...string) *psidProc {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &psidProc{cmd: cmd}
+	ready := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			p.mu.Lock()
+			p.stderr.WriteString(line + "\n")
+			p.mu.Unlock()
+			if rest, ok := strings.CutPrefix(line, "psid: listening on "); ok {
+				select {
+				case ready <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-ready:
+		p.base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("daemon never printed the readiness line; stderr:\n%s", p.stderrText())
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return p
+}
+
+func postSpec(t *testing.T, base string, spec map[string]any) (*http.Response, []byte, error) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := &http.Client{Timeout: 60 * time.Second}
+	resp, err := hc.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp, nil, err
+	}
+	return resp, b, nil
+}
+
+func waitInflight(t *testing.T, base string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			var st struct {
+				Inflight int64 `json:"inflight"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err == nil && st.Inflight == want {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("daemon never reached inflight=%d", want)
+}
+
+const loopSrc = "loop. loop :- loop.\ngo :- loop, fail.\n"
+
+// TestPsidGracefulDrain is the issue's drain scenario: SIGTERM arrives
+// mid-flight; the in-flight job completes with its own budget class
+// (here: deadline → 408), new connections are refused, and the daemon
+// exits 0.
+func TestPsidGracefulDrain(t *testing.T) {
+	bin := buildPsid(t)
+	p := startPsid(t, bin, "-drain-timeout", "30s")
+
+	type result struct {
+		resp *http.Response
+		body []byte
+		err  error
+	}
+	slow := make(chan result, 1)
+	go func() {
+		resp, b, err := postSpec(t, p.base, map[string]any{
+			"program": loopSrc, "timeout_ms": 1500, "workload": "drain-slow",
+		})
+		slow <- result{resp, b, err}
+	}()
+	waitInflight(t, p.base, 1)
+
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// New work is refused once drain begins: the listener closes, so the
+	// request fails at dial time (or, in the drain window, gets 503).
+	refused := false
+	for i := 0; i < 100 && !refused; i++ {
+		resp, _, err := postSpec(t, p.base, map[string]any{"program": "go :- true.\n"})
+		if err != nil || resp.StatusCode == http.StatusServiceUnavailable {
+			refused = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !refused {
+		t.Error("daemon kept accepting jobs after SIGTERM")
+	}
+
+	// The in-flight job still completes, terminated by its own budget.
+	r := <-slow
+	if r.err != nil {
+		t.Fatalf("in-flight job dropped during drain: %v", r.err)
+	}
+	if r.resp.StatusCode != http.StatusRequestTimeout {
+		t.Errorf("in-flight job status = %d, want 408\n%s", r.resp.StatusCode, r.body)
+	}
+	var rep obs.RunReport
+	if err := json.Unmarshal(r.body, &rep); err != nil || rep.Termination != "deadline" {
+		t.Errorf("in-flight report termination = %q (err %v), want deadline", rep.Termination, err)
+	}
+
+	if err := p.cmd.Wait(); err != nil {
+		t.Errorf("daemon exit after drain = %v, want 0; stderr:\n%s", err, p.stderrText())
+	}
+	if !strings.Contains(p.stderrText(), "psid: drained") {
+		t.Errorf("drain completion not logged; stderr:\n%s", p.stderrText())
+	}
+}
+
+// TestPsidDrainTimeoutCancels covers the other drain arm: a job with no
+// budget of its own outlives the drain window, is hard-canceled, and
+// the daemon still exits 0.
+func TestPsidDrainTimeoutCancels(t *testing.T) {
+	bin := buildPsid(t)
+	p := startPsid(t, bin, "-drain-timeout", "300ms")
+
+	type result struct {
+		resp *http.Response
+		body []byte
+		err  error
+	}
+	slow := make(chan result, 1)
+	go func() {
+		resp, b, err := postSpec(t, p.base, map[string]any{
+			"program": loopSrc, "workload": "drain-unbounded",
+		})
+		slow <- result{resp, b, err}
+	}()
+	waitInflight(t, p.base, 1)
+
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	r := <-slow
+	if r.err != nil {
+		t.Fatalf("hard-canceled job dropped without a response: %v", r.err)
+	}
+	if r.resp.StatusCode != 499 {
+		t.Errorf("hard-canceled job status = %d, want 499\n%s", r.resp.StatusCode, r.body)
+	}
+	var rep obs.RunReport
+	if err := json.Unmarshal(r.body, &rep); err != nil || rep.Termination != "canceled" {
+		t.Errorf("hard-canceled report termination = %q (err %v), want canceled", rep.Termination, err)
+	}
+	if err := p.cmd.Wait(); err != nil {
+		t.Errorf("daemon exit after hard cancel = %v, want 0; stderr:\n%s", err, p.stderrText())
+	}
+}
+
+// TestPsidShelledDifferential closes the loop at the process level: the
+// daemon's response for a job equals the psi binary's -json report for
+// the same program, once the host section (wall-clock, allocations —
+// non-deterministic by design) is normalized away on both sides.
+func TestPsidShelledDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI binary builds")
+	}
+	dir := t.TempDir()
+	psiBin := filepath.Join(dir, "psi")
+	cmd := exec.Command("go", "build", "-o", psiBin, "./cmd/psi")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/psi: %v\n%s", err, out)
+	}
+	psidBin := buildPsid(t)
+	p := startPsid(t, psidBin)
+
+	src := "app([], L, L).\napp([H|T], L, [H|R]) :- app(T, L, R).\n" +
+		"go :- app([a,b,c,d,e,f,g], [h,i,j], X), X = [a|_].\n"
+	progPath := filepath.Join(dir, "prog.pl")
+	if err := os.WriteFile(progPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "report.json")
+	cli := exec.Command(psiBin, "-report=false", "-json", jsonPath, progPath)
+	if out, err := cli.CombinedOutput(); err != nil {
+		t.Fatalf("psi run: %v\n%s", err, out)
+	}
+	cliBytes, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, daemonBytes, err := postSpec(t, p.base, map[string]any{
+		"program": src, "workload": progPath,
+	})
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("daemon job failed: status %v err %v\n%s", resp, err, daemonBytes)
+	}
+
+	normalize := func(b []byte) string {
+		var rep obs.RunReport
+		if err := json.Unmarshal(b, &rep); err != nil {
+			t.Fatalf("bad report: %v\n%s", err, b)
+		}
+		rep.Host = nil
+		out, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	if got, want := normalize(daemonBytes), normalize(cliBytes); got != want {
+		t.Errorf("daemon report differs from `psi -json`:\ndaemon:\n%s\npsi:\n%s", got, want)
+	}
+
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	p.cmd.Wait()
+}
