@@ -26,6 +26,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRead$$' -fuzztime 5s ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 5s ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzClauseIndexSelection$$' -fuzztime 5s ./internal/kl0
+	$(GO) test -run '^$$' -fuzz '^FuzzReplacerSelection$$' -fuzztime 5s ./internal/cache
 
 # Chaos suite under the race detector: replay the seeded fault sweep
 # against every injection site (mem, cache, wf, trace), check each run
@@ -62,7 +63,9 @@ bench:
 	$(GO) test -run '^$$' -bench 'TablesParallel|EngineIndirection|FastVsExact' -benchtime 1x .
 
 # Refresh BENCH_pmms.json: measure the single-pass streaming cache sweep
-# against the legacy one-replay-per-configuration loop on a real trace.
+# against the legacy one-replay-per-configuration loop on a real trace,
+# plus the classified policy grid against the legacy lanes (floor: grid
+# cost <= 1.3x per lane; exits nonzero when the floor is missed).
 bench-pmms:
 	$(GO) run ./cmd/benchpmms
 

@@ -1,7 +1,11 @@
 // Benchpmms refreshes BENCH_pmms.json: it traces one real benchmark,
 // replays it through the full Figure 1 lane plan both ways — the
 // single-pass streaming Sweeper and the legacy one-replay-per-config
-// loop — and records the measured speedup alongside host details.
+// loop — and records the measured speedup alongside host details. It
+// also measures the classified cache-lab grid (pluggable replacement
+// policies + per-miss classification) against the legacy lanes and
+// enforces the regression floor: per lane, a grid sweep must stay
+// within 1.3x the cost of a legacy sweep, or the process exits nonzero.
 //
 // Run via `make bench-pmms` after changing the cache simulator or the
 // sweep engine.
@@ -38,13 +42,12 @@ func cpuModel() string {
 	return runtime.GOARCH
 }
 
-func lanePlan() []cache.Config {
-	var cfgs []cache.Config
-	for _, w := range pmms.DefaultSizes() {
-		cfgs = append(cfgs, pmms.SweepConfig(w))
-	}
-	return append(cfgs, cache.PSI, pmms.OneSetConfig, pmms.StoreThroughConfig)
-}
+func lanePlan() []cache.Config { return pmms.LegacyLanes() }
+
+// gridFloor is the regression gate: the classified policy grid may cost
+// at most this much per lane relative to a legacy (inlined-LRU,
+// unclassified) lane of the same single-pass sweep.
+const gridFloor = 1.3
 
 func main() {
 	testing.Init()
@@ -74,7 +77,26 @@ func main() {
 			}
 		}
 	})
+	gridCfgs := pmms.DefaultGrid().Configs()
+	ref := 0
+	for i, cfg := range gridCfgs {
+		if cfg == cache.PSI {
+			ref = i
+			break
+		}
+	}
+	grid := testing.Benchmark(func(tb *testing.B) {
+		tb.SetBytes(int64(l.Len()))
+		for i := 0; i < tb.N; i++ {
+			s := pmms.NewSweeper(gridCfgs)
+			s.Classify(ref)
+			s.ReplayLog(l)
+		}
+	})
 	speedup := float64(legacy.NsPerOp()) / float64(streaming.NsPerOp())
+	perLaneLegacy := float64(streaming.NsPerOp()) / float64(len(cfgs))
+	perLaneGrid := float64(grid.NsPerOp()) / float64(len(gridCfgs))
+	gridRatio := perLaneGrid / perLaneLegacy
 	doc := map[string]any{
 		"bench": "PMMS streaming cache replay (single-pass fan-out vs one replay per configuration)",
 		"date":  time.Now().Format("2006-01-02"),
@@ -96,7 +118,17 @@ func main() {
 			"legacy_per_config":     int64(float64(l.Len()) / (float64(legacy.NsPerOp()) / 1e9)),
 		},
 		"speedup": fmt.Sprintf("%.2fx", speedup),
-		"determinism": "the streaming sweep is locked to the legacy replay by TestStreamingMatchesLegacyReplay (per-area stats, stalls, traffic and improvement identical on real traces) and the Figure 1 goldens are byte-identical (TestGoldenEvaluationOutput)",
+		"grid": map[string]any{
+			"method": fmt.Sprintf(
+				"one classified single-pass sweep over the %d-lane default policy grid (lru/fifo/random/plru x 3 capacities x 3 way counts, every miss classified) vs the %d legacy lanes, cost per lane",
+				len(gridCfgs), len(cfgs)),
+			"grid_ns_op":         grid.NsPerOp(),
+			"per_lane_ns_grid":   int64(perLaneGrid),
+			"per_lane_ns_legacy": int64(perLaneLegacy),
+			"per_lane_ratio":     fmt.Sprintf("%.2fx", gridRatio),
+			"floor":              fmt.Sprintf("<= %.1fx per lane", gridFloor),
+		},
+		"determinism": "the streaming sweep is locked to the legacy replay by TestStreamingMatchesLegacyReplay (per-area stats, stalls, traffic and improvement identical on real traces), grid lanes by TestGridLanesMatchFreshReplay, and the Figure 1 goldens are byte-identical (TestGoldenEvaluationOutput)",
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -105,11 +137,16 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "-" {
 		os.Stdout.Write(buf)
-		return
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: streaming %.1fms vs legacy %.1fms per sweep (%.2fx); grid %.2fx per lane (floor %.1fx)\n",
+			*out, float64(streaming.NsPerOp())/1e6, float64(legacy.NsPerOp())/1e6, speedup, gridRatio, gridFloor)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		log.Fatal(err)
+	if gridRatio > gridFloor {
+		fmt.Fprintf(os.Stderr, "benchpmms: REGRESSION: grid sweep costs %.2fx per lane vs legacy (floor %.1fx)\n",
+			gridRatio, gridFloor)
+		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: streaming %.1fms vs legacy %.1fms per sweep (%.2fx)\n",
-		*out, float64(streaming.NsPerOp())/1e6, float64(legacy.NsPerOp())/1e6, speedup)
 }

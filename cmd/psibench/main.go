@@ -1,7 +1,7 @@
 // Command psibench regenerates the paper's evaluation: Tables 1-7 and
-// Figure 1, plus the cache ablations. Run with a table selector
-// ("1".."7", "fig1", "ablate", "all") or "calib" for the Table 1
-// calibration view. The -j flag bounds the number of concurrently
+// Figure 1, plus the cache ablations and the cache-architecture lab.
+// Run with a table selector ("1".."7", "fig1", "ablate", "lab", "all")
+// or "calib" for the Table 1 calibration view. The -j flag bounds the number of concurrently
 // simulated machines; the output is byte-identical for any -j. -json
 // additionally writes the whole evaluation as one structured document,
 // -v streams live progress to stderr, and -cpuprofile/-memprofile/-http
@@ -19,6 +19,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/pmms"
 	"repro/internal/progs"
 	"repro/internal/telemetry"
 )
@@ -32,6 +33,7 @@ Regenerates the paper's evaluation. Selectors:
   1..7     one table
   fig1     the cache-capacity sweep and its ablations
   ablate   the feature-ablation study
+  lab      the cache lab: a replacement-policy grid with classified misses
   calib    the Table 1 calibration view (for dec10.NSPerUnit)
 
 Flags:
@@ -58,6 +60,7 @@ func main() {
 	keepGoing := flag.Bool("keep-going", false, "report failing workloads as degraded and keep evaluating the rest (exit 8 when any run degraded)")
 	engineMode := flag.String("engine", "exact", "accounting engine `mode`: exact (per-cycle) or fast (batched; byte-identical output; -v stays fast, cells arming a per-cycle consumer — -fault matches, trace taps — run exact, with a startup warning)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON span trace of the evaluation cells to this `file` (view in Perfetto)")
+	gridSpec := flag.String("grid", "", "cache-lab grid `spec` for the lab selector, e.g. 'caps=1024,8192;assoc=1,2;repl=lru,plru' (empty = the default grid)")
 	flag.Usage = usage
 	flag.Parse()
 	if *jFlag < 0 {
@@ -124,6 +127,9 @@ func main() {
 		if which == "all" || which == "fig1" {
 			fmt.Fprintln(os.Stderr, "psibench: -engine fast: the Figure 1 cache sweep runs with exact accounting (its PMMS replay taps the per-cycle stream)")
 		}
+		if which == "all" || which == "lab" {
+			fmt.Fprintln(os.Stderr, "psibench: -engine fast: the cache lab runs with exact accounting (its grid sweep rides the per-cycle predicate sink)")
+		}
 		if which == "all" || which == "6" {
 			fmt.Fprintln(os.Stderr, "psibench: -engine fast: the Table 6 cell runs with exact accounting (MAP analysis needs a collected trace)")
 		}
@@ -145,9 +151,13 @@ func main() {
 		writeTrace(*traceOut, o.Spans)
 		exitDegraded(o)
 		return
-	case "1", "2", "3", "4", "5", "6", "7", "fig1", "ablate":
+	case "1", "2", "3", "4", "5", "6", "7", "fig1", "ablate", "lab":
 	default:
-		fmt.Fprintf(os.Stderr, "psibench: unknown selector %q (want 1..7, fig1, ablate, all or calib)\n", which)
+		fmt.Fprintf(os.Stderr, "psibench: unknown selector %q (want 1..7, fig1, ablate, lab, all or calib)\n", which)
+		os.Exit(2)
+	}
+	if *gridSpec != "" && which != "lab" {
+		fmt.Fprintf(os.Stderr, "psibench: -grid shapes the cache lab; use it with the %q selector (got %q)\n", "lab", which)
 		os.Exit(2)
 	}
 	if which == "1" {
@@ -194,6 +204,16 @@ func main() {
 		rows, err := harness.AblationsWith(o)
 		check(err)
 		fmt.Println(harness.FormatAblations(rows))
+	}
+	if which == "lab" {
+		g, err := pmms.ParseGrid(*gridSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psibench: bad -grid: %v\n", err)
+			os.Exit(2)
+		}
+		l, err := harness.CacheLabFor(o, g, progs.Window1)
+		check(err)
+		fmt.Println(harness.FormatCacheLab(l))
 	}
 	if o.Degraded != nil && which != "all" {
 		if runs := o.Degraded.Runs(); len(runs) > 0 {

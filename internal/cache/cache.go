@@ -6,7 +6,11 @@
 //
 // The simulator is parameterized over capacity, associativity and write
 // policy so the Figure 1 capacity sweep and the 1-set / store-through
-// ablations can be replayed from traces.
+// ablations can be replayed from traces. Beyond the paper's design
+// point, the replacement decision is pluggable (Replacement: LRU, FIFO,
+// seeded random, tree-PLRU) and an optional fully-associative victim
+// buffer (Config.Victims) can sit between the cache and main memory —
+// the axes of the cache-architecture lab sweeps.
 package cache
 
 import (
@@ -50,11 +54,27 @@ const (
 
 // Config describes a cache geometry and policy.
 type Config struct {
-	Words      int // total capacity in words
-	Assoc      int // number of sets (1 = direct mapped, 2 = PSI)
+	Words int // total capacity in words
+	// Assoc is the number of ways per set — what the paper calls
+	// "sets", as in "two 4K-word sets" (1 = direct mapped, 2 = PSI).
+	// The cache has Words/BlockWords/Assoc rows of Assoc ways each.
+	Assoc      int
 	BlockWords int // words per block (PSI: 4)
 	Policy     Policy
+	// Replacement selects the replacement policy (zero = ReplaceLRU,
+	// the machine's policy).
+	Replacement Replacement
+	// Victims adds a fully-associative victim buffer of that many
+	// blocks between the cache and main memory (0 = none, the machine).
+	Victims int
+	// Seed seeds the ReplaceRandom draw stream (0 = DefaultRandomSeed;
+	// either way the policy is fully deterministic).
+	Seed uint64
 }
+
+// Ways reports the associativity — ways per set. It exists to give the
+// ambiguous Assoc field (the paper's "sets") an unambiguous reading.
+func (c Config) Ways() int { return c.Assoc }
 
 // PSI is the configuration of the real machine.
 var PSI = Config{Words: 8192, Assoc: 2, BlockWords: 4, Policy: StoreIn}
@@ -75,11 +95,45 @@ func (c Config) Validate() error {
 	if rows&(rows-1) != 0 {
 		return fmt.Errorf("cache: %d rows is not a power of two", rows)
 	}
+	switch c.Replacement {
+	case ReplaceLRU:
+		if c.Assoc > 256 {
+			return fmt.Errorf("cache: lru supports at most 256 ways, got %d", c.Assoc)
+		}
+	case ReplaceFIFO, ReplaceRandom:
+		if c.Assoc > 256 {
+			return fmt.Errorf("cache: %s supports at most 256 ways, got %d", c.Replacement, c.Assoc)
+		}
+	case ReplacePLRU:
+		if c.Assoc&(c.Assoc-1) != 0 {
+			return fmt.Errorf("cache: plru needs a power-of-two associativity, got %d", c.Assoc)
+		}
+		if c.Assoc > 64 {
+			return fmt.Errorf("cache: plru supports at most 64 ways, got %d", c.Assoc)
+		}
+	default:
+		return fmt.Errorf("cache: unknown replacement policy %d", c.Replacement)
+	}
+	if c.Victims < 0 || c.Victims > 64 {
+		return fmt.Errorf("cache: victim buffer must have 0..64 entries, got %d", c.Victims)
+	}
 	return nil
 }
 
 func (c Config) String() string {
-	return fmt.Sprintf("%dw/%d-set/%dw-block/%s", c.Words, c.Assoc, c.BlockWords, c.Policy)
+	s := fmt.Sprintf("%dw/%d-set/%dw-block/%s", c.Words, c.Assoc, c.BlockWords, c.Policy)
+	// The legacy configurations (LRU, no victim buffer) keep the legacy
+	// spelling exactly; the lab axes append only when in use.
+	if c.Replacement != ReplaceLRU {
+		s += "/" + c.Replacement.String()
+		if c.Replacement == ReplaceRandom && c.Seed != 0 {
+			s += fmt.Sprintf("@%d", c.Seed)
+		}
+	}
+	if c.Victims > 0 {
+		s += fmt.Sprintf("/victim%d", c.Victims)
+	}
+	return s
 }
 
 // line is one cache block frame.
@@ -110,8 +164,10 @@ type Cache struct {
 	rows     uint32
 	rowShift uint32  // log2(BlockWords)
 	tagShift uint32  // log2(rows): tag = block >> tagShift (rows is a power of two)
-	lines    []line  // rows × assoc
-	lru      []uint8 // most-recently-used way per row
+	lines    []line   // rows × assoc
+	lru      []uint8  // most-recently-used way per row (nil-rep fast path)
+	rep      Replacer // replacement state; nil = inlined LRU (assoc <= 2)
+	vb       *victimBuffer
 	// Stats
 	Area    [5]AreaStats // per area kind
 	Total   AreaStats
@@ -120,6 +176,7 @@ type Cache struct {
 	WriteThroughs int64
 	Fills         int64 // block read-ins
 	WriteBacks    int64 // dirty evictions
+	VictimHits    int64 // misses served by the victim buffer
 
 	inj *fault.Injector // nil outside chaos runs
 }
@@ -153,6 +210,8 @@ func New(cfg Config) *Cache {
 		tagShift: tagShift,
 		lines:    make([]line, blocks),
 		lru:      make([]uint8, rows),
+		rep:      newReplacer(cfg, rows),
+		vb:       newVictimBuffer(cfg.Victims),
 	}
 }
 
@@ -164,18 +223,25 @@ func (c *Cache) Config() Config { return c.cfg }
 // equal block size so the shift is computed once per access.
 func (c *Cache) BlockShift() uint32 { return c.rowShift }
 
-// Clone returns a fresh, empty cache of the same geometry and policy,
-// skipping re-validation — the cheap way to stamp out the N instances of
-// a multi-configuration sweep from one validated prototype.
+// Clone deep-copies the cache: geometry, contents, statistics and the
+// full replacement-policy state (LRU order, PLRU bits, FIFO cursors,
+// the random draw position, the victim buffer). The clone and the
+// original then evolve independently — accesses to one never disturb
+// the other. The fault injector is never copied (injection state is
+// per-machine). For a fresh, empty instance of the same configuration,
+// Clone then Reset (or cache.New again).
 func (c *Cache) Clone() *Cache {
-	return &Cache{
-		cfg:      c.cfg,
-		rows:     c.rows,
-		rowShift: c.rowShift,
-		tagShift: c.tagShift,
-		lines:    make([]line, len(c.lines)),
-		lru:      make([]uint8, len(c.lru)),
+	n := *c
+	n.lines = append([]line(nil), c.lines...)
+	n.lru = append([]uint8(nil), c.lru...)
+	if c.rep != nil {
+		n.rep = c.rep.Clone()
 	}
+	if c.vb != nil {
+		n.vb = c.vb.clone()
+	}
+	n.inj = nil
+	return &n
 }
 
 // Access performs one cache command against physical word address phys;
@@ -221,7 +287,7 @@ func (c *Cache) AccessBlock(op micro.CacheOp, block uint32, kind word.AreaID) (h
 		}
 	}
 
-	stallNS = c.miss(op, row, tag, ways)
+	stallNS = c.miss(op, block, row, tag, ways)
 	c.Area[kind].Accesses++
 	c.Total.Accesses++
 	c.StallNS += stallNS
@@ -229,28 +295,60 @@ func (c *Cache) AccessBlock(op micro.CacheOp, block uint32, kind word.AreaID) (h
 }
 
 // miss handles the replacement path of one access: victim selection,
-// write-back, fill and the resulting stall time.
-func (c *Cache) miss(op micro.CacheOp, row, tag uint32, ways []line) int64 {
-	// Choose a victim (LRU).
+// write-back, victim-buffer probe, fill and the resulting stall time.
+func (c *Cache) miss(op micro.CacheOp, block, row, tag uint32, ways []line) int64 {
+	// Choose a victim.
 	vi := c.victim(row)
 	v := &ways[vi]
 	var stall int64
-	if v.valid && v.dirty && c.cfg.Policy == StoreIn {
-		stall += BlockTransferNS
-		c.WriteBacks++
+	if c.vb == nil {
+		if v.valid && v.dirty && c.cfg.Policy == StoreIn {
+			stall += BlockTransferNS
+			c.WriteBacks++
+		}
+		switch op {
+		case micro.OpRead, micro.OpWrite:
+			// Block read-in.
+			stall += MissExtraNS
+			c.Fills++
+		case micro.OpWriteStack:
+			// Allocate without read-in: the block is about to be fully
+			// overwritten by pushes, so no transfer is needed.
+		}
+		v.valid = true
+		v.tag = tag
+		v.dirty = false
+	} else {
+		// Victim-buffer path: the requested block may be parked in the
+		// buffer (probe first, freeing its slot), and the evicted block
+		// parks there instead of leaving — its write-back is deferred
+		// until it falls out of the buffer.
+		restoredDirty, inBuffer := c.vb.take(block)
+		if v.valid {
+			evicted := v.tag<<c.tagShift | row
+			if c.vb.insert(evicted, v.dirty && c.cfg.Policy == StoreIn) {
+				stall += BlockTransferNS
+				c.WriteBacks++
+			}
+		}
+		if inBuffer {
+			c.VictimHits++
+			stall += VictimHitNS
+			v.valid = true
+			v.tag = tag
+			v.dirty = restoredDirty
+		} else {
+			switch op {
+			case micro.OpRead, micro.OpWrite:
+				stall += MissExtraNS
+				c.Fills++
+			case micro.OpWriteStack:
+			}
+			v.valid = true
+			v.tag = tag
+			v.dirty = false
+		}
 	}
-	switch op {
-	case micro.OpRead, micro.OpWrite:
-		// Block read-in.
-		stall += MissExtraNS
-		c.Fills++
-	case micro.OpWriteStack:
-		// Allocate without read-in: the block is about to be fully
-		// overwritten by pushes, so no transfer is needed.
-	}
-	v.valid = true
-	v.tag = tag
-	v.dirty = false
 	if op != micro.OpRead {
 		if c.cfg.Policy == StoreThrough {
 			stall += WriteThroughNS
@@ -259,23 +357,37 @@ func (c *Cache) miss(op micro.CacheOp, row, tag uint32, ways []line) int64 {
 			v.dirty = true
 		}
 	}
-	c.touch(row, vi)
+	if c.rep != nil {
+		c.rep.Fill(row, vi)
+	} else {
+		c.lru[row] = uint8(vi)
+	}
 	return stall
 }
 
-// touch marks way i of row as most recently used. For associativity <= 2 a
-// single bit suffices; for larger ways we rotate a counter approximation.
+// touch marks way i of row as most recently used. The nil-replacer
+// path is the machine's original single-bit scheme (exact LRU for the
+// default two ways); configured policies route through the Replacer.
 func (c *Cache) touch(row uint32, i int) {
+	if c.rep != nil {
+		c.rep.Touch(row, i)
+		return
+	}
 	c.lru[row] = uint8(i)
 }
 
-// victim selects the way to replace in row.
+// victim selects the way to replace in row. Invalid ways are always
+// filled first, in way order, regardless of policy; only a full row
+// asks the replacement policy for an eviction.
 func (c *Cache) victim(row uint32) int {
 	base := int(row) * c.cfg.Assoc
 	for i := 0; i < c.cfg.Assoc; i++ {
 		if !c.lines[base+i].valid {
 			return i
 		}
+	}
+	if c.rep != nil {
+		return c.rep.Victim(row)
 	}
 	if c.cfg.Assoc == 1 {
 		return 0
@@ -296,10 +408,17 @@ func (c *Cache) Reset() {
 	for i := range c.lru {
 		c.lru[i] = 0
 	}
+	if c.rep != nil {
+		c.rep.Reset()
+	}
+	if c.vb != nil {
+		c.vb.reset()
+	}
 	c.Area = [5]AreaStats{}
 	c.Total = AreaStats{}
 	c.StallNS = 0
 	c.WriteThroughs = 0
 	c.Fills = 0
 	c.WriteBacks = 0
+	c.VictimHits = 0
 }

@@ -1,0 +1,62 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/micro"
+	"repro/internal/word"
+)
+
+// FuzzReplacerSelection lets the fuzzer pick a geometry, a replacement
+// policy, a write policy, a victim-buffer size and an arbitrary command
+// stream, and demands access-by-access agreement between the production
+// cache and the brute-force reference model. The seed corpus under
+// testdata/fuzz covers every policy and doubles as a regression suite
+// under plain `go test`.
+//
+// Input layout: [geometry, replacement, policy+victims, (op, block)...].
+func FuzzReplacerSelection(f *testing.F) {
+	// One seed per policy (plus a victim-buffer one) over a stream that
+	// forces evictions on every geometry.
+	for repl := byte(0); repl < 4; repl++ {
+		seed := []byte{2, repl, 0}
+		for i := byte(0); i < 60; i++ {
+			seed = append(seed, i%3, i*7+3)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte{3, 0, 5, 0, 1, 1, 9, 2, 17, 0, 25, 1, 1, 0, 9, 2, 33, 0, 1})
+
+	ops := []micro.CacheOp{micro.OpRead, micro.OpWrite, micro.OpWriteStack}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		cfg := propertyGeometries[int(data[0])%len(propertyGeometries)]
+		cfg.Replacement = Replacement(data[1] % 4)
+		cfg.Policy = Policy(data[2] % 2)
+		cfg.Victims = []int{0, 2, 8}[int(data[2]/2)%3]
+		cfg.Seed = uint64(data[2])
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("fuzz-built config must validate: %v", err)
+		}
+		c := New(cfg)
+		m := newRefModel(cfg)
+		blocks := uint32(3 * cfg.Words / cfg.BlockWords)
+		stream := data[3:]
+		if len(stream) > 8192 {
+			stream = stream[:8192]
+		}
+		for i := 0; i+1 < len(stream); i += 2 {
+			op := ops[int(stream[i])%len(ops)]
+			block := uint32(stream[i+1]) % blocks
+			h1, s1 := c.AccessBlock(op, block, word.AreaHeap)
+			h2, s2 := m.access(op, block)
+			if h1 != h2 || s1 != s2 {
+				t.Fatalf("%v access %d (%v block %d): cache=(%v,%d) ref=(%v,%d)",
+					cfg, i/2, op, block, h1, s1, h2, s2)
+			}
+		}
+		compareCounters(t, c, m)
+	})
+}

@@ -26,6 +26,10 @@ type Evaluation struct {
 	Table7    []T7Col       `json:"table7"`
 	Figure1   *Fig1         `json:"figure1"`
 	Ablations []AblationRow `json:"ablations"`
+	// CacheLab is the replacement-policy grid with classified misses
+	// (additive to psi-evaluation/v1: absent documents predate the lab
+	// or degraded under keep-going).
+	CacheLab *CacheLab `json:"cache_lab,omitempty"`
 	// Degraded lists the workloads a keep-going evaluation dropped
 	// (empty and omitted on a fully successful run, so the schema stays
 	// byte-compatible with psi-evaluation/v1 consumers).
@@ -73,6 +77,9 @@ func EvaluationWith(o Options) (*Evaluation, error) {
 	if e.Ablations, err = AblationsWith(o); err != nil {
 		return nil, err
 	}
+	if e.CacheLab, err = CacheLabWith(o); err != nil {
+		return nil, err
+	}
 	if o.Degraded != nil {
 		e.Degraded = o.Degraded.Runs()
 	}
@@ -93,6 +100,7 @@ func (e *Evaluation) Text() string {
 		FormatTable7(e.Table7),
 		FormatFigure1(e.Figure1),
 		FormatAblations(e.Ablations),
+		FormatCacheLab(e.CacheLab),
 	} {
 		b.WriteString(s)
 		b.WriteString("\n") // fmt.Println's newline after each section

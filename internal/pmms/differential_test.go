@@ -20,13 +20,10 @@ import (
 )
 
 // sweepAndAblationConfigs is the full Figure 1 lane plan: every sweep
-// capacity plus the three ablation configurations.
+// capacity plus the three ablation configurations — since the grid
+// refactor, exactly pmms.LegacyLanes (TestLegacyLanes pins the shape).
 func sweepAndAblationConfigs() []cache.Config {
-	var cfgs []cache.Config
-	for _, w := range pmms.DefaultSizes() {
-		cfgs = append(cfgs, pmms.SweepConfig(w))
-	}
-	return append(cfgs, cache.PSI, pmms.OneSetConfig, pmms.StoreThroughConfig)
+	return pmms.LegacyLanes()
 }
 
 // diffBenchmarks picks the trace sample: small benchmarks always, the

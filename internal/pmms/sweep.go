@@ -29,6 +29,7 @@ func SweepConfig(w int) cache.Config {
 type laneGroup struct {
 	shift uint32
 	lanes []*cache.Cache
+	idx   []int // global lane index of lanes[i] (configuration order)
 }
 
 // Sweeper replays one cache-command stream through many cache
@@ -56,12 +57,14 @@ type Sweeper struct {
 	atu      *mem.Memory
 	cycles   int64
 	accesses int64
+	class    *classifier // nil = no per-miss classification (the legacy path)
+	curPred  int         // predicate executing now (micro.NoPredicate off-predicate)
 }
 
 // NewSweeper builds a fan-out over the given configurations (each must
 // validate, as in cache.New). Lane i replays the stream through cfgs[i].
 func NewSweeper(cfgs []cache.Config) *Sweeper {
-	s := &Sweeper{atu: mem.New(3)}
+	s := &Sweeper{atu: mem.New(3), curPred: micro.NoPredicate}
 	for _, cfg := range cfgs {
 		s.addLane(cache.New(cfg))
 	}
@@ -70,16 +73,26 @@ func NewSweeper(cfgs []cache.Config) *Sweeper {
 
 // addLane appends a lane and files it in the group of its block size.
 func (s *Sweeper) addLane(c *cache.Cache) {
+	idx := len(s.caches)
 	s.caches = append(s.caches, c)
 	shift := c.BlockShift()
 	for i := range s.groups {
 		if s.groups[i].shift == shift {
 			s.groups[i].lanes = append(s.groups[i].lanes, c)
+			s.groups[i].idx = append(s.groups[i].idx, idx)
 			return
 		}
 	}
-	s.groups = append(s.groups, laneGroup{shift: shift, lanes: []*cache.Cache{c}})
+	s.groups = append(s.groups, laneGroup{shift: shift, lanes: []*cache.Cache{c}, idx: []int{idx}})
 }
+
+// EnterPredicate implements micro.PredSink: attached as a machine's
+// profile sink, the Sweeper learns which predicate is executing and
+// attributes the reference lane's misses to it (the same
+// kl0.Program.ProcAt code-range attribution the obs profiler uses).
+// Trace-file replays never call it, so their misses pool under
+// micro.NoPredicate.
+func (s *Sweeper) EnterPredicate(id int) { s.curPred = id }
 
 // Cycle implements micro.Sink: every cycle advances the simulated clock;
 // cycles carrying a cache command fan out to every lane. Attaching the
@@ -121,9 +134,28 @@ func (s *Sweeper) access(op micro.CacheOp, a word.Addr) {
 	for gi := range s.groups {
 		g := &s.groups[gi]
 		block := phys >> g.shift
-		for _, c := range g.lanes {
-			c.AccessBlock(op, block, kind)
+		if s.class == nil {
+			for _, c := range g.lanes {
+				c.AccessBlock(op, block, kind)
+			}
+			continue
 		}
+		// Classified path: probe the first-touch set and every shared
+		// shadow once per group, then classify each lane miss against
+		// the probe results. The shadows update on every access (their
+		// state tracks the stream, not any lane's hits).
+		cg := &s.class.groups[gi]
+		_, seen := cg.seen[block]
+		for _, sh := range cg.shadows {
+			sh.hit = sh.lru.access(block)
+		}
+		for li, c := range g.lanes {
+			hit, _ := c.AccessBlock(op, block, kind)
+			if !hit {
+				s.class.classify(g.idx[li], s.curPred, seen, cg.shadows[cg.laneShadow[li]].hit)
+			}
+		}
+		cg.seen[block] = struct{}{}
 	}
 }
 
