@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz chaos telemetry serve golden bench bench-pmms bench-engine bench-fast bench-obs bench-serve cover staticcheck profile verify
+.PHONY: build vet test race fuzz chaos telemetry serve soak golden bench bench-pmms bench-engine bench-fast bench-obs bench-serve cover staticcheck profile verify
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,15 @@ serve:
 	$(GO) test -race -count=1 ./internal/serve
 	$(GO) test -count=1 -run 'TestPsid' .
 
+# Chaos soak under the race detector: a self-hosted daemon soaked in
+# seeded fault-mixed traffic from retrying clients, then audited — no
+# transport deaths, only known classes, byte-identical post-soak
+# differential vs the psi library, no goroutine leaks, bounded heap.
+# SOAK sets the duration (default 20s; CI uses a short pass).
+SOAK ?= 20s
+soak:
+	$(GO) run -race ./cmd/soak -duration $(SOAK) -clients 4 -seed 1
+
 # Rewrite the golden files under docs/ from the current output (only
 # after an intended simulator change).
 golden:
@@ -90,15 +99,18 @@ bench-obs:
 	$(GO) run ./cmd/benchobs
 
 # Refresh BENCH_serve.json: hammer a self-hosted psid with 8 concurrent
-# clients replaying the seeded Table-1 + error/fault mix and record
-# p50/p99 latency and throughput. SMOKE=1 runs a small validated pass
-# (the CI gate: schema-valid record, no transport errors, no timing
-# assertions).
+# retrying clients replaying the seeded Table-1 + error/fault mix and
+# record p50/p99 latency, throughput and the retry-layer stats. The
+# full run deliberately undersizes the daemon (half the workers, no
+# waiting room) so the record shows the backpressure/retry loop at
+# work, not just the happy path. SMOKE=1 runs a small well-sized
+# validated pass (the CI gate: schema-valid record, no transport
+# errors, no timing assertions).
 bench-serve:
 ifdef SMOKE
 	$(GO) run ./cmd/loadgen -self -n 4 -per 5 -seed 1 -out BENCH_serve.json
 else
-	$(GO) run ./cmd/loadgen -self -n 8 -per 25 -seed 1 -out BENCH_serve.json
+	$(GO) run ./cmd/loadgen -self -n 8 -per 25 -seed 1 -workers 4 -queue -1 -out BENCH_serve.json
 endif
 
 # Aggregate statement coverage over every package.
@@ -118,4 +130,4 @@ profile:
 	$(GO) run ./cmd/psibench -cpuprofile psibench.pprof 1 > /dev/null
 	@echo "wrote psibench.pprof; inspect with: $(GO) tool pprof psibench.pprof"
 
-verify: build race test fuzz chaos telemetry serve
+verify: build race test fuzz chaos telemetry serve soak

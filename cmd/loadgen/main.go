@@ -1,7 +1,8 @@
-// Command loadgen hammers a psid daemon with N concurrent clients
-// drawing a deterministic seeded mix of Table-1 corpus jobs plus
-// malformed, step-limited and fault-injected requests, and writes the
-// aggregate p50/p99 latency and throughput record to BENCH_serve.json.
+// Command loadgen hammers a psid daemon with N concurrent retrying
+// clients drawing a deterministic seeded mix of Table-1 corpus jobs
+// plus malformed, step-limited and fault-injected requests, and writes
+// the aggregate p50/p99 latency, throughput and retry-layer record to
+// BENCH_serve.json.
 //
 // Usage:
 //
@@ -9,10 +10,16 @@
 //	loadgen -addr http://127.0.0.1:8131 -n 8    # running daemon
 //
 // The client mix replays identically for a given -seed: client i sends
-// exactly the sequence Mix.Jobs(seed+i, per). The record is validated
-// before it is written (populated latency summary, throughput, response
-// breakdown, no transport errors); the command exits nonzero otherwise,
-// which is what `make bench-serve` gates on in CI.
+// exactly the sequence Mix.Jobs(seed+i, per), and its backoff jitter
+// stream is seeded seed+i too. Each client applies the internal/client
+// retry discipline — seeded jittered exponential backoff honoring
+// Retry-After, a per-job attempt budget (-attempts), and a circuit
+// breaker (-breaker, -cooldown) — so the recorded retries/sheds/breaker
+// stats describe a realistic caller, not a blind hammer. The record is
+// validated before it is written (populated latency summary,
+// throughput, response breakdown, consistent retry block, no transport
+// errors); the command exits nonzero otherwise, which is what `make
+// bench-serve` gates on in CI.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/serve"
 )
 
@@ -34,6 +42,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "mix seed (client i replays seed+i)")
 	out := flag.String("out", "BENCH_serve.json", "write the benchmark record to this `file`")
 	workers := flag.Int("workers", 0, "self-hosted daemon workers (default: one per client)")
+	queue := flag.Int("queue", 0, "self-hosted daemon queue bound (default 4x workers; -1 = none)")
+	attempts := flag.Int("attempts", 4, "per-job attempt budget (1 disables retries)")
+	baseDelay := flag.Duration("base-delay", 50*time.Millisecond, "backoff before the first retry")
+	breaker := flag.Int("breaker", 8, "circuit-breaker threshold (negative disables)")
+	cooldown := flag.Duration("cooldown", 2*time.Second, "circuit-breaker cooldown before a probe")
 	flag.Parse()
 
 	base := *addr
@@ -49,7 +62,7 @@ func main() {
 		if *workers == 0 {
 			*workers = *clients
 		}
-		s := serve.New(serve.Config{Workers: *workers})
+		s := serve.New(serve.Config{Workers: *workers, Queue: *queue})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -62,8 +75,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: self-hosted psid on %s\n", base)
 	}
 
-	hc := &http.Client{Timeout: 5 * time.Minute}
-	rep := serve.RunLoad(hc, base, *clients, *perClient, *seed, serve.DefaultMix())
+	rep := serve.RunLoadClient(base, *clients, *perClient, *seed, serve.DefaultMix(), client.Options{
+		MaxAttempts:      *attempts,
+		BaseDelay:        *baseDelay,
+		BreakerThreshold: *breaker,
+		BreakerCooldown:  *cooldown,
+	})
 	if err := rep.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
@@ -77,7 +94,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("loadgen: %d requests, %.1f req/s, p50 %.2fms p99 %.2fms -> %s\n",
-		rep.Requests, rep.ThroughputRPS,
+	fmt.Printf("loadgen: %d served (%d retries, %d shed, %d breaker opens), %.1f req/s, p50 %.2fms p99 %.2fms -> %s\n",
+		rep.Requests, rep.Retry.Retries, rep.Retry.Shed, rep.Retry.BreakerOpens,
+		rep.ThroughputRPS,
 		float64(rep.Latency.P50NS)/1e6, float64(rep.Latency.P99NS)/1e6, *out)
 }

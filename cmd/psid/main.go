@@ -10,8 +10,13 @@
 // /v1/solve and get back either the full psi-run-report/v1 document —
 // byte-identical to `psi -json` for the same job — or, with
 // "stream": true, an NDJSON/SSE stream of solutions ending in a report
-// event. /healthz reports admission state; /metrics, /debug/pprof and
-// /debug/vars are the ops plane.
+// event. /healthz is liveness (always 200 while the process answers,
+// drain included), /readyz is readiness (503 while draining); /metrics,
+// /debug/pprof and /debug/vars are the ops plane. A stuck-session
+// watchdog hard-cancels sessions overstaying -watchdog-grace times
+// their wall budget (or -watchdog-max for unbudgeted jobs); killed
+// sessions end with the canceled class and a report whose fault block
+// names the watchdog and carries the flight-recorder dump.
 //
 // On SIGTERM or SIGINT the daemon drains gracefully: the listener
 // closes (new connections are refused), queued jobs abort with 503,
@@ -42,6 +47,8 @@ func main() {
 	queueDepth := flag.Int("queue", 0, "max queued jobs before 429 (default 4x workers; -1 = none)")
 	drain := flag.Duration("drain-timeout", 0, "graceful-drain bound before in-flight jobs are canceled (default 30s)")
 	programs := flag.Int("programs", 0, "compiled-program cache capacity (default 256)")
+	watchdogGrace := flag.Float64("watchdog-grace", 0, "kill a session still running this multiple of its wall budget (default 4)")
+	watchdogMax := flag.Duration("watchdog-max", 0, "kill unbudgeted sessions running longer than this (default 0 = exempt)")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to this `file`")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -72,6 +79,12 @@ func main() {
 	}
 	if *programs != 0 {
 		cfg.Programs = *programs
+	}
+	if *watchdogGrace != 0 {
+		cfg.WatchdogGrace = *watchdogGrace
+	}
+	if *watchdogMax != 0 {
+		cfg.WatchdogMaxMS = watchdogMax.Milliseconds()
 	}
 
 	stopCPU, err := obs.StartCPUProfile(*cpuProfile)

@@ -1,0 +1,258 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recorder captures the backoff sequence instead of waiting it out.
+type recorder struct {
+	delays []time.Duration
+}
+
+func (r *recorder) sleep(_ context.Context, d time.Duration) error {
+	r.delays = append(r.delays, d)
+	return nil
+}
+
+// flaky answers with a canned status sequence, then 200s forever.
+func flaky(t *testing.T, statuses ...int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) <= len(statuses) {
+			st := statuses[n-1]
+			if st == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.Header().Set("X-Psi-Class", "saturated")
+			w.WriteHeader(st)
+			return
+		}
+		w.Header().Set("X-Psi-Termination", "ok")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func TestRetriesUntilSuccess(t *testing.T) {
+	ts, calls := flaky(t, 429, 503)
+	rec := &recorder{}
+	c := New(ts.URL, Options{Sleep: rec.sleep, Seed: 1})
+	res, err := c.Solve(context.Background(), []byte(`{}`))
+	if err != nil {
+		t.Fatalf("Solve = %v, want served result", err)
+	}
+	if res.Status != 200 || res.Class != "ok" || res.Attempts != 3 {
+		t.Errorf("result = %+v, want 200/ok after 3 attempts", res)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+	st := c.Stats()
+	if st.Attempts != 3 || st.Retries != 2 || st.Shed != 0 {
+		t.Errorf("stats = %+v, want 3 attempts, 2 retries, 0 shed", st)
+	}
+	if len(rec.delays) != 2 {
+		t.Fatalf("slept %d times, want 2", len(rec.delays))
+	}
+}
+
+func TestAttemptBudgetExhaustsIntoShed(t *testing.T) {
+	ts, _ := flaky(t, 429, 429, 429, 429, 429)
+	c := New(ts.URL, Options{Sleep: (&recorder{}).sleep, MaxAttempts: 3})
+	res, err := c.Solve(context.Background(), []byte(`{}`))
+	if res != nil || !errors.Is(err, ErrAttemptsExhausted) {
+		t.Fatalf("Solve = %v, %v; want ErrAttemptsExhausted", res, err)
+	}
+	st := c.Stats()
+	if st.Attempts != 3 || st.Retries != 2 || st.Shed != 1 {
+		t.Errorf("stats = %+v, want 3 attempts, 2 retries, 1 shed", st)
+	}
+}
+
+func TestNonRetryableStatusesAreServedResults(t *testing.T) {
+	for _, status := range []int{422, 500, 504, 400} {
+		ts, calls := flaky(t, status)
+		c := New(ts.URL, Options{Sleep: (&recorder{}).sleep})
+		res, err := c.Solve(context.Background(), []byte(`{}`))
+		if err != nil {
+			t.Fatalf("status %d: Solve = %v, want served result", status, err)
+		}
+		if res.Status != status || res.Attempts != 1 {
+			t.Errorf("status %d: result = %+v, want one attempt", status, res)
+		}
+		if calls.Load() != 1 {
+			t.Errorf("status %d retried; it must not be", status)
+		}
+	}
+}
+
+// TestBackoffDeterministicSeeded pins the jitter contract: the same
+// seed yields the same delay sequence, a different seed diverges, and
+// delays grow roughly exponentially under the cap.
+func TestBackoffDeterministicSeeded(t *testing.T) {
+	seq := func(seed uint64) []time.Duration {
+		c := New("http://unused", Options{Seed: seed, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second})
+		var out []time.Duration
+		for attempt := 1; attempt <= 6; attempt++ {
+			out = append(out, c.backoff(attempt, 0))
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	diff := false
+	for i, d := range seq(8) {
+		if d != a[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical delay sequences")
+	}
+	for i, d := range a {
+		base := 100 * time.Millisecond << i
+		if base > time.Second {
+			base = time.Second
+		}
+		if d < base/2 || d > base {
+			t.Errorf("attempt %d delay %v outside [%v, %v]", i+1, d, base/2, base)
+		}
+	}
+}
+
+func TestRetryAfterWinsOverBackoff(t *testing.T) {
+	c := New("http://unused", Options{BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond})
+	if d := c.backoff(1, 3*time.Second); d != 3*time.Second {
+		t.Errorf("backoff with Retry-After 3s = %v, want 3s", d)
+	}
+	if c.Stats().RetryAfterHonored != 1 {
+		t.Error("honored Retry-After not counted")
+	}
+	// A tiny Retry-After never shrinks the computed backoff.
+	if d := c.backoff(4, time.Nanosecond); d < 40*time.Millisecond {
+		t.Errorf("tiny Retry-After shrank backoff to %v", d)
+	}
+}
+
+// TestBreakerOpensAndRecovers walks the full state machine: enough
+// consecutive failures open the circuit, requests then shed fast
+// without touching the server, the cooldown admits one probe, and a
+// successful probe closes the circuit again.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	ts, calls := flaky(t, 503, 503, 503)
+	c := New(ts.URL, Options{
+		Sleep:            (&recorder{}).sleep,
+		MaxAttempts:      1, // isolate breaker behaviour from retry loops
+		BreakerThreshold: 3,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Solve(ctx, []byte(`{}`)); err == nil {
+			t.Fatal("failing request succeeded")
+		}
+	}
+	if st := c.Stats(); st.BreakerOpens != 1 {
+		t.Fatalf("breaker opens = %d, want 1 after threshold", st.BreakerOpens)
+	}
+	before := calls.Load()
+	if _, err := c.Solve(ctx, []byte(`{}`)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open-circuit Solve = %v, want ErrBreakerOpen", err)
+	}
+	if calls.Load() != before {
+		t.Error("open circuit still hit the server")
+	}
+	if st := c.Stats(); st.Shed == 0 {
+		t.Error("fast-fail not counted as shed")
+	}
+
+	time.Sleep(60 * time.Millisecond) // past the cooldown: half-open
+	res, err := c.Solve(ctx, []byte(`{}`))
+	if err != nil || res.Status != 200 {
+		t.Fatalf("probe = %+v, %v; want success (server recovered)", res, err)
+	}
+	st := c.Stats()
+	if st.BreakerProbes != 1 {
+		t.Errorf("breaker probes = %d, want 1", st.BreakerProbes)
+	}
+	// Closed again: the next request flows normally.
+	if _, err := c.Solve(ctx, []byte(`{}`)); err != nil {
+		t.Errorf("post-recovery Solve = %v", err)
+	}
+}
+
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	ts, _ := flaky(t, 503, 503, 503, 503) // the probe (request 3) fails too
+	c := New(ts.URL, Options{
+		Sleep:            (&recorder{}).sleep,
+		MaxAttempts:      1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  30 * time.Millisecond,
+	})
+	ctx := context.Background()
+	c.Solve(ctx, []byte(`{}`))
+	c.Solve(ctx, []byte(`{}`)) // opens
+	time.Sleep(40 * time.Millisecond)
+	if _, err := c.Solve(ctx, []byte(`{}`)); err == nil {
+		t.Fatal("failed probe reported success")
+	}
+	if st := c.Stats(); st.BreakerOpens != 2 {
+		t.Errorf("breaker opens = %d, want 2 (reopened after failed probe)", st.BreakerOpens)
+	}
+	if _, err := c.Solve(ctx, []byte(`{}`)); !errors.Is(err, ErrBreakerOpen) {
+		t.Errorf("circuit not open after failed probe: %v", err)
+	}
+}
+
+func TestTransportErrorsRetry(t *testing.T) {
+	ts, _ := flaky(t)
+	dead := ts.URL
+	ts.Close() // nothing listens: every attempt is a transport error
+	rec := &recorder{}
+	c := New(dead, Options{Sleep: rec.sleep, MaxAttempts: 3})
+	if _, err := c.Solve(context.Background(), []byte(`{}`)); !errors.Is(err, ErrAttemptsExhausted) {
+		t.Fatalf("dead server Solve = %v, want ErrAttemptsExhausted", err)
+	}
+	if len(rec.delays) != 2 {
+		t.Errorf("slept %d times, want 2 (between 3 attempts)", len(rec.delays))
+	}
+}
+
+func TestContextCancelStopsRetrying(t *testing.T) {
+	ts, _ := flaky(t, 429, 429, 429, 429)
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ts.URL, Options{
+		MaxAttempts: 10,
+		Sleep: func(ctx context.Context, _ time.Duration) error {
+			cancel()
+			return ctx.Err()
+		},
+	})
+	if _, err := c.Solve(ctx, []byte(`{}`)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Solve = %v, want context.Canceled", err)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Attempts: 1, Retries: 2, Shed: 3, BreakerOpens: 4, BreakerProbes: 5, RetryAfterHonored: 6}
+	b := a
+	a.Add(b)
+	want := Stats{Attempts: 2, Retries: 4, Shed: 6, BreakerOpens: 8, BreakerProbes: 10, RetryAfterHonored: 12}
+	if a != want {
+		t.Errorf("Add = %+v, want %+v", a, want)
+	}
+}

@@ -13,7 +13,8 @@
 // with bounded overhead instead of a per-cycle check.
 //
 // All abnormal terminations map onto a small typed taxonomy —
-// ErrStepLimit, ErrCanceled, ErrDeadline, ErrMalformed, ErrFault — so
+// ErrStepLimit, ErrCanceled, ErrDeadline, ErrMalformed, ErrFault,
+// ErrExpired — so
 // callers branch on errors.Is instead of matching message strings, and
 // the CLIs can translate every class into a distinct exit code. ErrFault
 // is the containment class: any panic crossing a Session's Step
@@ -79,6 +80,12 @@ var (
 	// internal panic recovered at the session boundary. The concrete
 	// error is a *FaultError carrying site, step and stack.
 	ErrFault = errors.New("machine fault")
+	// ErrExpired: the run's deadline had already passed before any
+	// machine work started — the admission layer shed the job instead of
+	// burning a worker on an answer nobody can use. Unlike ErrDeadline
+	// (the budget ran out mid-run) an expired run has no partial
+	// accounting: it never touched a machine.
+	ErrExpired = errors.New("deadline expired before execution")
 )
 
 // FaultError is the classified form of a contained machine fault. Every
@@ -238,6 +245,8 @@ func ClassName(err error) string {
 		return "fault"
 	case errors.Is(err, ErrMalformed):
 		return "malformed"
+	case errors.Is(err, ErrExpired):
+		return "expired"
 	default:
 		return "error"
 	}
@@ -261,6 +270,7 @@ func Classes() []string {
 		"canceled",   // ExitCanceled
 		"fault",      // ExitFault
 		"degraded",   // ExitDegraded
+		"expired",    // ExitExpired
 	}
 }
 
@@ -280,6 +290,9 @@ const (
 	// ExitDegraded: a keep-going evaluation completed, but one or more
 	// workloads failed and were reported as degraded.
 	ExitDegraded = 8
+	// ExitExpired: the deadline passed before any machine work started
+	// (admission-side shedding; the serving layer's 504).
+	ExitExpired = 9
 )
 
 // ExitCode maps an error onto the CLI exit-code contract.
@@ -297,6 +310,8 @@ func ExitCode(err error) int {
 		return ExitFault
 	case errors.Is(err, ErrMalformed):
 		return ExitMalformed
+	case errors.Is(err, ErrExpired):
+		return ExitExpired
 	default:
 		return ExitFailure
 	}

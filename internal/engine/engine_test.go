@@ -15,6 +15,7 @@ var sentinels = []error{
 	ErrDeadline,
 	ErrMalformed,
 	ErrFault,
+	ErrExpired,
 	&FaultError{Site: "mem", Step: 1, Msg: "parity"},
 	fmt.Errorf("wrapped: %w", ErrStepLimit),
 	errors.New("generic failure"),

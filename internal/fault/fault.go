@@ -136,7 +136,14 @@ func Parse(s string) (*Plan, error) {
 			}
 			p.Site = site
 		case "after", "every", "seed":
-			n, err := strconv.ParseUint(v, 10, 63)
+			// after/every are int64 ordinals (63 bits); seed is a full
+			// uint64 — Sweep derives seeds from splitmix64, which uses
+			// the whole range, and Plan.String must round-trip them.
+			bits := 63
+			if k == "seed" {
+				bits = 64
+			}
+			n, err := strconv.ParseUint(v, 10, bits)
 			if err != nil {
 				return nil, fmt.Errorf("fault: bad %s value %q: %v", k, v, err)
 			}

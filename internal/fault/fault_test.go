@@ -36,6 +36,22 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSweepPlansRoundTripFlagSyntax is the regression for 64-bit sweep
+// seeds: every plan Sweep generates must survive String() -> Parse()
+// unchanged, because the soak harness ships sweep plans to the daemon
+// through the job spec's -fault flag syntax.
+func TestSweepPlansRoundTripFlagSyntax(t *testing.T) {
+	for _, p := range Sweep(1, 3, 60_000) {
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", p.String(), err)
+		}
+		if *back != p {
+			t.Errorf("round trip of %q = %+v, want %+v", p.String(), back, p)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	cases := []struct {
 		in   string

@@ -1,26 +1,29 @@
 package serve
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/progs"
 )
 
 // Load generation: a deterministic seeded client mix over the Table-1
 // corpus plus error and fault jobs, and a driver that replays it with N
-// concurrent clients against a daemon, aggregating latency percentiles
-// and throughput into the BENCH_serve.json record.
+// concurrent retrying clients against a daemon, aggregating latency
+// percentiles, throughput and the retry layer's behaviour into the
+// BENCH_serve.json record.
 
-// BenchSchema identifies the serving benchmark record.
-const BenchSchema = "psi-serve-bench/v1"
+// BenchSchema identifies the serving benchmark record. v2 added the
+// retry block (attempts, retries, sheds, breaker transitions) when the
+// load driver moved onto the retrying internal/client.
+const BenchSchema = "psi-serve-bench/v2"
 
 // Mix weights the job kinds a load client draws from. The zero value is
 // unusable; start from DefaultMix.
@@ -115,8 +118,9 @@ type LatencySummary struct {
 }
 
 // BenchReport is the BENCH_serve.json record: the workload shape, the
-// aggregate latency distribution and the achieved throughput, plus the
-// response breakdown by HTTP status and termination class.
+// aggregate latency distribution and the achieved throughput, the
+// response breakdown by HTTP status and termination class, and what the
+// retry layer did along the way.
 type BenchReport struct {
 	Schema        string           `json:"schema"`
 	Clients       int              `json:"clients"`
@@ -129,12 +133,22 @@ type BenchReport struct {
 	Latency       LatencySummary   `json:"latency"`
 	StatusCounts  map[string]int64 `json:"status_counts"`
 	ClassCounts   map[string]int64 `json:"class_counts"`
-	Transport     int64            `json:"transport_errors"`
+	// Transport counts jobs that died outside the retry discipline (a
+	// canceled context, an unreachable URL). Jobs the retry layer gave
+	// up on deliberately — breaker fast-fails, exhausted attempt
+	// budgets — are Unserved instead.
+	Transport int64 `json:"transport_errors"`
+	// Unserved counts jobs abandoned by the retry layer without a served
+	// response: the circuit breaker was open or the attempt budget ran
+	// out. Nonzero under a deliberately undersized or faulted daemon.
+	Unserved int64 `json:"unserved"`
+	// Retry aggregates the per-client retry/breaker counters.
+	Retry client.Stats `json:"retry"`
 }
 
-// Validate checks the record is populated: schema, traffic, latency and
-// throughput all present. The CI smoke run gates on it without timing
-// assertions.
+// Validate checks the record is populated: schema, traffic, latency,
+// throughput and the retry block all present and mutually consistent.
+// The CI smoke run gates on it without timing assertions.
 func (r *BenchReport) Validate() error {
 	switch {
 	case r.Schema != BenchSchema:
@@ -151,6 +165,12 @@ func (r *BenchReport) Validate() error {
 		return errors.New("bench: empty response breakdown")
 	case r.StatusCounts["200"] == 0:
 		return errors.New("bench: no successful corpus responses")
+	case r.Retry.Attempts < r.Requests:
+		return fmt.Errorf("bench: retry block inconsistent: %d attempts for %d served requests",
+			r.Retry.Attempts, r.Requests)
+	case r.Retry.Shed != r.Unserved:
+		return fmt.Errorf("bench: shed mismatch: retry layer shed %d, record has %d unserved",
+			r.Retry.Shed, r.Unserved)
 	}
 	return nil
 }
@@ -166,14 +186,21 @@ func (r *BenchReport) JSON() ([]byte, error) {
 
 // RunLoad hammers the daemon at baseURL with clients concurrent
 // sequential clients, perClient requests each, drawn deterministically
-// from the mix. Client i replays Jobs(seed+i, perClient); responses are
-// drained and tallied by status and termination class. Transport errors
-// (connection refused, mid-body EOF) are counted, not fatal, so a load
-// run against a dying daemon still reports what it saw.
+// from the mix, through retrying clients with default options. Kept as
+// the simple entry point; RunLoadClient exposes the retry knobs.
 func RunLoad(hc *http.Client, baseURL string, clients, perClient int, seed uint64, mix Mix) *BenchReport {
-	if hc == nil {
-		hc = &http.Client{Timeout: 5 * time.Minute}
-	}
+	return RunLoadClient(baseURL, clients, perClient, seed, mix, client.Options{HTTP: hc})
+}
+
+// RunLoadClient is RunLoad with the retry discipline exposed: each
+// concurrent load client is an internal/client.Client built from copt,
+// with its jitter stream seeded seed+i so the whole run — job sequence
+// and backoff delays — replays deterministically. Client i replays
+// Jobs(seed+i, perClient); served responses (error statuses included)
+// are tallied by status and termination class, jobs the retry layer
+// abandoned (open breaker, exhausted attempts) count as Unserved, and
+// anything that died outside the retry discipline counts as Transport.
+func RunLoadClient(baseURL string, clients, perClient int, seed uint64, mix Mix, copt client.Options) *BenchReport {
 	rep := &BenchReport{
 		Schema:       BenchSchema,
 		Clients:      clients,
@@ -191,42 +218,40 @@ func RunLoad(hc *http.Client, baseURL string, clients, perClient int, seed uint6
 	start := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
-		go func(client int) {
+		go func(n int) {
 			defer wg.Done()
-			jobs := mix.Jobs(seed+uint64(client), perClient)
+			opts := copt
+			opts.Seed = seed + uint64(n)
+			cl := client.New(baseURL, opts)
+			jobs := mix.Jobs(seed+uint64(n), perClient)
 			for i := range jobs {
 				body, err := json.Marshal(&jobs[i])
 				if err != nil {
 					panic(err) // specs are constructed here; cannot fail
 				}
 				t0 := time.Now()
-				resp, err := hc.Post(baseURL+"/v1/solve", "application/json", bytes.NewReader(body))
-				if err != nil {
-					mu.Lock()
-					rep.Transport++
-					mu.Unlock()
-					continue
-				}
-				_, derr := io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
+				res, err := cl.Solve(context.Background(), body)
 				lat := time.Since(t0).Nanoseconds()
-				class := resp.Header.Get("X-Psi-Termination")
-				if class == "" {
-					class = resp.Header.Get("X-Psi-Class")
-				}
 				mu.Lock()
-				if derr != nil {
-					rep.Transport++
-				} else {
+				switch {
+				case res != nil:
 					rep.Requests++
 					latencies = append(latencies, lat)
-					rep.StatusCounts[fmt.Sprint(resp.StatusCode)]++
-					if class != "" {
-						rep.ClassCounts[class]++
+					rep.StatusCounts[fmt.Sprint(res.Status)]++
+					if res.Class != "" {
+						rep.ClassCounts[res.Class]++
 					}
+				case errors.Is(err, client.ErrBreakerOpen) || errors.Is(err, client.ErrAttemptsExhausted):
+					rep.Unserved++
+				default:
+					rep.Transport++
 				}
 				mu.Unlock()
 			}
+			st := cl.Stats()
+			mu.Lock()
+			rep.Retry.Add(st)
+			mu.Unlock()
 		}(c)
 	}
 	wg.Wait()

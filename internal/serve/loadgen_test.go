@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"testing"
 	"time"
+
+	"repro/internal/client"
 )
 
 // TestMixDeterminism pins the replayability contract: the same seed
@@ -90,6 +93,7 @@ func TestBenchReportValidate(t *testing.T) {
 		Latency:       LatencySummary{P50NS: 1000, P90NS: 2000, P99NS: 3000, MaxNS: 4000, MeanNS: 1500},
 		StatusCounts:  map[string]int64{"200": 9, "422": 1},
 		ClassCounts:   map[string]int64{"ok": 9, "malformed": 1},
+		Retry:         client.Stats{Attempts: 12, Retries: 2},
 	}
 	if err := good.Validate(); err != nil {
 		t.Fatalf("valid record rejected: %v", err)
@@ -102,6 +106,8 @@ func TestBenchReportValidate(t *testing.T) {
 		func(r *BenchReport) { r.ThroughputRPS = 0 },
 		func(r *BenchReport) { r.StatusCounts = map[string]int64{} },
 		func(r *BenchReport) { r.StatusCounts = map[string]int64{"500": 10} },
+		func(r *BenchReport) { r.Retry.Attempts = 3 }, // fewer attempts than served requests
+		func(r *BenchReport) { r.Unserved = 2 },       // unserved without matching retry sheds
 	}
 	for i, mutate := range bad {
 		r := *good
@@ -131,5 +137,52 @@ func TestSummarize(t *testing.T) {
 		if s.MeanNS < ns[49] || s.MeanNS > ns[50] {
 			t.Errorf("mean = %d, want about 50.5ms", s.MeanNS)
 		}
+	}
+}
+
+// TestRunLoadClientRetriesAgainstDrainingDaemon pins the retry wiring
+// deterministically: every response from a draining daemon is a
+// retryable 503, so each job burns its full attempt budget and is shed.
+func TestRunLoadClientRetriesAgainstDrainingDaemon(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.BeginDrain()
+	rep := RunLoadClient(ts.URL, 2, 3, 1, DefaultMix(), client.Options{
+		HTTP:             ts.Client(),
+		MaxAttempts:      3,
+		BreakerThreshold: -1, // isolate the attempt budget from the breaker
+		Sleep:            func(context.Context, time.Duration) error { return nil },
+	})
+	if rep.Requests != 0 || rep.Unserved != 6 {
+		t.Errorf("draining load served %d / unserved %d, want 0 / 6", rep.Requests, rep.Unserved)
+	}
+	if rep.Retry.Attempts != 18 || rep.Retry.Retries != 12 || rep.Retry.Shed != 6 {
+		t.Errorf("retry block = %+v, want 18 attempts / 12 retries / 6 shed", rep.Retry)
+	}
+	if rep.Retry.RetryAfterHonored == 0 {
+		t.Error("draining 503s carry Retry-After; none honored")
+	}
+}
+
+// TestRunLoadClientBreakerShedsFast pins the breaker wiring: once the
+// threshold trips against a dead-for-new-work daemon, remaining jobs
+// shed fast without further attempts.
+func TestRunLoadClientBreakerShedsFast(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.BeginDrain()
+	rep := RunLoadClient(ts.URL, 1, 5, 1, DefaultMix(), client.Options{
+		HTTP:             ts.Client(),
+		MaxAttempts:      1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute, // never half-opens within the test
+		Sleep:            func(context.Context, time.Duration) error { return nil },
+	})
+	if rep.Unserved != 5 {
+		t.Errorf("unserved = %d, want all 5 jobs shed", rep.Unserved)
+	}
+	if rep.Retry.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (breaker stopped the rest)", rep.Retry.Attempts)
+	}
+	if rep.Retry.BreakerOpens != 1 {
+		t.Errorf("breaker opens = %d, want 1", rep.Retry.BreakerOpens)
 	}
 }

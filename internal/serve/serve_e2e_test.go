@@ -348,13 +348,24 @@ func TestE2ESaturation(t *testing.T) {
 
 func TestE2EDrainRefusesNewJobs(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	hr, err := ts.Client().Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	probe := func(path string) (int, Stats) {
+		t.Helper()
+		hr, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer hr.Body.Close()
+		var st Stats
+		if err := json.NewDecoder(hr.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return hr.StatusCode, st
 	}
-	hr.Body.Close()
-	if hr.StatusCode != http.StatusOK {
-		t.Fatalf("healthz before drain = %d", hr.StatusCode)
+	if code, _ := probe("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz before drain = %d", code)
+	}
+	if code, _ := probe("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz before drain = %d", code)
 	}
 
 	s.BeginDrain()
@@ -365,17 +376,16 @@ func TestE2EDrainRefusesNewJobs(t *testing.T) {
 	if got := resp.Header.Get("X-Psi-Class"); got != ClassDraining {
 		t.Errorf("drain class = %q, want %q", got, ClassDraining)
 	}
-	hr, err = ts.Client().Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Error("draining rejection carries no Retry-After")
 	}
-	var st Stats
-	if err := json.NewDecoder(hr.Body).Decode(&st); err != nil {
-		t.Fatal(err)
+	// Liveness stays green through a drain (a draining daemon must not
+	// be killed mid-flight); readiness goes red so traffic moves away.
+	if code, st := probe("/healthz"); code != http.StatusOK || !st.Draining {
+		t.Errorf("healthz under drain = %d draining=%v, want 200 true", code, st.Draining)
 	}
-	hr.Body.Close()
-	if hr.StatusCode != http.StatusServiceUnavailable || !st.Draining {
-		t.Errorf("healthz under drain = %d draining=%v, want 503 true", hr.StatusCode, st.Draining)
+	if code, st := probe("/readyz"); code != http.StatusServiceUnavailable || !st.Draining {
+		t.Errorf("readyz under drain = %d draining=%v, want 503 true", code, st.Draining)
 	}
 }
 

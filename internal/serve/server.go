@@ -36,6 +36,7 @@ type Server struct {
 	cfg      Config
 	q        *queue
 	programs *programLRU
+	watch    *watchdog
 
 	// hardCtx cancels every in-flight job when the drain deadline
 	// passes; the jobs end with their own budget class (canceled).
@@ -45,6 +46,7 @@ type Server struct {
 
 	inflight atomic.Int64
 	rejected atomic.Int64
+	expired  atomic.Int64
 	jobs     atomic.Int64
 }
 
@@ -53,9 +55,12 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	hardCtx, hardCancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:        cfg,
-		q:          newQueue(cfg.Workers, cfg.Queue),
-		programs:   newProgramLRU(cfg.Programs),
+		cfg:      cfg,
+		q:        newQueue(cfg.Workers, cfg.Queue),
+		programs: newProgramLRU(cfg.Programs),
+		watch: newWatchdog(cfg.WatchdogGrace,
+			time.Duration(cfg.WatchdogMaxMS)*time.Millisecond,
+			time.Duration(cfg.WatchdogIntervalMS)*time.Millisecond),
 		hardCtx:    hardCtx,
 		hardCancel: hardCancel,
 	}
@@ -67,18 +72,20 @@ func New(cfg Config) *Server {
 func (s *Server) Config() Config { return s.cfg }
 
 // Handler builds the daemon's route table: the job endpoint plus the
-// ops plane (/healthz, /metrics, and the /debug/pprof + /debug/vars
-// listener the obs package registers on the default mux).
+// ops plane (/healthz liveness, /readyz readiness, /metrics, and the
+// /debug/pprof + /debug/vars listener the obs package registers on the
+// default mux).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	mux.Handle("/metrics", telemetry.Default.Handler())
 	mux.Handle("/debug/", http.DefaultServeMux)
 	return mux
 }
 
-// BeginDrain switches the daemon into drain mode: /healthz turns 503,
+// BeginDrain switches the daemon into drain mode: /readyz turns 503,
 // queued jobs abort, and new jobs are refused with 503. In-flight jobs
 // keep running; the caller then uses http.Server.Shutdown to wait for
 // them and HardCancel if the drain deadline passes. Idempotent.
@@ -95,32 +102,47 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) HardCancel() { s.hardCancel() }
 
 // Stats is a snapshot of the admission state, served by /healthz and
-// used by tests to synchronize with in-flight work.
+// /readyz and used by tests to synchronize with in-flight work.
 type Stats struct {
-	Draining bool  `json:"draining"`
-	Inflight int64 `json:"inflight"`
-	Queued   int64 `json:"queued"`
-	Rejected int64 `json:"rejected"`
-	Jobs     int64 `json:"jobs"`
-	Programs int   `json:"programs"`
+	Draining      bool  `json:"draining"`
+	Inflight      int64 `json:"inflight"`
+	Queued        int64 `json:"queued"`
+	Rejected      int64 `json:"rejected"`
+	Expired       int64 `json:"expired"`
+	Jobs          int64 `json:"jobs"`
+	Programs      int   `json:"programs"`
+	WatchdogKills int64 `json:"watchdog_kills"`
 }
 
 // Stats snapshots the server's admission counters.
 func (s *Server) Stats() Stats {
 	_, waiting := s.q.depths()
 	return Stats{
-		Draining: s.draining.Load(),
-		Inflight: s.inflight.Load(),
-		Queued:   int64(waiting),
-		Rejected: s.rejected.Load(),
-		Jobs:     s.jobs.Load(),
-		Programs: s.programs.Len(),
+		Draining:      s.draining.Load(),
+		Inflight:      s.inflight.Load(),
+		Queued:        int64(waiting),
+		Rejected:      s.rejected.Load(),
+		Expired:       s.expired.Load(),
+		Jobs:          s.jobs.Load(),
+		Programs:      s.programs.Len(),
+		WatchdogKills: s.watch.Kills(),
 	}
 }
 
-// handleHealth reports readiness: 200 with a stats document while
-// serving, 503 once draining.
+// handleHealth is liveness: 200 with a stats document for as long as
+// the process can answer at all — draining included. Supervisors kill
+// on a failing /healthz, and a draining daemon must not be killed
+// mid-flight; use /readyz to steer traffic.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(s.Stats())
+}
+
+// handleReady is readiness: 200 while the daemon accepts new jobs, 503
+// once draining — the signal load balancers use to stop routing here
+// while in-flight work finishes.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	st := s.Stats()
 	code := http.StatusOK
 	if st.Draining {
@@ -136,9 +158,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 func writeError(w http.ResponseWriter, status int, class string, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Psi-Class", class)
-	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
-	}
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(ErrorDoc{
 		Schema: ErrorSchema,
@@ -146,6 +165,39 @@ func writeError(w http.ResponseWriter, status int, class string, err error) {
 		Class:  class,
 		Error:  err.Error(),
 	})
+}
+
+// writeReject is writeError for admission rejections: backpressure and
+// drain responses carry a Retry-After derived from the live queue
+// state, so well-behaved clients back off proportionally to the actual
+// load instead of hammering a saturated daemon on a fixed cadence.
+func (s *Server) writeReject(w http.ResponseWriter, status int, class string, err error) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		_, waiting := s.q.depths()
+		w.Header().Set("Retry-After",
+			strconv.Itoa(retryAfterSeconds(waiting, s.cfg.Workers, s.draining.Load())))
+	}
+	writeError(w, status, class, err)
+}
+
+// retryAfterSeconds estimates when a rejected client should try again:
+// one second per full wave of queued jobs ahead of it (each wave needs
+// every worker to turn over once), clamped to [1, 30]. A draining
+// daemon is about to hand off to a replacement, so it suggests a flat
+// few seconds rather than a queue-derived figure — its queue will never
+// drain into capacity for this client.
+func retryAfterSeconds(waiting, workers int, draining bool) int {
+	if draining {
+		return 5
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sec := 1 + waiting/workers
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
 }
 
 // classMetric counts one finished (or refused) job under its class.
@@ -166,25 +218,30 @@ func registerServeFamilies() {
 	reg := telemetry.Default
 	reg.Counter("psid_jobs_total", "jobs admitted and executed")
 	reg.Counter("psid_rejected_total", "jobs refused by backpressure or drain")
+	reg.Counter("psi_watchdog_kills_total", "stuck sessions hard-canceled by the watchdog")
 	reg.Gauge("psid_inflight_jobs", "jobs executing right now")
 	reg.Gauge("psid_queue_depth", "jobs waiting for a worker")
 	reg.Histogram("psid_request_seconds", "wall time per job request", requestDurationBounds)
 }
 
 // handleSolve is POST /v1/solve: decode, admit, execute, respond with a
-// report or a stream.
+// report or a stream. The job's wall-clock deadline is anchored at
+// arrival — a job that spends its whole budget waiting in the queue is
+// shed at dequeue time with the expired class (504) instead of burning
+// a worker on an answer nobody can use.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, "error", errors.New("POST a job spec"))
 		return
 	}
+	arrive := time.Now()
 	reg := telemetry.Default
 	if s.draining.Load() {
 		s.rejected.Add(1)
 		reg.Counter("psid_rejected_total", "jobs refused by backpressure or drain").Inc()
 		classMetric(ClassDraining)
-		writeError(w, StatusForClass(ClassDraining), ClassDraining, errDraining)
+		s.writeReject(w, StatusForClass(ClassDraining), ClassDraining, errDraining)
 		return
 	}
 	spec, err := ParseSpec(r.Body, s.cfg.Defaults)
@@ -194,7 +251,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	release, err := s.q.acquire(r.Context())
+	// The deadline covers the job's whole stay — queue wait included —
+	// so admission itself gives up once the budget is spent.
+	var deadline time.Time
+	admitCtx := r.Context()
+	if t := spec.Timeout(); t > 0 {
+		deadline = arrive.Add(t)
+		var admitCancel context.CancelFunc
+		admitCtx, admitCancel = context.WithDeadline(admitCtx, deadline)
+		defer admitCancel()
+	}
+
+	release, err := s.q.acquire(admitCtx)
 	updateDepthGauges(s)
 	if err != nil {
 		s.rejected.Add(1)
@@ -203,12 +271,31 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, errDraining):
 			class = ClassDraining
+		case errors.Is(err, context.DeadlineExceeded) && expiredNow(deadline):
+			class = "expired"
+			s.expired.Add(1)
+			err = fmt.Errorf("%w: spent the %v budget waiting for a worker", engine.ErrExpired, spec.Timeout())
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			class = "canceled"
 			err = engine.CtxError(err)
 		}
 		classMetric(class)
-		writeError(w, StatusForClass(class), class, err)
+		s.writeReject(w, StatusForClass(class), class, err)
+		return
+	}
+
+	// Dequeue-time shed: the queue admitted us, but the deadline may
+	// have lapsed during the wait. Release the worker token before any
+	// pool work — an expired job never touches a machine.
+	if expiredNow(deadline) {
+		release()
+		s.rejected.Add(1)
+		s.expired.Add(1)
+		reg.Counter("psid_rejected_total", "jobs refused by backpressure or drain").Inc()
+		classMetric("expired")
+		updateDepthGauges(s)
+		err := fmt.Errorf("%w: spent the %v budget waiting for a worker", engine.ErrExpired, spec.Timeout())
+		s.writeReject(w, StatusForClass("expired"), "expired", err)
 		return
 	}
 	defer release()
@@ -226,11 +313,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	// The job context: the client's context (gone client = canceled) plus
-	// the wall-clock budget, hard-canceled if a drain deadline passes.
+	// the wall-clock budget anchored at arrival, hard-canceled if a drain
+	// deadline passes.
 	ctx := r.Context()
 	var cancel context.CancelFunc
-	if t := spec.Timeout(); t > 0 {
-		ctx, cancel = context.WithTimeout(ctx, t)
+	if !deadline.IsZero() {
+		ctx, cancel = context.WithDeadline(ctx, deadline)
 	} else {
 		ctx, cancel = context.WithCancel(ctx)
 	}
@@ -238,11 +326,23 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(s.hardCtx, cancel)
 	defer stop()
 
+	// The watchdog holds the same cancel seam a drain hard-cancel pulls:
+	// if this session overstays its grace window it is killed through
+	// the job context and ends with the canceled class.
+	wj := s.watch.admit(spec.Workload, start, spec.Timeout(), cancel)
+	defer s.watch.done(wj)
+
 	if spec.Stream {
-		s.streamSolve(ctx, w, r, spec)
+		s.streamSolve(ctx, w, r, spec, wj)
 		return
 	}
-	s.reportSolve(ctx, w, spec)
+	s.reportSolve(ctx, w, spec, wj)
+}
+
+// expiredNow reports whether a job's arrival-anchored deadline (zero =
+// unbudgeted) has already passed.
+func expiredNow(deadline time.Time) bool {
+	return !deadline.IsZero() && !time.Now().Before(deadline)
 }
 
 // updateDepthGauges publishes the admission occupancy.
@@ -256,8 +356,8 @@ func updateDepthGauges(s *Server) {
 // reportSolve runs the job to completion and answers with the full
 // psi-run-report/v1 document — the same bytes `psi -json` writes for
 // the same job — under the status the termination class maps to.
-func (s *Server) reportSolve(ctx context.Context, w http.ResponseWriter, spec *JobSpec) {
-	res, err := s.execute(ctx, spec, nil, nil)
+func (s *Server) reportSolve(ctx context.Context, w http.ResponseWriter, spec *JobSpec, wj *watchedJob) {
+	res, err := s.execute(ctx, spec, wj, nil, nil)
 	if err != nil {
 		class := engine.ClassName(err)
 		classMetric(class)

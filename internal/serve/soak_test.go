@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/progs"
+)
+
+// TestSoakShort is the in-suite slice of the chaos soak: a couple of
+// seconds of seeded fault-mixed traffic against a self-hosted daemon,
+// then the full invariant audit (known classes, clean differential
+// replay, no goroutine leak, bounded heap). `make serve` runs it under
+// the race detector; `make soak` runs the longer cmd/soak version.
+func TestSoakShort(t *testing.T) {
+	d := 2 * time.Second
+	if testing.Short() {
+		d = 800 * time.Millisecond
+	}
+	rep, err := RunSoak(SoakOptions{
+		Duration: d,
+		Clients:  3,
+		Seed:     1,
+		Server:   Config{Workers: 2, Queue: 8},
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("soak harness failed to start: %v", err)
+	}
+	if !rep.Passed() {
+		b, _ := rep.JSON()
+		t.Fatalf("soak violated %d invariants:\n%s", len(rep.Violations), b)
+	}
+	if rep.Served == 0 {
+		t.Fatal("soak served nothing")
+	}
+	if rep.DifferentialPrograms == 0 {
+		t.Error("post-soak differential audited nothing")
+	}
+	// The chaos mix must actually exercise the chaos paths. A raced
+	// -short pass may legitimately serve only a handful of jobs, so the
+	// fault-coverage check applies only once the mix had a real chance
+	// to draw one (fault plans are ~2/15 of the mix).
+	if rep.Classes["ok"] == 0 {
+		t.Errorf("soak mix produced no %q responses (classes: %v)", "ok", rep.Classes)
+	}
+	if rep.Served >= 30 && rep.Classes["fault"] == 0 {
+		t.Errorf("soak served %d jobs but no %q responses (classes: %v)", rep.Served, "fault", rep.Classes)
+	}
+}
+
+// TestSoakJobDeterminism pins the replay contract: the same seed draws
+// the same chaos job sequence.
+func TestSoakJobDeterminism(t *testing.T) {
+	plans := fault.Sweep(1, 2, 60_000)
+	corpus := progs.Table1()
+	draw := func(seed uint64) []JobSpec {
+		state := seed
+		out := make([]JobSpec, 0, 64)
+		for i := 0; i < 64; i++ {
+			out = append(out, soakJob(&state, plans, corpus))
+		}
+		return out
+	}
+	a, b := draw(9), draw(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	diverged := false
+	for i, s := range draw(10) {
+		if s != a[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds drew identical sequences")
+	}
+	// Every drawn spec must validate: the soak must never 400 itself.
+	for i := range a {
+		s := a[i]
+		s.applyDefaults(Defaults{})
+		if err := s.validate(); err != nil {
+			t.Errorf("soak job %d invalid: %v", i, err)
+		}
+	}
+}

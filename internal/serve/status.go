@@ -30,6 +30,7 @@ var statusByClass = map[string]int{
 	"canceled":   StatusClientClosedRequest,      // 499: client gone or drain hard-cancel
 	"fault":      http.StatusInternalServerError, // 500: contained machine fault
 	"degraded":   http.StatusInternalServerError, // 500: degraded evaluation (harness-level)
+	"expired":    http.StatusGatewayTimeout,      // 504: deadline passed before execution (queue shed)
 }
 
 // Serving-layer statuses outside the engine taxonomy: admission and
